@@ -1,0 +1,112 @@
+// Extension bench: dynamic customer reallocation — the workload the
+// paper's introduction motivates ("the problem may need to be solved
+// repeatedly... depending on which customers declare interest").
+// Simulates a stream of customer arrivals/departures on a city network
+// and compares:
+//   * full      — a fresh WMA selection at every event;
+//   * dynamic   — DynamicMcfs: keep the selection while it stays within
+//                 a cost ratio of the last full solve, otherwise
+//                 re-select (the warm-start policy);
+// reporting total time, re-selection count, and the average objective
+// ratio versus the always-fresh reference.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "mcfs/common/timer.h"
+#include "mcfs/core/dynamic.h"
+#include "mcfs/graph/road_network.h"
+#include "mcfs/workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  const Flags flags(argc, argv);
+  const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.04);
+  bench_util::Banner("Extension: dynamic customer reallocation", bench);
+
+  const Graph city = GenerateCity(AalborgPreset(bench.scale, bench.seed));
+  Rng rng(bench.seed + 1);
+  const int l = std::min(city.NumNodes() / 8, 300);
+  const std::vector<NodeId> facilities = SampleDistinctNodes(city, l, rng);
+  const std::vector<int> capacities = UniformCapacities(l, 10);
+  const int k = l / 4;
+  const int events = static_cast<int>(flags.GetInt("events", 60));
+  std::printf("city n=%d, l=%d candidates, k=%d, %d events\n",
+              city.NumNodes(), l, k, events);
+
+  // Pre-generate the event stream so both strategies see the same one.
+  struct Event {
+    bool arrival;
+    NodeId node;
+  };
+  std::vector<Event> stream;
+  for (int e = 0; e < events; ++e) {
+    const bool arrival = e < 20 || rng.NextDouble() < 0.65;
+    stream.push_back(
+        {arrival, static_cast<NodeId>(rng.UniformInt(0, city.NumNodes() - 1))});
+  }
+
+  // --- dynamic strategy ---
+  DynamicMcfs dynamic(&city, facilities, capacities, k);
+  std::vector<int> ids;
+  Rng removal(bench.seed + 2);
+  std::vector<double> dynamic_objectives;
+  WallTimer timer;
+  for (const Event& event : stream) {
+    if (event.arrival || ids.empty()) {
+      ids.push_back(dynamic.AddCustomer(event.node));
+    } else {
+      const size_t pick = removal.UniformInt(0, ids.size() - 1);
+      dynamic.RemoveCustomer(ids[pick]);
+      ids.erase(ids.begin() + pick);
+    }
+    dynamic_objectives.push_back(dynamic.Resolve().objective);
+  }
+  const double dynamic_seconds = timer.Seconds();
+
+  // --- always-fresh reference ---
+  std::vector<NodeId> active;
+  Rng removal2(bench.seed + 2);
+  std::vector<double> full_objectives;
+  timer.Restart();
+  for (const Event& event : stream) {
+    if (event.arrival || active.empty()) {
+      active.push_back(event.node);
+    } else {
+      const size_t pick = removal2.UniformInt(0, active.size() - 1);
+      active.erase(active.begin() + pick);
+    }
+    McfsInstance instance;
+    instance.graph = &city;
+    instance.customers = active;
+    instance.facility_nodes = facilities;
+    instance.capacities = capacities;
+    instance.k = k;
+    full_objectives.push_back(RunWma(instance).solution.objective);
+  }
+  const double full_seconds = timer.Seconds();
+
+  double ratio_sum = 0.0;
+  int ratio_count = 0;
+  for (size_t e = 0; e < full_objectives.size(); ++e) {
+    if (full_objectives[e] > 0.0) {
+      ratio_sum += dynamic_objectives[e] / full_objectives[e];
+      ++ratio_count;
+    }
+  }
+
+  Table table({"strategy", "total time", "full solves",
+               "incremental solves", "avg objective vs fresh"});
+  table.AddRow({"fresh WMA each event", FmtSeconds(full_seconds),
+                FmtInt(events), "0", "1.00x"});
+  table.AddRow({"DynamicMcfs (warm)", FmtSeconds(dynamic_seconds),
+                FmtInt(dynamic.full_solves()),
+                FmtInt(dynamic.incremental_solves()),
+                FmtDouble(ratio_count ? ratio_sum / ratio_count : 0.0, 3) +
+                    "x"});
+  table.Print();
+  std::printf("speedup: %.1fx with %.1f%% average objective overhead\n",
+              full_seconds / std::max(dynamic_seconds, 1e-9),
+              100.0 * ((ratio_count ? ratio_sum / ratio_count : 1.0) - 1.0));
+  return 0;
+}

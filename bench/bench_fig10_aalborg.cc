@@ -1,0 +1,47 @@
+// Reproduces Figure 10: scalability on the Aalborg network for growing
+// customer/facility counts at fixed occupancy o = 0.5 (c = 20,
+// k = 0.1 m, l = n).
+//
+// Expected shape (paper): WMA's quality advantage over Hilbert grows
+// with problem size; WMA Naive is close in runtime but worse in
+// objective; BRNN's objective and runtime blow up; the exact solver
+// fails at every point.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "mcfs/graph/road_network.h"
+#include "mcfs/workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  const Flags flags(argc, argv);
+  const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.08);
+  bench_util::Banner("Figure 10: Aalborg scalability, o = 0.5, l = n",
+                     bench);
+
+  const Graph city = GenerateCity(AalborgPreset(bench.scale, bench.seed));
+  std::printf("Aalborg (scaled): n=%d, edges=%lld\n", city.NumNodes(),
+              static_cast<long long>(city.NumEdges()));
+
+  bench_util::SweepTable table("m");
+  for (const int base_m : {64, 128, 256, 512}) {
+    const int m = std::min(base_m, city.NumNodes() / 4);
+    Rng rng(bench.seed + base_m);
+    McfsInstance instance;
+    instance.graph = &city;
+    instance.customers = SampleDistinctNodes(city, m, rng);
+    instance.facility_nodes =
+        SampleDistinctNodes(city, city.NumNodes(), rng);
+    instance.capacities = UniformCapacities(city.NumNodes(), 20);
+    instance.k = std::max(1, m / 10);
+
+    AlgorithmSuite suite;
+    suite.with_brnn = base_m <= 128;  // BRNN becomes impractical beyond
+    suite.with_exact = false;
+    suite.seed = bench.seed;
+    table.Add(FmtInt(m), RunSuite(instance, suite));
+  }
+  table.PrintAndMaybeSave(flags);
+  return 0;
+}

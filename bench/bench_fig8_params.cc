@@ -1,0 +1,157 @@
+// Reproduces Figure 8 (a-d): clustered network of fixed size (the paper
+// uses n = 10^4, 20 clusters) with the other problem parameters swept:
+//   (a) candidate set size l from 40% to 100% of the nodes;
+//   (b) number of customers m;
+//   (c) scaled-up customers (several per node) at occupancy 0.1;
+//   (d) number of selected facilities k.
+//
+// Expected shape (paper): Hilbert is sensitive to small candidate sets
+// (8a) while both WMA variants stay stable; objective grows with m and
+// falls with k; WMA runtimes drop as facilities grow.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "mcfs/graph/generators.h"
+#include "mcfs/workload/workload.h"
+
+namespace mcfs {
+namespace {
+
+using bench_util::BenchConfig;
+using bench_util::SweepTable;
+
+Graph MakeGraph(int n, uint64_t seed) {
+  SyntheticNetworkOptions options;
+  options.num_nodes = n;
+  options.alpha = 2.0;
+  options.num_clusters = 20;
+  options.seed = seed;
+  return GenerateSyntheticNetwork(options);
+}
+
+AlgorithmSuite MakeSuite(const BenchConfig& bench) {
+  AlgorithmSuite suite;
+  suite.seed = bench.seed;
+  suite.exact_options.time_limit_seconds = bench.exact_seconds;
+  return suite;
+}
+
+void SweepCandidates(const Graph& graph, const BenchConfig& bench,
+                     const Flags& flags) {
+  std::printf("\n--- Fig 8a: variable candidate set size l ---\n");
+  SweepTable table("l/n");
+  const int n = graph.NumNodes();
+  const int m = std::max(8, n / 10);
+  for (const double fraction : {0.4, 0.6, 0.8, 1.0}) {
+    const int l = static_cast<int>(n * fraction);
+    auto build = [&](uint64_t seed) {
+      Rng rng(seed);
+      McfsInstance instance;
+      instance.graph = &graph;
+      instance.customers = SampleDistinctNodes(graph, m, rng);
+      instance.facility_nodes = SampleDistinctNodes(graph, l, rng);
+      instance.capacities = UniformCapacities(l, 20);
+      instance.k = std::max(1, m / 10);
+      return instance;
+    };
+    const McfsInstance instance = bench_util::BuildFeasibleInstance(
+        build, bench.seed + static_cast<uint64_t>(fraction * 100));
+    table.Add(FmtDouble(fraction, 1), RunSuite(instance, MakeSuite(bench)));
+  }
+  table.PrintAndMaybeSave(flags);
+}
+
+void SweepCustomers(const Graph& graph, const BenchConfig& bench,
+                    const Flags& flags) {
+  std::printf("\n--- Fig 8b: variable number of customers m ---\n");
+  SweepTable table("m");
+  const int n = graph.NumNodes();
+  for (const double fraction : {0.05, 0.10, 0.15, 0.20}) {
+    const int m = std::max(8, static_cast<int>(n * fraction));
+    auto build = [&](uint64_t seed) {
+      Rng rng(seed);
+      McfsInstance instance;
+      instance.graph = &graph;
+      instance.customers = SampleDistinctNodes(graph, m, rng);
+      instance.facility_nodes = SampleDistinctNodes(graph, n, rng);
+      instance.capacities = UniformCapacities(n, 20);
+      instance.k = std::max(1, m / 10);
+      return instance;
+    };
+    const McfsInstance instance = bench_util::BuildFeasibleInstance(
+        build, bench.seed + static_cast<uint64_t>(fraction * 1000));
+    table.Add(FmtInt(m), RunSuite(instance, MakeSuite(bench)));
+  }
+  table.PrintAndMaybeSave(flags);
+}
+
+void SweepScaledUpCustomers(const Graph& graph, const BenchConfig& bench,
+                            const Flags& flags) {
+  std::printf(
+      "\n--- Fig 8c: scaled-up customers (multiple per node), o=0.1 ---\n");
+  SweepTable table("m");
+  const int n = graph.NumNodes();
+  for (const double factor : {0.5, 1.0, 2.0}) {
+    const int m = std::max(16, static_cast<int>(n * factor));
+    auto build = [&](uint64_t seed) {
+      Rng rng(seed);
+      McfsInstance instance;
+      instance.graph = &graph;
+      instance.customers = SampleNodesWithReplacement(graph, m, rng);
+      instance.facility_nodes = SampleDistinctNodes(graph, n, rng);
+      const int c = 20;
+      instance.capacities = UniformCapacities(n, c);
+      instance.k = std::max(1, m / (c / 10));  // o = m/(c*k) = 0.1
+      return instance;
+    };
+    const McfsInstance instance = bench_util::BuildFeasibleInstance(
+        build, bench.seed + static_cast<uint64_t>(factor * 10));
+    table.Add(FmtInt(m), RunSuite(instance, MakeSuite(bench)));
+  }
+  table.PrintAndMaybeSave(flags);
+}
+
+void SweepK(const Graph& graph, const BenchConfig& bench,
+            const Flags& flags) {
+  std::printf("\n--- Fig 8d: variable number of facilities k ---\n");
+  SweepTable table("k");
+  const int n = graph.NumNodes();
+  const int m = std::max(8, n / 10);
+  for (const double fraction : {0.05, 0.1, 0.2, 0.4}) {
+    auto build = [&](uint64_t seed) {
+      Rng rng(seed);
+      McfsInstance instance;
+      instance.graph = &graph;
+      instance.customers = SampleDistinctNodes(graph, m, rng);
+      instance.facility_nodes = SampleDistinctNodes(graph, n, rng);
+      instance.capacities = UniformCapacities(n, 20);
+      instance.k = std::max(1, static_cast<int>(m * fraction));
+      return instance;
+    };
+    const McfsInstance instance =
+        bench_util::BuildFeasibleInstance(build, bench.seed + 5);
+    table.Add(FmtInt(instance.k), RunSuite(instance, MakeSuite(bench)));
+  }
+  table.PrintAndMaybeSave(flags);
+}
+
+}  // namespace
+}  // namespace mcfs
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  const Flags flags(argc, argv);
+  const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.2);
+  bench_util::Banner("Figure 8: parameter sweeps on clustered data", bench);
+  const int n = std::max(256, static_cast<int>(10000 * bench.scale));
+  const Graph graph = MakeGraph(n, bench.seed);
+  std::printf("graph: n=%d, edges=%lld, avg degree %.2f\n", graph.NumNodes(),
+              static_cast<long long>(graph.NumEdges()),
+              graph.AverageDegree());
+  SweepCandidates(graph, bench, flags);
+  SweepCustomers(graph, bench, flags);
+  SweepScaledUpCustomers(graph, bench, flags);
+  SweepK(graph, bench, flags);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 9: (a) the effect of graph density alpha (the
+// x-axis reports the *measured* average degree, as in the paper) and
+// (b) the effect of the uniform capacity c at alpha = 1.5.
+//
+// Expected shape (paper): WMA's objective improves with density and
+// approaches the optimum; capacity barely affects quality except in the
+// tight-occupancy regime (small c), where the problem is hardest; the
+// exact solver becomes faster as capacity grows.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "mcfs/graph/generators.h"
+#include "mcfs/workload/workload.h"
+
+namespace mcfs {
+namespace {
+
+using bench_util::BenchConfig;
+using bench_util::SweepTable;
+
+Graph MakeGraph(int n, double alpha, uint64_t seed) {
+  SyntheticNetworkOptions options;
+  options.num_nodes = n;
+  options.alpha = alpha;
+  options.num_clusters = 5;
+  options.seed = seed;
+  return GenerateSyntheticNetwork(options);
+}
+
+McfsInstance MakeInstance(const Graph& graph, int capacity, uint64_t seed) {
+  const int n = graph.NumNodes();
+  auto build = [&](uint64_t s) {
+    Rng rng(s);
+    McfsInstance instance;
+    instance.graph = &graph;
+    instance.customers = SampleDistinctNodes(graph, std::max(8, n / 10), rng);
+    instance.facility_nodes = SampleDistinctNodes(graph, n, rng);
+    instance.capacities = UniformCapacities(n, capacity);
+    instance.k =
+        std::max(1, static_cast<int>(instance.customers.size()) / 5);
+    return instance;
+  };
+  return bench_util::BuildFeasibleInstance(build, seed);
+}
+
+}  // namespace
+}  // namespace mcfs
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  const Flags flags(argc, argv);
+  const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.2);
+  const int n = std::max(256, static_cast<int>(10000 * bench.scale));
+
+  bench_util::Banner("Figure 9a: effect of density alpha (c = 10)", bench);
+  {
+    bench_util::SweepTable table("avg degree");
+    for (const double alpha : {1.0, 1.2, 1.5, 2.0, 2.5}) {
+      const Graph graph = MakeGraph(n, alpha, bench.seed);
+      const McfsInstance instance = MakeInstance(graph, 10, bench.seed + 3);
+      AlgorithmSuite suite;
+      suite.seed = bench.seed;
+      suite.exact_options.time_limit_seconds = bench.exact_seconds;
+      table.Add(FmtDouble(graph.AverageDegree(), 2),
+                RunSuite(instance, suite));
+    }
+    table.PrintAndMaybeSave(flags);
+  }
+
+  bench_util::Banner("Figure 9b: effect of capacity c (alpha = 1.5)", bench);
+  {
+    bench_util::SweepTable table("c");
+    const Graph graph = MakeGraph(n, 1.5, bench.seed + 1);
+    for (const int c : {5, 6, 10, 20, 40}) {
+      const McfsInstance instance = MakeInstance(graph, c, bench.seed + 4);
+      AlgorithmSuite suite;
+      suite.seed = bench.seed;
+      suite.exact_options.time_limit_seconds = bench.exact_seconds;
+      table.Add(FmtInt(c), RunSuite(instance, suite));
+    }
+    table.PrintAndMaybeSave(flags);
+  }
+  return 0;
+}

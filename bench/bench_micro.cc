@@ -1,0 +1,171 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives: network Dijkstra, the incremental nearest-facility
+// stream, optimal bipartite matching, the set-cover heuristic, and the
+// dense transportation oracle.
+
+#include <benchmark/benchmark.h>
+
+#include <queue>
+
+#include "mcfs/common/dary_heap.h"
+#include "mcfs/common/random.h"
+#include "mcfs/core/set_cover.h"
+#include "mcfs/flow/matcher.h"
+#include "mcfs/flow/transport.h"
+#include "mcfs/graph/facility_stream.h"
+#include "mcfs/graph/generators.h"
+#include "mcfs/graph/road_network.h"
+#include "mcfs/hilbert/hilbert.h"
+#include "mcfs/workload/workload.h"
+
+namespace mcfs {
+namespace {
+
+const Graph& CityGraph() {
+  static const Graph* graph =
+      new Graph(GenerateCity(AalborgPreset(0.05, 42)));
+  return *graph;
+}
+
+void BM_DijkstraFull(benchmark::State& state) {
+  const Graph& graph = CityGraph();
+  Rng rng(1);
+  for (auto _ : state) {
+    const NodeId source =
+        static_cast<NodeId>(rng.UniformInt(0, graph.NumNodes() - 1));
+    benchmark::DoNotOptimize(ShortestPathsFrom(graph, source));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.NumNodes());
+}
+BENCHMARK(BM_DijkstraFull);
+
+void BM_NearestFacilityStream(benchmark::State& state) {
+  const Graph& graph = CityGraph();
+  const int facilities = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<int> facility_index_of_node(graph.NumNodes(), -1);
+  const std::vector<NodeId> nodes =
+      SampleDistinctNodes(graph, facilities, rng);
+  for (int j = 0; j < facilities; ++j) facility_index_of_node[nodes[j]] = j;
+  for (auto _ : state) {
+    NearestFacilityStream stream(
+        &graph, static_cast<NodeId>(rng.UniformInt(0, graph.NumNodes() - 1)),
+        &facility_index_of_node);
+    for (int pops = 0; pops < 10; ++pops) {
+      benchmark::DoNotOptimize(stream.Pop());
+    }
+  }
+}
+BENCHMARK(BM_NearestFacilityStream)->Arg(64)->Arg(512);
+
+void BM_IncrementalMatcher(benchmark::State& state) {
+  const Graph& graph = CityGraph();
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const std::vector<NodeId> customers = SampleDistinctNodes(graph, m, rng);
+  const std::vector<NodeId> facilities =
+      SampleDistinctNodes(graph, m / 2, rng);
+  const std::vector<int> capacities = UniformCapacities(m / 2, 4);
+  for (auto _ : state) {
+    IncrementalMatcher matcher(&graph, customers, facilities, capacities);
+    benchmark::DoNotOptimize(matcher.MatchAllOnce());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_IncrementalMatcher)->Arg(64)->Arg(256);
+
+void BM_CheckCover(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const int m = l * 4;
+  Rng rng(4);
+  std::vector<std::vector<int>> sigma(l);
+  for (int j = 0; j < l; ++j) {
+    for (int t = 0; t < 8; ++t) {
+      sigma[j].push_back(static_cast<int>(rng.UniformInt(0, m - 1)));
+    }
+  }
+  const std::vector<int> demand(m, 1);
+  for (auto _ : state) {
+    std::vector<int64_t> last_selected(l, -1);
+    CoverInput input;
+    input.num_customers = m;
+    input.k = l / 10 + 1;
+    input.customers_of_facility = &sigma;
+    input.demand = &demand;
+    input.demand_cap = l;
+    benchmark::DoNotOptimize(CheckCover(input, last_selected, 0));
+  }
+}
+BENCHMARK(BM_CheckCover)->Arg(256)->Arg(2048);
+
+void BM_DenseTransport(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int l = m / 2;
+  Rng rng(5);
+  std::vector<double> cost(static_cast<size_t>(m) * l);
+  for (double& c : cost) c = rng.Uniform(1.0, 100.0);
+  const std::vector<int> capacities(l, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveDenseTransport(m, l, cost, capacities));
+  }
+}
+BENCHMARK(BM_DenseTransport)->Arg(64)->Arg(256);
+
+template <typename Heap>
+void HeapWorkload(Heap& heap, Rng& rng, int ops) {
+  for (int op = 0; op < ops; ++op) {
+    heap.push({rng.NextDouble(), op});
+    if (op % 3 == 2) heap.pop();
+  }
+  while (!heap.empty()) heap.pop();
+}
+
+struct HeapItem {
+  double key;
+  int payload;
+  bool operator>(const HeapItem& other) const { return key > other.key; }
+};
+struct HeapItemLess {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    return a.key < b.key;
+  }
+};
+
+void BM_StdPriorityQueue(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        heap;
+    HeapWorkload(heap, rng, static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdPriorityQueue)->Arg(10000)->Arg(100000);
+
+void BM_DaryHeap4(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    DaryHeap<HeapItem, 4, HeapItemLess> heap;
+    HeapWorkload(heap, rng, static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DaryHeap4)->Arg(10000)->Arg(100000);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  Rng rng(6);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    const uint32_t x = static_cast<uint32_t>(rng.UniformInt(0, (1 << 16) - 1));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformInt(0, (1 << 16) - 1));
+    sink ^= HilbertIndex(16, x, y);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HilbertIndex);
+
+}  // namespace
+}  // namespace mcfs
+
+BENCHMARK_MAIN();

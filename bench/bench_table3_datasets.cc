@@ -1,0 +1,43 @@
+// Reproduces Table III: structural statistics of the four city road
+// networks. The paper uses OpenStreetMap exports; we use the synthetic
+// road-network generator calibrated to the same statistics (DESIGN.md
+// §2.1). At --scale=1 the node counts match the paper's; the default
+// scale keeps the suite fast while preserving degrees and edge lengths.
+
+#include "bench/bench_util.h"
+#include "mcfs/graph/road_network.h"
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  const Flags flags(argc, argv);
+  const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.05);
+  bench_util::Banner("Table III: real-world (simulated) data sets", bench);
+
+  Table table({"city", "nodes", "edges", "avg degree", "max degree",
+               "avg edge length (m)", "paper nodes", "paper avg deg",
+               "paper edge len"});
+  struct Row {
+    CityOptions options;
+    int paper_nodes;
+    double paper_degree;
+    double paper_edge_length;
+  };
+  const Row rows[] = {
+      {AalborgPreset(bench.scale, bench.seed), 50961, 2.2, 30.2},
+      {RigaPreset(bench.scale, bench.seed + 1), 287927, 2.2, 28.7},
+      {CopenhagenPreset(bench.scale, bench.seed + 2), 282826, 2.2, 32.6},
+      {LasVegasPreset(bench.scale, bench.seed + 3), 425759, 2.4, 50.4},
+  };
+  for (const Row& row : rows) {
+    const Graph city = GenerateCity(row.options);
+    table.AddRow({row.options.name, FmtInt(city.NumNodes()),
+                  FmtInt(city.NumEdges()),
+                  FmtDouble(city.AverageDegree(), 2),
+                  FmtInt(city.MaxDegree()),
+                  FmtDouble(city.AverageEdgeLength(), 1),
+                  FmtInt(row.paper_nodes), FmtDouble(row.paper_degree, 1),
+                  FmtDouble(row.paper_edge_length, 1)});
+  }
+  table.Print();
+  return 0;
+}

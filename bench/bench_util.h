@@ -1,0 +1,95 @@
+#ifndef MCFS_BENCH_BENCH_UTIL_H_
+#define MCFS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mcfs/bench/runner.h"
+#include "mcfs/common/flags.h"
+#include "mcfs/common/table.h"
+#include "mcfs/core/instance.h"
+
+namespace mcfs {
+namespace bench_util {
+
+// Every experiment binary accepts:
+//   --scale=F   multiplies the instance sizes (default < 1 so the whole
+//               suite finishes on a laptop; 1.0 reproduces paper scale)
+//   --seed=N    RNG seed
+//   --exact_seconds=S  budget for the exact reference solver
+struct BenchConfig {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  double exact_seconds = 20.0;
+
+  static BenchConfig FromFlags(const Flags& flags, double default_scale) {
+    BenchConfig config;
+    config.scale = flags.GetDouble("scale", default_scale);
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    config.exact_seconds = flags.GetDouble("exact_seconds", 20.0);
+    return config;
+  }
+};
+
+// Prints one experiment banner.
+inline void Banner(const std::string& title, const BenchConfig& config) {
+  std::printf("\n=== %s (scale=%.3g, seed=%llu) ===\n", title.c_str(),
+              config.scale,
+              static_cast<unsigned long long>(config.seed));
+}
+
+// Rebuilds an instance with shifted seeds until it is feasible (the
+// paper's experiments assume feasible instances; clustered/sparse
+// synthetic graphs occasionally fragment too much for the budget k).
+// `build` maps a seed to an instance.
+template <typename BuildFn>
+McfsInstance BuildFeasibleInstance(BuildFn&& build, uint64_t base_seed,
+                                   int max_attempts = 8) {
+  McfsInstance instance = build(base_seed);
+  for (int attempt = 1;
+       attempt < max_attempts && !IsFeasible(instance); ++attempt) {
+    instance = build(base_seed + 1000 * static_cast<uint64_t>(attempt));
+  }
+  return instance;
+}
+
+// Accumulates sweep results into a paper-style table: one row per
+// (x, algorithm) with objective and runtime columns.
+class SweepTable {
+ public:
+  SweepTable(std::string x_name)
+      : x_name_(std::move(x_name)),
+        table_({x_name_, "algorithm", "objective", "runtime", "status"}) {}
+
+  void Add(const std::string& x, const std::vector<AlgoOutcome>& outcomes) {
+    for (const AlgoOutcome& o : outcomes) {
+      std::string status = "ok";
+      if (o.failed) {
+        status = "fail";
+      } else if (!o.feasible) {
+        status = "infeasible";
+      }
+      table_.AddRow({x, o.algorithm,
+                     o.failed ? "-" : FmtDouble(o.objective, 1),
+                     FmtSeconds(o.seconds), status});
+    }
+  }
+
+  void PrintAndMaybeSave(const Flags& flags) {
+    table_.Print();
+    const std::string csv = flags.GetString("csv", "");
+    if (!csv.empty() && table_.WriteCsv(csv)) {
+      std::printf("(written to %s)\n", csv.c_str());
+    }
+  }
+
+ private:
+  std::string x_name_;
+  Table table_;
+};
+
+}  // namespace bench_util
+}  // namespace mcfs
+
+#endif  // MCFS_BENCH_BENCH_UTIL_H_

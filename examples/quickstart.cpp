@@ -1,0 +1,79 @@
+// Quickstart: build a small road network, place customers and candidate
+// facilities with capacities, and solve the Multicapacity Facility
+// Selection problem with the Wide Matching Algorithm.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "mcfs/core/wma.h"
+#include "mcfs/exact/bb_solver.h"
+#include "mcfs/graph/generators.h"
+#include "mcfs/workload/workload.h"
+
+int main() {
+  using namespace mcfs;
+
+  // 1. A synthetic network: 2,000 nodes on a 1000 x 1000 plane,
+  //    connected within the paper's alpha = 2 radius.
+  SyntheticNetworkOptions network;
+  network.num_nodes = 2000;
+  network.alpha = 2.0;
+  network.seed = 7;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  std::printf("network: %d nodes, %lld edges, average degree %.2f\n",
+              graph.NumNodes(), static_cast<long long>(graph.NumEdges()),
+              graph.AverageDegree());
+
+  // 2. An MCFS instance: 200 customers, every node a candidate facility
+  //    with capacity 20, and a budget of k = 20 facilities.
+  Rng rng(13);
+  McfsInstance instance;
+  instance.graph = &graph;
+  instance.customers = SampleDistinctNodes(graph, 200, rng);
+  instance.facility_nodes = SampleDistinctNodes(graph, graph.NumNodes(), rng);
+  instance.capacities = UniformCapacities(graph.NumNodes(), 20);
+  instance.k = 20;
+  std::printf("instance: m=%d customers, l=%d candidates, k=%d, o=%.2f\n",
+              instance.m(), instance.l(), instance.k, instance.Occupancy());
+
+  // 3. Solve with WMA.
+  const WmaResult result = RunWma(instance);
+  std::printf("WMA: objective %.1f in %.0f ms over %d iterations "
+              "(feasible=%s)\n",
+              result.solution.objective,
+              result.stats.total_seconds * 1e3, result.stats.iterations,
+              result.solution.feasible ? "yes" : "no");
+
+  // 4. Validate the solution structurally and against true network
+  //    distances.
+  const ValidationResult validation =
+      ValidateSolution(instance, result.solution, /*check_distances=*/true);
+  std::printf("validation: %s\n",
+              validation.ok ? "ok" : validation.message.c_str());
+
+  // 5. Compare with the exact reference on this (still small) instance.
+  ExactOptions exact_options;
+  exact_options.time_limit_seconds = 30.0;
+  const ExactResult exact = SolveExact(instance, exact_options);
+  if (!exact.failed) {
+    std::printf("exact optimum: %.1f -> WMA is within %.1f%%\n",
+                exact.solution.objective,
+                100.0 * (result.solution.objective /
+                             exact.solution.objective -
+                         1.0));
+  } else {
+    std::printf("exact solver exceeded its budget (expected on big "
+                "instances)\n");
+  }
+
+  // 6. Inspect a few assignments.
+  std::printf("sample assignments (customer -> facility node, meters):\n");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  customer@%d -> facility@%d (%.1f)\n",
+                instance.customers[i],
+                instance.facility_nodes[result.solution.assignment[i]],
+                result.solution.distances[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "mcfs/bench/runner.h"
+
+#include "mcfs/baselines/brnn.h"
+#include "mcfs/baselines/greedy_kmedian.h"
+#include "mcfs/baselines/hilbert_baseline.h"
+#include "mcfs/common/check.h"
+#include "mcfs/common/table.h"
+#include "mcfs/common/timer.h"
+#include "mcfs/core/local_search.h"
+#include "mcfs/core/wma.h"
+
+namespace mcfs {
+
+AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
+                         const McfsInstance& instance) {
+  WallTimer timer;
+  const McfsSolution solution = fn(instance);
+  AlgoOutcome outcome;
+  outcome.algorithm = name;
+  outcome.seconds = timer.Seconds();
+  outcome.objective = solution.objective;
+  outcome.feasible = solution.feasible;
+  const ValidationResult validation = ValidateSolution(instance, solution);
+  MCFS_CHECK(validation.ok) << name << ": " << validation.message;
+  return outcome;
+}
+
+std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
+                                  const AlgorithmSuite& suite) {
+  std::vector<AlgoOutcome> outcomes;
+  if (suite.with_brnn) {
+    outcomes.push_back(RunAlgorithm("BRNN", RunBrnnBaseline, instance));
+  }
+  if (suite.with_hilbert) {
+    outcomes.push_back(
+        RunAlgorithm("Hilbert", RunHilbertBaseline, instance));
+  }
+  if (suite.with_greedy_kmedian) {
+    outcomes.push_back(RunAlgorithm(
+        "Greedy k-med",
+        [](const McfsInstance& inst) { return RunGreedyKMedian(inst); },
+        instance));
+  }
+  if (suite.with_wma_naive) {
+    WmaOptions options;
+    options.naive = true;
+    options.seed = suite.seed;
+    outcomes.push_back(RunAlgorithm(
+        "WMA Naive",
+        [&](const McfsInstance& inst) { return RunWma(inst, options).solution; },
+        instance));
+  }
+  if (suite.with_wma) {
+    WmaOptions options;
+    options.seed = suite.seed;
+    outcomes.push_back(RunAlgorithm(
+        "WMA",
+        [&](const McfsInstance& inst) { return RunWma(inst, options).solution; },
+        instance));
+  }
+  if (suite.with_uf_wma) {
+    WmaOptions options;
+    options.seed = suite.seed;
+    outcomes.push_back(RunAlgorithm(
+        "UF WMA",
+        [&](const McfsInstance& inst) {
+          return RunUniformFirstWma(inst, options).solution;
+        },
+        instance));
+  }
+  if (suite.with_wma_ls) {
+    WmaOptions options;
+    options.seed = suite.seed;
+    outcomes.push_back(RunAlgorithm(
+        "WMA+LS",
+        [&](const McfsInstance& inst) {
+          const McfsSolution wma = RunWma(inst, options).solution;
+          return ImproveByLocalSearch(inst, wma).solution;
+        },
+        instance));
+  }
+  if (suite.with_exact) {
+    WallTimer timer;
+    const ExactResult exact = SolveExact(instance, suite.exact_options);
+    AlgoOutcome outcome;
+    outcome.algorithm = "Exact (B&B)";
+    outcome.seconds = timer.Seconds();
+    outcome.objective = exact.solution.objective;
+    outcome.feasible = exact.solution.feasible;
+    outcome.failed = exact.failed || !exact.optimal;
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+std::string FormatOutcome(const AlgoOutcome& outcome) {
+  if (outcome.failed) return "fail (" + FmtSeconds(outcome.seconds) + ")";
+  if (!outcome.feasible) return "infeasible";
+  return FmtDouble(outcome.objective, 0) + " / " +
+         FmtSeconds(outcome.seconds);
+}
+
+}  // namespace mcfs

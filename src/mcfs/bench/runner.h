@@ -1,0 +1,58 @@
+#ifndef MCFS_BENCH_RUNNER_H_
+#define MCFS_BENCH_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mcfs/core/instance.h"
+#include "mcfs/exact/bb_solver.h"
+
+namespace mcfs {
+
+// Outcome of running one algorithm on one instance: the two quantities
+// every figure in the paper reports (objective, runtime) plus status.
+struct AlgoOutcome {
+  std::string algorithm;
+  double objective = 0.0;
+  double seconds = 0.0;
+  bool feasible = false;
+  bool failed = false;  // exact solver exceeded its budget ("Gurobi fails")
+};
+
+using AlgorithmFn = std::function<McfsSolution(const McfsInstance&)>;
+
+// Runs `fn` on the instance under a wall timer, validates the solution
+// structurally, and records objective/runtime.
+AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
+                         const McfsInstance& instance);
+
+// Standard algorithm set used across the experiment suite. `exact`
+// carries its own budget so large points fail gracefully.
+struct AlgorithmSuite {
+  bool with_wma = true;
+  bool with_wma_naive = true;
+  bool with_hilbert = true;
+  bool with_brnn = false;  // expensive; only where the paper shows it
+  bool with_uf_wma = false;
+  // Classic uncapacitated-greedy k-median baseline (library extension).
+  bool with_greedy_kmedian = false;
+  // WMA followed by the swap local search (library extension).
+  bool with_wma_ls = false;
+  bool with_exact = true;
+  ExactOptions exact_options;
+  uint64_t seed = 42;
+};
+
+// Runs the configured suite on one instance and returns one outcome per
+// enabled algorithm (order: BRNN, Hilbert, WMA Naive, WMA, UF WMA,
+// Exact — the order the paper's tables use).
+std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
+                                  const AlgorithmSuite& suite);
+
+// Formats an outcome as "objective / runtime" (or "fail / runtime").
+std::string FormatOutcome(const AlgoOutcome& outcome);
+
+}  // namespace mcfs
+
+#endif  // MCFS_BENCH_RUNNER_H_

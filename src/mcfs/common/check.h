@@ -1,0 +1,69 @@
+#ifndef MCFS_COMMON_CHECK_H_
+#define MCFS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mcfs {
+namespace internal_check {
+
+// Terminates the process with a diagnostic message. Used by the CHECK
+// macros below; never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr,
+                                   const std::string& message) {
+  std::fprintf(stderr, "MCFS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Accumulates an optional streamed message for a failing check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace mcfs
+
+// Always-on invariant check. Usage: MCFS_CHECK(x > 0) << "context " << x;
+#define MCFS_CHECK(condition)                                       \
+  while (!(condition))                                              \
+  ::mcfs::internal_check::CheckMessageBuilder(__FILE__, __LINE__,   \
+                                              #condition)
+
+#define MCFS_CHECK_EQ(a, b) MCFS_CHECK((a) == (b))
+#define MCFS_CHECK_NE(a, b) MCFS_CHECK((a) != (b))
+#define MCFS_CHECK_LE(a, b) MCFS_CHECK((a) <= (b))
+#define MCFS_CHECK_LT(a, b) MCFS_CHECK((a) < (b))
+#define MCFS_CHECK_GE(a, b) MCFS_CHECK((a) >= (b))
+#define MCFS_CHECK_GT(a, b) MCFS_CHECK((a) > (b))
+
+// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define MCFS_DCHECK(condition) MCFS_CHECK(true || (condition))
+#else
+#define MCFS_DCHECK(condition) MCFS_CHECK(condition)
+#endif
+
+#endif  // MCFS_COMMON_CHECK_H_

@@ -1,0 +1,33 @@
+#ifndef MCFS_COMMON_FLAGS_H_
+#define MCFS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mcfs {
+
+// Minimal command-line flag parser for the benchmark and example
+// binaries. Accepts --name=value and bare boolean --name flags;
+// positional arguments are ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  double GetDouble(const std::string& name, double default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_FLAGS_H_

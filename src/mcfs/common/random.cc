@@ -1,0 +1,23 @@
+#include "mcfs/common/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mcfs {
+
+std::vector<int> Rng::SampleWithoutReplacement(int universe, int count) {
+  MCFS_CHECK_GE(universe, count);
+  MCFS_CHECK_GE(count, 0);
+  if (count == 0) return {};
+  // Partial Fisher–Yates: shuffle only the prefix we need.
+  std::vector<int> pool(universe);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < count; ++i) {
+    const int j = static_cast<int>(UniformInt(i, universe - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace mcfs

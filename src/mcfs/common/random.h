@@ -1,0 +1,110 @@
+#ifndef MCFS_COMMON_RANDOM_H_
+#define MCFS_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+// Deterministic, fast pseudo-random generator (xoshiro256**) used across
+// the library so that every experiment is reproducible from a seed.
+// Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MCFS_CHECK_LE(lo, hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>((*this)() % span);
+  }
+
+  // Standard normal via Box–Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return mean + stddev * cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, i - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  // Samples `count` distinct values from [0, universe) without
+  // replacement (Floyd's algorithm would also work; we shuffle a prefix).
+  std::vector<int> SampleWithoutReplacement(int universe, int count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int s) {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  uint64_t state_[4] = {};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_RANDOM_H_

@@ -1,0 +1,88 @@
+#include "mcfs/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  MCFS_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(header_);
+  std::string sep;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep.append(widths[c], '-');
+    sep.append(2, ' ');
+  }
+  std::printf("%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+std::string FmtDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FmtSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
+std::string FmtInt(long long value) {
+  const std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out = value < 0 ? "-" : "";
+  const size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,43 @@
+#ifndef MCFS_COMMON_TABLE_H_
+#define MCFS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mcfs {
+
+// Fixed-width console table used by the benchmark harness to print
+// paper-style result tables and series. Cells are strings; use the
+// Fmt* helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table (header, separator, rows) to stdout.
+  void Print() const;
+
+  // Renders the table as CSV to the given file; returns false on I/O
+  // failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant decimals.
+std::string FmtDouble(double value, int digits = 3);
+
+// Formats a duration in seconds as a human-friendly string (ms / s / min).
+std::string FmtSeconds(double seconds);
+
+// Formats an integer with thousands separators (e.g., 50,961).
+std::string FmtInt(long long value);
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_TABLE_H_

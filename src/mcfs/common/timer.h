@@ -1,0 +1,30 @@
+#ifndef MCFS_COMMON_TIMER_H_
+#define MCFS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mcfs {
+
+// Simple monotonic wall-clock timer used by the benchmark harness and by
+// algorithm-internal instrumentation (e.g., WMA iteration statistics).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_TIMER_H_

@@ -1,0 +1,94 @@
+#include "mcfs/core/dynamic.h"
+
+#include <utility>
+
+#include "mcfs/common/check.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+DynamicMcfs::DynamicMcfs(const Graph* graph,
+                         std::vector<NodeId> facility_nodes,
+                         std::vector<int> capacities, int k,
+                         const DynamicOptions& options)
+    : graph_(graph),
+      facility_nodes_(std::move(facility_nodes)),
+      capacities_(std::move(capacities)),
+      k_(k),
+      options_(options) {
+  MCFS_CHECK(graph_ != nullptr);
+  MCFS_CHECK_EQ(facility_nodes_.size(), capacities_.size());
+  MCFS_CHECK_GT(k_, 0);
+}
+
+int DynamicMcfs::AddCustomer(NodeId node) {
+  MCFS_CHECK(node >= 0 && node < graph_->NumNodes());
+  customer_nodes_.push_back(node);
+  active_.push_back(1);
+  ++num_active_;
+  return static_cast<int>(customer_nodes_.size()) - 1;
+}
+
+void DynamicMcfs::RemoveCustomer(int id) {
+  MCFS_CHECK(id >= 0 && id < static_cast<int>(active_.size()));
+  MCFS_CHECK(active_[id]) << "customer already removed";
+  active_[id] = 0;
+  --num_active_;
+}
+
+std::vector<int> DynamicMcfs::ActiveCustomerIds() const {
+  std::vector<int> ids;
+  ids.reserve(num_active_);
+  for (size_t id = 0; id < active_.size(); ++id) {
+    if (active_[id]) ids.push_back(static_cast<int>(id));
+  }
+  return ids;
+}
+
+McfsInstance DynamicMcfs::CurrentInstance() const {
+  McfsInstance instance;
+  instance.graph = graph_;
+  instance.facility_nodes = facility_nodes_;
+  instance.capacities = capacities_;
+  instance.k = k_;
+  instance.customers.reserve(num_active_);
+  for (size_t id = 0; id < active_.size(); ++id) {
+    if (active_[id]) instance.customers.push_back(customer_nodes_[id]);
+  }
+  return instance;
+}
+
+const McfsSolution& DynamicMcfs::Resolve(bool* reselected) {
+  const McfsInstance instance = CurrentInstance();
+  MCFS_CHECK_GT(instance.m(), 0) << "no active customers";
+
+  // Fast path: keep the facilities, redo the assignment.
+  if (have_baseline_ && !last_selected_.empty()) {
+    McfsSolution kept = AssignOptimally(instance, last_selected_);
+    const double per_customer =
+        kept.feasible ? kept.objective / instance.m() : kInfDistance;
+    if (kept.feasible &&
+        per_customer <=
+            options_.reselect_ratio * baseline_cost_per_customer_) {
+      ++incremental_solves_;
+      if (reselected != nullptr) *reselected = false;
+      last_solution_ = std::move(kept);
+      return last_solution_;
+    }
+  }
+
+  // Full re-selection.
+  ++full_solves_;
+  if (reselected != nullptr) *reselected = true;
+  last_solution_ = RunWma(instance, options_.wma).solution;
+  last_selected_ = last_solution_.selected;
+  if (last_solution_.feasible && instance.m() > 0) {
+    baseline_cost_per_customer_ = last_solution_.objective / instance.m();
+    have_baseline_ = true;
+  } else {
+    have_baseline_ = false;
+  }
+  return last_solution_;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,79 @@
+#ifndef MCFS_CORE_DYNAMIC_H_
+#define MCFS_CORE_DYNAMIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcfs/core/instance.h"
+#include "mcfs/core/wma.h"
+
+namespace mcfs {
+
+// Dynamic MCFS — the use case motivating the paper's introduction
+// ("the problem may need to be solved repeatedly... depending on which
+// customers declare interest"). Maintains a mutable customer set over a
+// fixed network and candidate-facility catalog, and re-solves on
+// demand with a cheap warm-start policy:
+//   * while the current facility selection still serves the updated
+//     customer set well (feasible, and per-customer cost within
+//     `reselect_ratio` of the last full solve), only the assignment is
+//     recomputed (one optimal transportation);
+//   * otherwise a full WMA re-selection runs and the baseline resets.
+struct DynamicOptions {
+  // Re-select facilities when the keep-selection per-customer cost
+  // exceeds this multiple of the last full solve's per-customer cost.
+  double reselect_ratio = 1.25;
+  WmaOptions wma;
+};
+
+class DynamicMcfs {
+ public:
+  DynamicMcfs(const Graph* graph, std::vector<NodeId> facility_nodes,
+              std::vector<int> capacities, int k,
+              const DynamicOptions& options = {});
+
+  // Registers a customer; returns its id. Ids are stable; removed ids
+  // are not reused.
+  int AddCustomer(NodeId node);
+  // Removes a previously added customer. Safe to call once per id.
+  void RemoveCustomer(int id);
+
+  int num_active_customers() const { return num_active_; }
+
+  // Re-solves for the current customer set and returns the solution
+  // (assignments indexed by *active* customer order, see
+  // ActiveCustomerIds). Also reports whether this call did a full
+  // re-selection.
+  const McfsSolution& Resolve(bool* reselected = nullptr);
+
+  // Ids of the active customers, aligned with Resolve()'s assignment.
+  std::vector<int> ActiveCustomerIds() const;
+
+  // Instrumentation.
+  int full_solves() const { return full_solves_; }
+  int incremental_solves() const { return incremental_solves_; }
+
+ private:
+  McfsInstance CurrentInstance() const;
+
+  const Graph* graph_;
+  std::vector<NodeId> facility_nodes_;
+  std::vector<int> capacities_;
+  int k_;
+  DynamicOptions options_;
+
+  std::vector<NodeId> customer_nodes_;  // by id
+  std::vector<uint8_t> active_;         // by id
+  int num_active_ = 0;
+
+  McfsSolution last_solution_;
+  std::vector<int> last_selected_;
+  double baseline_cost_per_customer_ = 0.0;
+  bool have_baseline_ = false;
+  int full_solves_ = 0;
+  int incremental_solves_ = 0;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_CORE_DYNAMIC_H_

@@ -1,0 +1,71 @@
+#ifndef MCFS_CORE_INSTANCE_H_
+#define MCFS_CORE_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// One MCFS problem instance (Sec. II of the paper): a network, m
+// customer locations, l candidate facility locations with capacities,
+// and a budget of k facilities to select. Facility nodes must be
+// distinct; customer nodes may repeat (several customers per node).
+struct McfsInstance {
+  const Graph* graph = nullptr;
+  std::vector<NodeId> customers;       // size m
+  std::vector<NodeId> facility_nodes;  // size l, distinct nodes
+  std::vector<int> capacities;         // size l, c_j >= 0
+  int k = 0;
+
+  int m() const { return static_cast<int>(customers.size()); }
+  int l() const { return static_cast<int>(facility_nodes.size()); }
+
+  // Occupancy o = m / sum of the k largest capacities' mean * k — the
+  // paper defines o = m / (c*k) for uniform c; for nonuniform instances
+  // we report m / (mean_capacity * k).
+  double Occupancy() const;
+};
+
+// A solution: the selected facilities and the customer assignment.
+struct McfsSolution {
+  std::vector<int> selected;      // candidate-facility indices, size <= k
+  std::vector<int> assignment;    // size m; facility index or -1
+  std::vector<double> distances;  // size m; network distance, 0 if unassigned
+  double objective = 0.0;         // sum of assigned distances
+  bool feasible = false;          // every customer assigned
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::string message;
+};
+
+// Structural validation: selected facilities are distinct, in range and
+// within budget; every assignment points at a selected facility; no
+// facility exceeds its capacity; the objective equals the distance sum.
+// With check_distances, also recomputes each assigned distance by
+// network Dijkstra from the facilities (k full Dijkstras).
+ValidationResult ValidateSolution(const McfsInstance& instance,
+                                  const McfsSolution& solution,
+                                  bool check_distances = false);
+
+// Checks whether an instance admits any feasible solution (Theorem 3):
+// for every connected component g, the customers in g must be coverable
+// by at most k_g facilities inside g, and sum_g k_g <= k, where k_g is
+// the minimum number of facilities (largest capacities first) whose
+// capacity sum reaches |S_g|.
+bool IsFeasible(const McfsInstance& instance);
+
+// Optimally assigns all customers to the given selected facilities
+// (minimum-cost transportation over the network via the incremental
+// matcher) and packages the result as a solution. If some customers
+// cannot be assigned, the solution has feasible == false and contains
+// the partial assignment.
+McfsSolution AssignOptimally(const McfsInstance& instance,
+                             const std::vector<int>& selected);
+
+}  // namespace mcfs
+
+#endif  // MCFS_CORE_INSTANCE_H_

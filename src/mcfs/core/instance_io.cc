@@ -1,0 +1,105 @@
+#include "mcfs/core/instance_io.h"
+
+#include <fstream>
+
+namespace mcfs {
+
+bool SaveInstance(const McfsInstance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "MCFS 1\n";
+  out << instance.m() << ' ' << instance.l() << ' ' << instance.k << '\n';
+  for (const NodeId customer : instance.customers) out << customer << '\n';
+  for (int j = 0; j < instance.l(); ++j) {
+    out << instance.facility_nodes[j] << ' ' << instance.capacities[j]
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<McfsInstance> LoadInstance(const Graph* graph,
+                                         const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "MCFS" || version != 1) {
+    return std::nullopt;
+  }
+  int m = 0;
+  int l = 0;
+  McfsInstance instance;
+  instance.graph = graph;
+  if (!(in >> m >> l >> instance.k) || m < 0 || l < 0 || instance.k < 0) {
+    return std::nullopt;
+  }
+  instance.customers.resize(m);
+  for (NodeId& customer : instance.customers) {
+    if (!(in >> customer) || customer < 0 ||
+        customer >= graph->NumNodes()) {
+      return std::nullopt;
+    }
+  }
+  instance.facility_nodes.resize(l);
+  instance.capacities.resize(l);
+  for (int j = 0; j < l; ++j) {
+    if (!(in >> instance.facility_nodes[j] >> instance.capacities[j]) ||
+        instance.facility_nodes[j] < 0 ||
+        instance.facility_nodes[j] >= graph->NumNodes() ||
+        instance.capacities[j] < 0) {
+      return std::nullopt;
+    }
+  }
+  return instance;
+}
+
+bool SaveSolution(const McfsSolution& solution, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(12);
+  out << "MCFSSOL 1\n";
+  out << solution.selected.size() << ' ' << solution.assignment.size()
+      << ' ' << solution.objective << ' ' << (solution.feasible ? 1 : 0)
+      << '\n';
+  for (size_t s = 0; s < solution.selected.size(); ++s) {
+    out << solution.selected[s]
+        << (s + 1 == solution.selected.size() ? '\n' : ' ');
+  }
+  if (solution.selected.empty()) out << '\n';
+  for (size_t i = 0; i < solution.assignment.size(); ++i) {
+    out << solution.assignment[i] << ' ' << solution.distances[i] << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<McfsSolution> LoadSolution(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "MCFSSOL" || version != 1) {
+    return std::nullopt;
+  }
+  size_t num_selected = 0;
+  size_t m = 0;
+  int feasible = 0;
+  McfsSolution solution;
+  if (!(in >> num_selected >> m >> solution.objective >> feasible)) {
+    return std::nullopt;
+  }
+  solution.feasible = feasible != 0;
+  solution.selected.resize(num_selected);
+  for (int& j : solution.selected) {
+    if (!(in >> j)) return std::nullopt;
+  }
+  solution.assignment.resize(m);
+  solution.distances.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    if (!(in >> solution.assignment[i] >> solution.distances[i])) {
+      return std::nullopt;
+    }
+  }
+  return solution;
+}
+
+}  // namespace mcfs

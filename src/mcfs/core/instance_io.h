@@ -1,0 +1,38 @@
+#ifndef MCFS_CORE_INSTANCE_IO_H_
+#define MCFS_CORE_INSTANCE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "mcfs/core/instance.h"
+
+namespace mcfs {
+
+// Plain-text persistence for instances and solutions, so repeated /
+// dynamic planning workflows (and the CLI example) can store and reload
+// problems. The graph itself is saved separately via SaveGraph.
+//
+// Instance format:
+//   "MCFS 1"
+//   "<m> <l> <k>"
+//   m lines: customer node id
+//   l lines: "<facility node id> <capacity>"
+bool SaveInstance(const McfsInstance& instance, const std::string& path);
+
+// Loads an instance; `graph` must be the network it was built against
+// (node ids are validated against it). nullopt on failure.
+std::optional<McfsInstance> LoadInstance(const Graph* graph,
+                                         const std::string& path);
+
+// Solution format:
+//   "MCFSSOL 1"
+//   "<num_selected> <m> <objective> <feasible>"
+//   selected facility indices (one line)
+//   m lines: "<assignment> <distance>"
+bool SaveSolution(const McfsSolution& solution, const std::string& path);
+
+std::optional<McfsSolution> LoadSolution(const std::string& path);
+
+}  // namespace mcfs
+
+#endif  // MCFS_CORE_INSTANCE_IO_H_

@@ -1,0 +1,101 @@
+#include "mcfs/core/set_cover.h"
+
+#include <queue>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+namespace {
+
+struct HeapEntry {
+  int gain;
+  double cost;  // 0 when the cost-aware tie-break is off
+  int64_t last_selected;
+  int facility;
+};
+
+// Max-gain first; among equal gains the cheaper matched cost first (if
+// provided), then the least recently selected.
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (a.cost != b.cost) return a.cost > b.cost;
+    if (a.last_selected != b.last_selected) {
+      return a.last_selected > b.last_selected;
+    }
+    return a.facility > b.facility;
+  }
+};
+
+}  // namespace
+
+CoverResult CheckCover(const CoverInput& input,
+                       std::vector<int64_t>& last_selected,
+                       int64_t iteration) {
+  MCFS_CHECK(input.customers_of_facility != nullptr);
+  MCFS_CHECK(input.demand != nullptr);
+  const auto& sigma = *input.customers_of_facility;
+  const int l = static_cast<int>(sigma.size());
+  MCFS_CHECK_EQ(last_selected.size(), sigma.size());
+
+  CoverResult result;
+  result.covered.assign(input.num_customers, 0);
+
+  auto facility_cost = [&](int j) {
+    return input.matched_cost == nullptr ? 0.0 : (*input.matched_cost)[j];
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  for (int j = 0; j < l; ++j) {
+    if (!sigma[j].empty()) {
+      heap.push({static_cast<int>(sigma[j].size()), facility_cost(j),
+                 last_selected[j], j});
+    }
+  }
+
+  while (static_cast<int>(result.selected.size()) < input.k &&
+         !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    int gain = 0;
+    for (const int customer : sigma[top.facility]) {
+      if (!result.covered[customer]) ++gain;
+    }
+    if (gain != top.gain) {
+      // Stale entry: re-insert with the refreshed marginal gain
+      // (Algorithm 3, lines 10-12). Gains only shrink, so lazy
+      // re-evaluation is sound.
+      if (gain > 0) {
+        heap.push({gain, top.cost, top.last_selected, top.facility});
+      }
+      continue;
+    }
+    if (gain == 0) break;  // nothing more to cover
+    result.selected.push_back(top.facility);
+    for (const int customer : sigma[top.facility]) {
+      result.covered[customer] = 1;
+    }
+  }
+
+  for (const int j : result.selected) last_selected[j] = iteration;
+
+  // Exploration vector (Sec. IV-F): grow demand only for customers the
+  // selection left uncovered and that can still explore new facilities.
+  result.delta_demand.assign(input.num_customers, 0);
+  result.all_delta_zero = true;
+  result.fully_covered = true;
+  for (int i = 0; i < input.num_customers; ++i) {
+    if (result.covered[i]) continue;
+    result.fully_covered = false;
+    const bool can_explore =
+        (*input.demand)[i] < input.demand_cap &&
+        (input.saturated == nullptr || !(*input.saturated)[i]);
+    if (can_explore) {
+      result.delta_demand[i] = 1;
+      result.all_delta_zero = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,50 @@
+#ifndef MCFS_CORE_SET_COVER_H_
+#define MCFS_CORE_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mcfs {
+
+// Input to the CheckCover routine (Algorithm 3): for every candidate
+// facility j, the set sigma_j of customers currently assigned to it in
+// G_b, plus the demand state used to compute the exploration vector.
+struct CoverInput {
+  int num_customers = 0;
+  int k = 0;
+  // sigma_j per facility; customers listed by index.
+  const std::vector<std::vector<int>>* customers_of_facility = nullptr;
+  const std::vector<int>* demand = nullptr;     // d_i per customer
+  int demand_cap = 0;                           // l in the paper
+  const std::vector<uint8_t>* saturated = nullptr;  // no augmenting path
+  // Optional: total matched distance per facility. When set, equal
+  // marginal gains are first broken toward the facility whose matched
+  // customers are nearer (cost-aware tie-break; see WmaOptions), then
+  // by recency.
+  const std::vector<double>* matched_cost = nullptr;
+};
+
+struct CoverResult {
+  std::vector<int> selected;          // chosen facilities, size <= k
+  std::vector<uint8_t> covered;       // per customer
+  std::vector<uint8_t> delta_demand;  // exploration vector (0/1)
+  bool all_delta_zero = false;        // WMA main-loop termination signal
+  bool fully_covered = false;         // every customer truly covered
+};
+
+// Greedy max-coverage selection of up to k facilities with lazy marginal
+// gain re-evaluation; ties between equal gains are broken in favor of
+// the facility selected least recently (the paper's diversification
+// strategy, Sec. IV-A), then by facility id. `last_selected[j]` is the
+// iteration at which j was last part of the selection (-1 = never); it
+// is updated for the facilities selected now.
+//
+// delta_demand[i] = 1 iff customer i is uncovered by the selection and
+// can still explore (d_i < demand_cap and not saturated).
+CoverResult CheckCover(const CoverInput& input,
+                       std::vector<int64_t>& last_selected,
+                       int64_t iteration);
+
+}  // namespace mcfs
+
+#endif  // MCFS_CORE_SET_COVER_H_

@@ -1,0 +1,86 @@
+#include "mcfs/core/solution_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace mcfs {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double position = q * (sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(position);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = position - lo;
+  return sorted[lo] * (1.0 - t) + sorted[hi] * t;
+}
+
+}  // namespace
+
+SolutionStats ComputeSolutionStats(const McfsInstance& instance,
+                                   const McfsSolution& solution) {
+  SolutionStats stats;
+  std::unordered_map<int, int> selected_index;
+  for (size_t s = 0; s < solution.selected.size(); ++s) {
+    selected_index[solution.selected[s]] = static_cast<int>(s);
+  }
+  stats.load.assign(solution.selected.size(), 0);
+
+  std::vector<double> distances;
+  for (int i = 0; i < instance.m(); ++i) {
+    const int j = solution.assignment[i];
+    if (j < 0) {
+      stats.unassigned_customers++;
+      continue;
+    }
+    stats.assigned_customers++;
+    distances.push_back(solution.distances[i]);
+    auto it = selected_index.find(j);
+    if (it != selected_index.end()) stats.load[it->second]++;
+  }
+  std::sort(distances.begin(), distances.end());
+  if (!distances.empty()) {
+    double total = 0.0;
+    for (const double d : distances) total += d;
+    stats.mean_distance = total / distances.size();
+    stats.max_distance = distances.back();
+    stats.median_distance = Percentile(distances, 0.5);
+    stats.p90_distance = Percentile(distances, 0.9);
+    stats.p99_distance = Percentile(distances, 0.99);
+  }
+
+  double utilization_total = 0.0;
+  for (size_t s = 0; s < solution.selected.size(); ++s) {
+    const int capacity = instance.capacities[solution.selected[s]];
+    if (stats.load[s] > 0) stats.facilities_used++;
+    if (capacity > 0 && stats.load[s] >= capacity) stats.facilities_full++;
+    if (capacity > 0) {
+      utilization_total += static_cast<double>(stats.load[s]) / capacity;
+    }
+    stats.max_load = std::max(stats.max_load, stats.load[s]);
+  }
+  if (!solution.selected.empty()) {
+    stats.mean_utilization = utilization_total / solution.selected.size();
+  }
+  return stats;
+}
+
+std::string FormatSolutionStats(const SolutionStats& stats) {
+  std::ostringstream out;
+  out << "customers: " << stats.assigned_customers << " assigned";
+  if (stats.unassigned_customers > 0) {
+    out << ", " << stats.unassigned_customers << " UNASSIGNED";
+  }
+  out << "\ndistance: mean " << stats.mean_distance << ", median "
+      << stats.median_distance << ", p90 " << stats.p90_distance
+      << ", p99 " << stats.p99_distance << ", max " << stats.max_distance;
+  out << "\nfacilities: " << stats.facilities_used << " used, "
+      << stats.facilities_full << " at capacity, mean utilization "
+      << stats.mean_utilization << ", max load " << stats.max_load;
+  return out.str();
+}
+
+}  // namespace mcfs

@@ -1,0 +1,277 @@
+#include "mcfs/core/wma.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/random.h"
+#include "mcfs/common/timer.h"
+#include "mcfs/core/repair.h"
+#include "mcfs/core/set_cover.h"
+#include "mcfs/flow/matcher.h"
+#include "mcfs/graph/facility_stream.h"
+
+namespace mcfs {
+
+namespace {
+
+// Greedy demand satisfaction used by WMA Naive (Sec. VII-A): per
+// iteration, customers are processed in a random order and each takes
+// its nearest d_i candidate facilities that still have spare capacity —
+// no rewiring. Nearest-facility orders are cached per customer and
+// extended lazily from the network.
+class GreedyDemandMatcher {
+ public:
+  explicit GreedyDemandMatcher(const McfsInstance& instance)
+      : instance_(instance),
+        facility_index_of_node_(instance.graph->NumNodes(), -1),
+        cache_(instance.m()),
+        streams_(instance.m()) {
+    for (int j = 0; j < instance.l(); ++j) {
+      facility_index_of_node_[instance.facility_nodes[j]] = j;
+    }
+  }
+
+  // Rebuilds the full exploratory assignment for the given demands.
+  void AssignDemands(const std::vector<int>& demand, Rng& rng,
+                     std::vector<std::vector<int>>* sigma,
+                     std::vector<double>* matched_cost,
+                     std::vector<uint8_t>* saturated) {
+    const int m = instance_.m();
+    const int l = instance_.l();
+    sigma->assign(l, {});
+    matched_cost->assign(l, 0.0);
+    saturated->assign(m, 0);
+    std::vector<int> load(l, 0);
+    std::vector<int> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    for (const int i : order) {
+      int taken = 0;
+      for (size_t idx = 0; taken < demand[i]; ++idx) {
+        const FacilityAtDistance* entry = CachedAt(i, idx);
+        if (entry == nullptr) {
+          (*saturated)[i] = 1;
+          break;
+        }
+        if (load[entry->facility] < instance_.capacities[entry->facility]) {
+          load[entry->facility]++;
+          (*sigma)[entry->facility].push_back(i);
+          (*matched_cost)[entry->facility] += entry->distance;
+          ++taken;
+        }
+      }
+    }
+  }
+
+  // Final single assignment restricted to the selected facilities.
+  McfsSolution AssignFinal(const std::vector<int>& selected, Rng& rng) {
+    McfsSolution solution;
+    solution.selected = selected;
+    solution.assignment.assign(instance_.m(), -1);
+    solution.distances.assign(instance_.m(), 0.0);
+    std::vector<uint8_t> in_selection(instance_.l(), 0);
+    for (const int j : selected) in_selection[j] = 1;
+    std::vector<int> load(instance_.l(), 0);
+    std::vector<int> order(instance_.m());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    solution.feasible = true;
+    for (const int i : order) {
+      for (size_t idx = 0;; ++idx) {
+        const FacilityAtDistance* entry = CachedAt(i, idx);
+        if (entry == nullptr) {
+          solution.feasible = false;
+          break;
+        }
+        const int j = entry->facility;
+        if (in_selection[j] && load[j] < instance_.capacities[j]) {
+          load[j]++;
+          solution.assignment[i] = j;
+          solution.distances[i] = entry->distance;
+          solution.objective += entry->distance;
+          break;
+        }
+      }
+    }
+    return solution;
+  }
+
+ private:
+  // idx-th nearest candidate facility of `customer`, extending the
+  // cache from the network stream on demand; nullptr when exhausted.
+  const FacilityAtDistance* CachedAt(int customer, size_t idx) {
+    auto& cache = cache_[customer];
+    while (cache.size() <= idx) {
+      if (streams_[customer] == nullptr) {
+        streams_[customer] = std::make_unique<NearestFacilityStream>(
+            instance_.graph, instance_.customers[customer],
+            &facility_index_of_node_);
+      }
+      std::optional<FacilityAtDistance> next = streams_[customer]->Pop();
+      if (!next.has_value()) return nullptr;
+      cache.push_back(*next);
+    }
+    return &cache[idx];
+  }
+
+  const McfsInstance& instance_;
+  std::vector<int> facility_index_of_node_;
+  std::vector<std::vector<FacilityAtDistance>> cache_;
+  std::vector<std::unique_ptr<NearestFacilityStream>> streams_;
+};
+
+int64_t DefaultIterationCap(const McfsInstance& instance) {
+  return static_cast<int64_t>(instance.m()) * std::max(instance.l(), 1) + 10;
+}
+
+}  // namespace
+
+WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
+  MCFS_CHECK(instance.graph != nullptr);
+  MCFS_CHECK_GT(instance.m(), 0);
+  MCFS_CHECK_GT(instance.l(), 0);
+  MCFS_CHECK_GT(instance.k, 0);
+
+  WallTimer total_timer;
+  WmaResult result;
+  const int m = instance.m();
+  const int l = instance.l();
+
+  std::vector<int> demand(m, 1);
+  std::vector<uint8_t> saturated(m, 0);
+  std::vector<int64_t> last_selected(l, -1);
+  std::vector<std::vector<int>> sigma(l);
+  std::vector<double> matched_cost(l, 0.0);
+  Rng rng(options.seed);
+
+  std::unique_ptr<IncrementalMatcher> matcher;
+  std::unique_ptr<GreedyDemandMatcher> greedy;
+  if (options.naive) {
+    greedy = std::make_unique<GreedyDemandMatcher>(instance);
+  } else {
+    matcher = std::make_unique<IncrementalMatcher>(
+        instance.graph, instance.customers, instance.facility_nodes,
+        instance.capacities);
+  }
+
+  int64_t max_iterations = options.max_iterations > 0
+                               ? options.max_iterations
+                               : DefaultIterationCap(instance);
+  if (!IsFeasible(instance)) {
+    // No selection of k facilities can cover every customer, so the
+    // cover-driven demand growth would never terminate on its own
+    // (customers explore all l candidates in vain). Run a handful of
+    // enrichment iterations for a good partial cover and stop.
+    max_iterations = std::min<int64_t>(max_iterations, 8);
+  }
+  CoverResult cover;
+  for (int64_t iteration = 0; iteration < max_iterations; ++iteration) {
+    WallTimer phase_timer;
+    if (options.naive) {
+      greedy->AssignDemands(demand, rng, &sigma, &matched_cost, &saturated);
+    } else {
+      for (int i = 0; i < m; ++i) {
+        while (!saturated[i] &&
+               matcher->CustomerMatchCount(i) < demand[i]) {
+          if (!matcher->FindPair(i)) saturated[i] = 1;
+        }
+      }
+      for (int j = 0; j < l; ++j) {
+        sigma[j].clear();
+        matched_cost[j] = 0.0;
+      }
+      for (const MatchedPair& pair : matcher->MatchedPairs()) {
+        sigma[pair.facility].push_back(pair.customer);
+        matched_cost[pair.facility] += pair.distance;
+      }
+    }
+    const double matching_seconds = phase_timer.Seconds();
+    result.stats.matching_seconds += matching_seconds;
+
+    phase_timer.Restart();
+    CoverInput input;
+    input.num_customers = m;
+    input.k = instance.k;
+    input.customers_of_facility = &sigma;
+    input.demand = &demand;
+    input.demand_cap = l;
+    input.saturated = &saturated;
+    if (options.cost_tie_break) input.matched_cost = &matched_cost;
+    cover = CheckCover(input, last_selected, iteration);
+    const double cover_seconds = phase_timer.Seconds();
+    result.stats.cover_seconds += cover_seconds;
+    result.stats.iterations = static_cast<int>(iteration) + 1;
+
+    if (options.collect_iteration_stats) {
+      const int covered = static_cast<int>(
+          std::count(cover.covered.begin(), cover.covered.end(), 1));
+      result.stats.per_iteration.push_back(
+          {static_cast<int>(iteration) + 1, covered, matching_seconds,
+           cover_seconds});
+    }
+    if (cover.all_delta_zero) break;
+    for (int i = 0; i < m; ++i) {
+      if (cover.delta_demand[i]) demand[i]++;
+    }
+  }
+
+  std::vector<int> selected = cover.selected;
+  if (static_cast<int>(selected.size()) < instance.k) {
+    SelectGreedy(instance, selected);
+  }
+  if (!cover.fully_covered) {
+    CoverComponents(instance, selected);
+  }
+
+  if (options.naive) {
+    result.solution = greedy->AssignFinal(selected, rng);
+    if (!result.solution.feasible) {
+      // Greedy assignment can dead-end on feasible instances (capacity
+      // grabbed by the wrong customers); fall back to one matching.
+      result.solution = AssignOptimally(instance, selected);
+    }
+  } else {
+    result.solution = AssignOptimally(instance, selected);
+  }
+  if (matcher != nullptr) {
+    result.stats.dijkstra_runs = matcher->num_dijkstra_runs();
+    result.stats.edges_materialized = matcher->num_edges_materialized();
+  }
+  result.stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+WmaResult RunUniformFirstWma(const McfsInstance& instance,
+                             const WmaOptions& options) {
+  WallTimer total_timer;
+  // Phase 1: pretend capacities are uniform at the average value.
+  const double mean_capacity =
+      std::accumulate(instance.capacities.begin(), instance.capacities.end(),
+                      0.0) /
+      std::max(instance.l(), 1);
+  McfsInstance uniform = instance;
+  uniform.capacities.assign(
+      instance.l(),
+      std::max(1, static_cast<int>(std::lround(mean_capacity))));
+  WmaResult phase1 = RunWma(uniform, options);
+
+  // Phase 2: keep the selected locations, reassign under the true
+  // nonuniform capacities (repairing component feasibility if the
+  // uniform pretense over-promised capacity somewhere).
+  std::vector<int> selected = phase1.solution.selected;
+  CoverComponents(instance, selected);
+  WmaResult result;
+  result.stats = phase1.stats;
+  result.solution = AssignOptimally(instance, selected);
+  if (!result.solution.feasible) {
+    // A second repair attempt with greedy extension, then reassign.
+    SelectGreedy(instance, selected);
+    CoverComponents(instance, selected);
+    result.solution = AssignOptimally(instance, selected);
+  }
+  result.stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace mcfs

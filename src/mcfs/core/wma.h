@@ -1,0 +1,73 @@
+#ifndef MCFS_CORE_WMA_H_
+#define MCFS_CORE_WMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcfs/core/instance.h"
+
+namespace mcfs {
+
+// Options for the Wide Matching Algorithm.
+struct WmaOptions {
+  // Use the greedy "WMA Naive" matching instead of the exact
+  // incremental bipartite matching (the paper's scalable baseline,
+  // Sec. VII-A): each iteration assigns customers to their nearest
+  // available facilities in a random order, without rewiring.
+  bool naive = false;
+  // Seed for the naive variant's random customer orders.
+  uint64_t seed = 42;
+  // Break equal-coverage ties in CheckCover toward the facility whose
+  // matched customers are nearest (improves the objective noticeably on
+  // sparse instances; see the tie-break ablation bench). When false,
+  // ties fall back to the paper's recency-only rule.
+  bool cost_tie_break = true;
+  // Record per-iteration statistics (Fig. 12b).
+  bool collect_iteration_stats = false;
+  // Safety cap on main-loop iterations; 0 derives the paper's m*l bound.
+  int max_iterations = 0;
+};
+
+// Per-iteration instrumentation (covered customers after CheckCover,
+// matching time, set-cover time) — the quantities of Fig. 12b.
+struct WmaIterationStats {
+  int iteration = 0;
+  int covered_customers = 0;
+  double matching_seconds = 0.0;
+  double cover_seconds = 0.0;
+};
+
+struct WmaStats {
+  int iterations = 0;
+  int64_t dijkstra_runs = 0;         // on G_b (exact variant only)
+  int64_t edges_materialized = 0;    // bipartite edges added on demand
+  double matching_seconds = 0.0;
+  double cover_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::vector<WmaIterationStats> per_iteration;
+};
+
+struct WmaResult {
+  McfsSolution solution;
+  WmaStats stats;
+};
+
+// Runs the Wide Matching Algorithm (Algorithm 1) on the instance:
+// iteratively grows customer demands, matches customers to candidate
+// facilities (optimal incremental matching, or greedy when
+// options.naive), selects k facilities by the CheckCover max-coverage
+// heuristic, applies the SelectGreedy / CoverComponents provisions, and
+// finishes with a single optimal (or greedy, when naive) assignment of
+// every customer to the selected facilities.
+WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options = {});
+
+// The "Uniform First" (UF) variant of Sec. VII-F: select facilities as
+// if every facility had the average capacity, then assign customers
+// under the true nonuniform capacities in one bipartite matching step
+// (repairing per-component feasibility first if needed).
+WmaResult RunUniformFirstWma(const McfsInstance& instance,
+                             const WmaOptions& options = {});
+
+}  // namespace mcfs
+
+#endif  // MCFS_CORE_WMA_H_

@@ -1,0 +1,36 @@
+#include "mcfs/exact/distance_matrix.h"
+
+#include "mcfs/graph/contraction_hierarchy.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+std::vector<double> ComputeDistanceMatrix(const McfsInstance& instance,
+                                          bool* used_ch) {
+  const int m = instance.m();
+  const int l = instance.l();
+  const int n = instance.graph->NumNodes();
+
+  // Cost model: per-customer Dijkstra is ~m full scans of the network;
+  // the CH path pays one preprocessing pass plus (m + l) small upward
+  // searches. CH wins when the candidate set is sparse relative to the
+  // network and there are enough customers to amortize preprocessing.
+  const bool use_ch = l * 4 <= n && m >= 32;
+  if (used_ch != nullptr) *used_ch = use_ch;
+
+  if (use_ch) {
+    const ContractionHierarchy ch(instance.graph);
+    return ch.DistanceTable(instance.customers, instance.facility_nodes);
+  }
+  std::vector<double> cost(static_cast<size_t>(m) * l);
+  for (int i = 0; i < m; ++i) {
+    const std::vector<double> dist =
+        ShortestPathsFrom(*instance.graph, instance.customers[i]);
+    for (int j = 0; j < l; ++j) {
+      cost[static_cast<size_t>(i) * l + j] = dist[instance.facility_nodes[j]];
+    }
+  }
+  return cost;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,24 @@
+#ifndef MCFS_EXACT_DISTANCE_MATRIX_H_
+#define MCFS_EXACT_DISTANCE_MATRIX_H_
+
+#include <vector>
+
+#include "mcfs/core/instance.h"
+
+namespace mcfs {
+
+// Computes the dense m x l customer-to-facility network distance matrix
+// (row-major), choosing the cheaper of two exact strategies:
+//   * one full Dijkstra per customer (best when facilities blanket the
+//     network, l ~ n), or
+//   * a contraction-hierarchy bucket table (best when the candidate set
+//     is a small fraction of the nodes and m is large — the coworking /
+//     bike scenarios).
+// `used_ch`, when non-null, reports which path was taken (for tests and
+// instrumentation).
+std::vector<double> ComputeDistanceMatrix(const McfsInstance& instance,
+                                          bool* used_ch = nullptr);
+
+}  // namespace mcfs
+
+#endif  // MCFS_EXACT_DISTANCE_MATRIX_H_

@@ -1,0 +1,123 @@
+#include "mcfs/exact/lagrangian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcfs/common/check.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+LagrangianBound::LagrangianBound(int m, int l, int k,
+                                 const std::vector<double>* cost,
+                                 const std::vector<int>* capacities)
+    : m_(m), l_(l), k_(k), cost_(cost), capacities_(capacities) {
+  MCFS_CHECK_EQ(cost->size(), static_cast<size_t>(m) * l);
+  // Warm start: lambda_i = distance to the customer's nearest facility
+  // (the exact bound for k = l with infinite capacities).
+  lambda_.assign(m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    double nearest = kInfDistance;
+    for (int j = 0; j < l_; ++j) {
+      nearest = std::min(nearest, (*cost_)[static_cast<size_t>(i) * l_ + j]);
+    }
+    lambda_[i] = nearest == kInfDistance ? 0.0 : nearest;
+  }
+}
+
+LagrangianSubproblem LagrangianBound::Evaluate(
+    const std::vector<int8_t>& state, std::vector<double>* subgradient) const {
+  LagrangianSubproblem sub;
+  sub.usage.assign(l_, 0);
+  if (subgradient != nullptr) subgradient->assign(m_, 1.0);
+
+  double lambda_sum = 0.0;
+  for (int i = 0; i < m_; ++i) lambda_sum += lambda_[i];
+
+  // Per-facility value v_j and the customers it would serve.
+  std::vector<double> value(l_, 0.0);
+  std::vector<std::vector<int>> served(l_);
+  std::vector<std::pair<double, int>> negatives;
+  for (int j = 0; j < l_; ++j) {
+    if (state[j] == 2) continue;  // closed
+    negatives.clear();
+    for (int i = 0; i < m_; ++i) {
+      const double c = (*cost_)[static_cast<size_t>(i) * l_ + j];
+      if (c == kInfDistance) continue;
+      const double reduced = c - lambda_[i];
+      if (reduced < 0.0) negatives.push_back({reduced, i});
+    }
+    const size_t take =
+        std::min<size_t>(negatives.size(), (*capacities_)[j]);
+    if (take < negatives.size()) {
+      std::nth_element(negatives.begin(), negatives.begin() + take,
+                       negatives.end());
+    }
+    for (size_t t = 0; t < take; ++t) {
+      value[j] += negatives[t].first;
+      served[j].push_back(negatives[t].second);
+    }
+  }
+
+  // Open the forced facilities plus the most negative free values.
+  int budget = k_;
+  double total = lambda_sum;
+  std::vector<std::pair<double, int>> free_values;
+  for (int j = 0; j < l_; ++j) {
+    if (state[j] == 1) {
+      total += value[j];
+      sub.chosen.push_back(j);
+      --budget;
+    } else if (state[j] == 0) {
+      free_values.push_back({value[j], j});
+    }
+  }
+  budget = std::max(budget, 0);
+  const size_t take = std::min<size_t>(budget, free_values.size());
+  std::partial_sort(free_values.begin(), free_values.begin() + take,
+                    free_values.end());
+  for (size_t t = 0; t < take; ++t) {
+    if (free_values[t].first >= 0.0) break;  // opening more cannot help
+    total += free_values[t].first;
+    sub.chosen.push_back(free_values[t].second);
+  }
+  sub.bound = total;
+
+  for (const int j : sub.chosen) {
+    sub.usage[j] = static_cast<int>(served[j].size());
+    if (subgradient != nullptr) {
+      for (const int i : served[j]) (*subgradient)[i] -= 1.0;
+    }
+  }
+  return sub;
+}
+
+LagrangianSubproblem LagrangianBound::Maximize(
+    const std::vector<int8_t>& state, int iterations, double upper_bound) {
+  std::vector<double> subgradient;
+  LagrangianSubproblem best = Evaluate(state, &subgradient);
+  std::vector<double> best_lambda = lambda_;
+  double theta = 1.0;
+  int stall = 0;
+  for (int iter = 1; iter < iterations; ++iter) {
+    double norm2 = 0.0;
+    for (const double g : subgradient) norm2 += g * g;
+    if (norm2 < 1e-12) break;  // subgradient zero: bound is maximal
+    const double gap = std::max(upper_bound - best.bound, 1e-6);
+    const double step = theta * gap / norm2;
+    for (int i = 0; i < m_; ++i) lambda_[i] += step * subgradient[i];
+    const LagrangianSubproblem current = Evaluate(state, &subgradient);
+    if (current.bound > best.bound + 1e-9) {
+      best = current;
+      best_lambda = lambda_;
+      stall = 0;
+    } else if (++stall >= 3) {
+      theta *= 0.5;
+      stall = 0;
+    }
+  }
+  lambda_ = best_lambda;  // keep the best multipliers for warm starts
+  return best;
+}
+
+}  // namespace mcfs

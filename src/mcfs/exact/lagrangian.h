@@ -1,0 +1,52 @@
+#ifndef MCFS_EXACT_LAGRANGIAN_H_
+#define MCFS_EXACT_LAGRANGIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mcfs {
+
+// Classic Lagrangian lower bound for the (hard, nonuniform) capacitated
+// k-median: relax the assignment constraints sum_j y_ij = 1 with free
+// multipliers lambda_i. For fixed lambda the subproblem decomposes per
+// facility — each candidate j collects its most negative reduced costs
+// d_ij - lambda_i up to capacity c_j, giving a value v_j <= 0 — and the
+// bound opens the forced-open facilities plus the best remaining v_j up
+// to the budget k:
+//   L(lambda) = sum_i lambda_i + sum_{j in OPEN} v_j + top_{k-|OPEN|} v_j.
+// Multipliers are improved by subgradient ascent and persist across
+// calls (warm starts down the branch-and-bound tree).
+struct LagrangianSubproblem {
+  double bound = 0.0;
+  std::vector<int> chosen;  // facilities opened by the subproblem
+  std::vector<int> usage;   // per facility: customers it would serve
+};
+
+class LagrangianBound {
+ public:
+  // `cost` is the dense m x l distance matrix (kInfDistance = pair
+  // unreachable); pointers must outlive the object.
+  LagrangianBound(int m, int l, int k, const std::vector<double>* cost,
+                  const std::vector<int>* capacities);
+
+  // Runs `iterations` subgradient steps under the given facility states
+  // (0 free / 1 open / 2 closed) and returns the best bound found.
+  // `upper_bound` calibrates the step size (Polyak rule).
+  LagrangianSubproblem Maximize(const std::vector<int8_t>& state,
+                                int iterations, double upper_bound);
+
+ private:
+  LagrangianSubproblem Evaluate(const std::vector<int8_t>& state,
+                                std::vector<double>* subgradient) const;
+
+  int m_;
+  int l_;
+  int k_;
+  const std::vector<double>* cost_;
+  const std::vector<int>* capacities_;
+  std::vector<double> lambda_;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_EXACT_LAGRANGIAN_H_

@@ -1,0 +1,334 @@
+#include "mcfs/flow/matcher.h"
+
+#include <algorithm>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/dary_heap.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+struct HeapEntry {
+  double dist;
+  int node;
+};
+struct HeapEntryLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.dist < b.dist;
+  }
+};
+using MinHeap = DaryHeap<HeapEntry, 4, HeapEntryLess>;
+}  // namespace
+
+IncrementalMatcher::IncrementalMatcher(const Graph* graph,
+                                       std::vector<NodeId> customer_nodes,
+                                       std::vector<NodeId> facility_nodes,
+                                       std::vector<int> capacities)
+    : graph_(graph),
+      m_(static_cast<int>(customer_nodes.size())),
+      l_(static_cast<int>(facility_nodes.size())),
+      customer_nodes_(std::move(customer_nodes)),
+      facility_nodes_(std::move(facility_nodes)),
+      capacities_(std::move(capacities)) {
+  MCFS_CHECK_EQ(capacities_.size(), facility_nodes_.size());
+  assigned_count_.assign(l_, 0);
+  customer_match_count_.assign(m_, 0);
+  edges_.resize(m_);
+  facility_matches_.resize(l_);
+  potential_.assign(m_ + l_, 0.0);
+  facility_index_of_node_.assign(graph_->NumNodes(), -1);
+  for (int j = 0; j < l_; ++j) {
+    NodeId node = facility_nodes_[j];
+    MCFS_CHECK(node >= 0 && node < graph_->NumNodes());
+    MCFS_CHECK_EQ(facility_index_of_node_[node], -1)
+        << "two candidate facilities on node " << node;
+    facility_index_of_node_[node] = j;
+    MCFS_CHECK_GE(capacities_[j], 0);
+  }
+  streams_.resize(m_);
+  dist_.assign(m_ + l_, kInfDistance);
+  parent_.assign(m_ + l_, -1);
+  settled_.assign(m_ + l_, 0);
+}
+
+NearestFacilityStream& IncrementalMatcher::StreamFor(int customer) {
+  if (streams_[customer] == nullptr) {
+    streams_[customer] = std::make_unique<NearestFacilityStream>(
+        graph_, customer_nodes_[customer], &facility_index_of_node_);
+  }
+  return *streams_[customer];
+}
+
+bool IncrementalMatcher::MaterializeNextEdge(int customer) {
+  std::optional<FacilityAtDistance> next = StreamFor(customer).Pop();
+  if (!next.has_value()) return false;
+  edges_[customer].push_back({next->facility, next->distance, false});
+  ++num_edges_materialized_;
+  const MatchEdge& edge = edges_[customer].back();
+  if (ReducedCost(customer, edge) < -kEps) {
+    negative_arcs_.emplace_back(
+        customer, static_cast<int>(edges_[customer].size()) - 1);
+  }
+  return true;
+}
+
+IncrementalMatcher::SearchResult IncrementalMatcher::Search(
+    int source_customer) {
+  ++num_dijkstra_runs_;
+  const bool exact = negative_arcs_.empty();
+  if (!exact) ++num_label_correcting_runs_;
+
+  // Reset scratch for the nodes touched by the previous search.
+  for (const int v : touched_) {
+    dist_[v] = kInfDistance;
+    parent_[v] = -1;
+    settled_[v] = 0;
+  }
+  touched_.clear();
+
+  MinHeap heap;
+  dist_[source_customer] = 0.0;
+  touched_.push_back(source_customer);
+  heap.push({0.0, source_customer});
+
+  SearchResult result;
+  result.sink_facility = -1;
+  result.sink_distance = kInfDistance;
+
+  auto relax = [&](int from, int to, double reduced_weight) {
+    const double candidate = dist_[from] + reduced_weight;
+    if (candidate < dist_[to] - kEps) {
+      if (dist_[to] == kInfDistance) touched_.push_back(to);
+      dist_[to] = candidate;
+      parent_[to] = from;
+      settled_[to] = 0;  // label-correcting: allow re-settling
+      heap.push({candidate, to});
+    }
+  };
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (settled_[top.node] || top.dist > dist_[top.node] + kEps) continue;
+    settled_[top.node] = 1;
+    if (top.node >= m_) {
+      // Facility node.
+      const int j = top.node - m_;
+      if (exact && assigned_count_[j] < capacities_[j]) {
+        result.sink_facility = j;
+        result.sink_distance = top.dist;
+        break;  // early stop: first settled usable facility is nearest
+      }
+      for (const FacilityMatch& match : facility_matches_[j]) {
+        relax(top.node, match.customer,
+              -match.weight - potential_[top.node] +
+                  potential_[match.customer]);
+      }
+    } else {
+      // Customer node.
+      const int i = top.node;
+      for (const MatchEdge& edge : edges_[i]) {
+        if (edge.matched) continue;
+        relax(top.node, GbFacilityNode(edge.facility),
+              ReducedCost(i, edge));
+      }
+    }
+  }
+
+  // In label-correcting mode (or when no usable facility was settled in
+  // exact mode), pick the best reached facility with residual capacity.
+  if (result.sink_facility == -1) {
+    for (const int v : touched_) {
+      if (v < m_) continue;
+      const int j = v - m_;
+      if (assigned_count_[j] < capacities_[j] &&
+          dist_[v] < result.sink_distance) {
+        result.sink_facility = j;
+        result.sink_distance = dist_[v];
+      }
+    }
+  }
+
+  // Theorem-1 threshold: min over reached customers v of
+  //   v.dist + nnDist(v) - v.p,
+  // where unsettled (frontier) customers use the sink distance as a
+  // valid lower bound for v.dist.
+  result.threshold = kInfDistance;
+  result.threshold_customer = -1;
+  for (const int v : touched_) {
+    if (v >= m_) continue;
+    const double nn_dist = StreamFor(v).PeekDistance();
+    if (nn_dist == kInfDistance) continue;
+    double v_dist = dist_[v];
+    if (!settled_[v] && result.sink_facility != -1) {
+      v_dist = std::min(v_dist, result.sink_distance);
+    }
+    const double value = v_dist + nn_dist - potential_[v];
+    if (value < result.threshold) {
+      result.threshold = value;
+      result.threshold_customer = v;
+    }
+  }
+  return result;
+}
+
+void IncrementalMatcher::Augment(int source_customer,
+                                 const SearchResult& found) {
+  int current = GbFacilityNode(found.sink_facility);
+  while (current != source_customer) {
+    const int prev = parent_[current];
+    MCFS_CHECK_GE(prev, 0);
+    if (current >= m_) {
+      // prev is a customer: match edge (prev -> current).
+      const int facility = current - m_;
+      bool flipped = false;
+      for (MatchEdge& edge : edges_[prev]) {
+        if (edge.facility == facility && !edge.matched) {
+          edge.matched = true;
+          facility_matches_[facility].push_back({prev, edge.weight});
+          flipped = true;
+          break;
+        }
+      }
+      MCFS_CHECK(flipped);
+    } else {
+      // prev is a facility: unmatch edge (current -> prev).
+      const int facility = prev - m_;
+      bool flipped = false;
+      for (MatchEdge& edge : edges_[current]) {
+        if (edge.facility == facility && edge.matched) {
+          edge.matched = false;
+          flipped = true;
+          break;
+        }
+      }
+      MCFS_CHECK(flipped);
+      auto& matches = facility_matches_[facility];
+      for (size_t i = 0; i < matches.size(); ++i) {
+        if (matches[i].customer == current) {
+          matches[i] = matches.back();
+          matches.pop_back();
+          break;
+        }
+      }
+    }
+    current = prev;
+  }
+  assigned_count_[found.sink_facility]++;
+  customer_match_count_[source_customer]++;
+}
+
+void IncrementalMatcher::UpdatePotentials(double sink_distance) {
+  for (const int v : touched_) {
+    if (dist_[v] <= sink_distance) {
+      potential_[v] += sink_distance - dist_[v];
+    }
+  }
+}
+
+void IncrementalMatcher::RecheckNegativeArcs() {
+  size_t kept = 0;
+  for (const auto& [customer, edge_index] : negative_arcs_) {
+    const MatchEdge& edge = edges_[customer][edge_index];
+    if (!edge.matched && ReducedCost(customer, edge) < -kEps) {
+      negative_arcs_[kept++] = {customer, edge_index};
+    }
+  }
+  negative_arcs_.resize(kept);
+}
+
+bool IncrementalMatcher::FindPair(int customer) {
+  MCFS_CHECK(customer >= 0 && customer < m_);
+  while (true) {
+    const SearchResult found = Search(customer);
+    const bool have_sink = found.sink_facility != -1;
+    if (have_sink && found.sink_distance <= found.threshold + kEps) {
+      Augment(customer, found);
+      UpdatePotentials(found.sink_distance);
+      RecheckNegativeArcs();
+      return true;
+    }
+    if (found.threshold == kInfDistance) {
+      // No more edges can be materialized anywhere reachable.
+      if (have_sink) {
+        Augment(customer, found);
+        UpdatePotentials(found.sink_distance);
+        RecheckNegativeArcs();
+        return true;
+      }
+      return false;  // customer is saturated
+    }
+    const bool added = MaterializeNextEdge(found.threshold_customer);
+    MCFS_CHECK(added);  // threshold was finite, so the stream had a peek
+  }
+}
+
+bool IncrementalMatcher::MatchAllOnce() {
+  bool all_ok = true;
+  for (int i = 0; i < m_; ++i) {
+    if (!FindPair(i)) all_ok = false;
+  }
+  return all_ok;
+}
+
+std::vector<int> IncrementalMatcher::CustomersOf(int facility) const {
+  std::vector<int> customers;
+  customers.reserve(facility_matches_[facility].size());
+  for (const FacilityMatch& match : facility_matches_[facility]) {
+    customers.push_back(match.customer);
+  }
+  return customers;
+}
+
+std::vector<MatchedPair> IncrementalMatcher::MatchedPairs() const {
+  std::vector<MatchedPair> pairs;
+  for (int i = 0; i < m_; ++i) {
+    for (const MatchEdge& edge : edges_[i]) {
+      if (edge.matched) pairs.push_back({i, edge.facility, edge.weight});
+    }
+  }
+  return pairs;
+}
+
+bool IncrementalMatcher::VerifyDualFeasibility() const {
+  // Freshly materialized arcs may legitimately be negative until the
+  // next augmentation repairs the potentials.
+  std::vector<std::vector<uint8_t>> excused(m_);
+  for (const auto& [customer, edge_index] : negative_arcs_) {
+    if (excused[customer].empty()) {
+      excused[customer].assign(edges_[customer].size(), 0);
+    }
+    excused[customer][edge_index] = 1;
+  }
+  for (int i = 0; i < m_; ++i) {
+    for (size_t e = 0; e < edges_[i].size(); ++e) {
+      const MatchEdge& edge = edges_[i][e];
+      if (!excused[i].empty() && excused[i][e]) continue;
+      if (edge.matched) {
+        // Residual direction facility -> customer.
+        const double reduced = -edge.weight -
+                               potential_[GbFacilityNode(edge.facility)] +
+                               potential_[i];
+        if (reduced < -1e-6) return false;
+      } else {
+        if (ReducedCost(i, edge) < -1e-6) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double IncrementalMatcher::TotalCost() const {
+  double total = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    for (const MatchEdge& edge : edges_[i]) {
+      if (edge.matched) total += edge.weight;
+    }
+  }
+  return total;
+}
+
+}  // namespace mcfs

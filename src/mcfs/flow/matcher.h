@@ -1,0 +1,149 @@
+#ifndef MCFS_FLOW_MATCHER_H_
+#define MCFS_FLOW_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "mcfs/graph/facility_stream.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// One matched (customer, facility) pair with its network distance.
+struct MatchedPair {
+  int customer = -1;
+  int facility = -1;
+  double distance = 0.0;
+};
+
+// Incremental optimal bipartite matcher between customers and candidate
+// facilities anchored in a network — the FindPair routine of the paper
+// (Algorithm 2), i.e., a Successive Shortest Path Algorithm over the
+// bipartite graph G_b with:
+//   * lazy edge materialization: per-customer resumable Dijkstras on the
+//     road network stream candidate facilities in distance order, and an
+//     edge enters G_b only when the Theorem-1 threshold proves it might
+//     shorten the current augmenting path;
+//   * node potentials kept so reduced edge weights stay non-negative
+//     (freshly materialized edges may briefly violate this; such arcs
+//     are tracked and the search falls back to a label-correcting
+//     variant until their reduced costs are restored — see DESIGN.md);
+//   * rewiring: augmenting along a shortest path reassigns earlier
+//     customer-facility matches when beneficial.
+//
+// Every successful FindPair(c) adds exactly one unit of assignment for
+// customer c while keeping the overall matching minimum-cost for the
+// current demand vector (verified against a dense oracle in tests).
+class IncrementalMatcher {
+ public:
+  // `facility_nodes` must hold distinct graph nodes; `capacities[j]` is
+  // the maximum number of customers facility j can serve. Customer nodes
+  // may repeat (several customers on one network node).
+  IncrementalMatcher(const Graph* graph, std::vector<NodeId> customer_nodes,
+                     std::vector<NodeId> facility_nodes,
+                     std::vector<int> capacities);
+
+  // Adds one assignment for `customer` (0-based index). Returns false
+  // when no augmenting path exists: every facility still reachable from
+  // the customer is saturated and no rewiring can free capacity.
+  bool FindPair(int customer);
+
+  // Runs FindPair once for every customer (demand vector of all ones).
+  // Returns false if some customer could not be assigned.
+  bool MatchAllOnce();
+
+  int num_customers() const { return m_; }
+  int num_facilities() const { return l_; }
+
+  int AssignedCount(int facility) const { return assigned_count_[facility]; }
+  int Capacity(int facility) const { return capacities_[facility]; }
+  // Number of facilities the customer currently holds (its satisfied
+  // demand).
+  int CustomerMatchCount(int customer) const {
+    return customer_match_count_[customer];
+  }
+
+  // Customers currently assigned to `facility` (the paper's sigma_j).
+  std::vector<int> CustomersOf(int facility) const;
+
+  // All matched pairs with distances.
+  std::vector<MatchedPair> MatchedPairs() const;
+
+  // Sum of matched distances (the running objective of G_b).
+  double TotalCost() const;
+
+  // Debug invariant: every materialized edge must have non-negative
+  // reduced cost under the current potentials (dual feasibility), except
+  // the freshly added arcs tracked in the negative list. Returns true
+  // when the invariant holds; O(total edges). Used by property tests.
+  bool VerifyDualFeasibility() const;
+
+  // --- instrumentation ---
+  int64_t num_dijkstra_runs() const { return num_dijkstra_runs_; }
+  int64_t num_edges_materialized() const { return num_edges_materialized_; }
+  int64_t num_label_correcting_runs() const {
+    return num_label_correcting_runs_;
+  }
+
+ private:
+  struct MatchEdge {
+    int facility;
+    double weight;
+    bool matched;
+  };
+  struct FacilityMatch {
+    int customer;
+    double weight;
+  };
+  // Result of one shortest-path search over the materialized G_b.
+  struct SearchResult {
+    int sink_facility = -1;       // facility index, -1 if none reachable
+    double sink_distance = 0.0;   // reduced path length to the sink
+    double threshold = 0.0;       // Theorem-1 bound; kInfDistance if none
+    int threshold_customer = -1;  // argmin customer for materialization
+  };
+
+  int GbFacilityNode(int facility) const { return m_ + facility; }
+
+  NearestFacilityStream& StreamFor(int customer);
+  // Materializes customer's next nearest facility edge; returns false if
+  // the stream is exhausted.
+  bool MaterializeNextEdge(int customer);
+  SearchResult Search(int source_customer);
+  void Augment(int source_customer, const SearchResult& found);
+  void UpdatePotentials(double sink_distance);
+  void RecheckNegativeArcs();
+  double ReducedCost(int customer, const MatchEdge& edge) const {
+    return edge.weight - potential_[customer] +
+           potential_[GbFacilityNode(edge.facility)];
+  }
+
+  const Graph* graph_;
+  int m_;
+  int l_;
+  std::vector<NodeId> customer_nodes_;
+  std::vector<NodeId> facility_nodes_;
+  std::vector<int> capacities_;
+  std::vector<int> assigned_count_;
+  std::vector<int> customer_match_count_;
+  std::vector<std::vector<MatchEdge>> edges_;  // per customer
+  std::vector<std::vector<FacilityMatch>> facility_matches_;  // per facility
+  std::vector<double> potential_;  // size m_ + l_
+  std::vector<int> facility_index_of_node_;  // size graph nodes
+  std::vector<std::unique_ptr<NearestFacilityStream>> streams_;
+  std::vector<std::pair<int, int>> negative_arcs_;  // (customer, edge idx)
+
+  // Search scratch (size m_ + l_), reset via touched_ between searches.
+  std::vector<double> dist_;
+  std::vector<int> parent_;  // predecessor encoding, see Search()
+  std::vector<uint8_t> settled_;
+  std::vector<int> touched_;
+
+  int64_t num_dijkstra_runs_ = 0;
+  int64_t num_edges_materialized_ = 0;
+  int64_t num_label_correcting_runs_ = 0;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_FLOW_MATCHER_H_

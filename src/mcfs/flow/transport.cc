@@ -1,0 +1,144 @@
+#include "mcfs/flow/transport.h"
+
+#include <algorithm>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+std::optional<TransportResult> SolveDenseTransport(
+    int m, int l, const std::vector<double>& cost,
+    const std::vector<int>& capacities) {
+  MCFS_CHECK_EQ(cost.size(), static_cast<size_t>(m) * l);
+  MCFS_CHECK_EQ(capacities.size(), static_cast<size_t>(l));
+  const int total = m + l;
+  std::vector<double> potential(total, 0.0);
+  std::vector<int> assignment(m, -1);
+  std::vector<int> assigned_count(l, 0);
+  std::vector<std::vector<int>> matched(l);  // customers per facility
+
+  std::vector<double> dist(total);
+  std::vector<int> parent(total);
+  std::vector<uint8_t> done(total);
+
+  for (int source = 0; source < m; ++source) {
+    std::fill(dist.begin(), dist.end(), kInfDistance);
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(done.begin(), done.end(), 0);
+    dist[source] = 0.0;
+    int sink = -1;
+    while (true) {
+      // Dense Dijkstra step: pick the closest unfinished node.
+      int best = -1;
+      double best_dist = kInfDistance;
+      for (int v = 0; v < total; ++v) {
+        if (!done[v] && dist[v] < best_dist) {
+          best = v;
+          best_dist = dist[v];
+        }
+      }
+      if (best == -1) break;
+      done[best] = 1;
+      if (best >= m && assigned_count[best - m] < capacities[best - m]) {
+        sink = best - m;
+        break;
+      }
+      if (best < m) {
+        const int i = best;
+        for (int j = 0; j < l; ++j) {
+          if (done[m + j]) continue;
+          if (assignment[i] == j) continue;  // matched edge is reversed
+          const double c = cost[static_cast<size_t>(i) * l + j];
+          if (c == kInfDistance) continue;
+          const double reduced = c - potential[i] + potential[m + j];
+          if (best_dist + reduced < dist[m + j]) {
+            dist[m + j] = best_dist + reduced;
+            parent[m + j] = i;
+          }
+        }
+      } else {
+        const int j = best - m;
+        for (const int i : matched[j]) {
+          if (done[i]) continue;
+          const double c = cost[static_cast<size_t>(i) * l + j];
+          const double reduced = -c - potential[m + j] + potential[i];
+          if (best_dist + reduced < dist[i]) {
+            dist[i] = best_dist + reduced;
+            parent[i] = m + j;
+          }
+        }
+      }
+    }
+    if (sink == -1) return std::nullopt;  // customer cannot be assigned
+    // Augment along the parent chain.
+    int current = m + sink;
+    while (current != source) {
+      const int prev = parent[current];
+      if (current >= m) {
+        const int j = current - m;
+        assignment[prev] = j;
+        matched[j].push_back(prev);
+      } else {
+        const int j = prev - m;
+        auto& list = matched[j];
+        list.erase(std::find(list.begin(), list.end(), current));
+        // assignment[current] will be overwritten by the next hop.
+      }
+      current = prev;
+    }
+    assigned_count[sink]++;
+    // Potential update (capped at the sink distance).
+    const double sink_dist = dist[m + sink];
+    for (int v = 0; v < total; ++v) {
+      if (dist[v] <= sink_dist) potential[v] += sink_dist - dist[v];
+    }
+  }
+
+  TransportResult result;
+  result.assignment = assignment;
+  for (int i = 0; i < m; ++i) {
+    result.cost += cost[static_cast<size_t>(i) * l + assignment[i]];
+  }
+  return result;
+}
+
+namespace {
+
+void BruteForceRecurse(int customer, int m, int l,
+                       const std::vector<double>& cost,
+                       std::vector<int>& remaining, double running,
+                       std::vector<int>& current, double& best_cost,
+                       std::vector<int>& best_assignment) {
+  if (running >= best_cost) return;
+  if (customer == m) {
+    best_cost = running;
+    best_assignment = current;
+    return;
+  }
+  for (int j = 0; j < l; ++j) {
+    const double c = cost[static_cast<size_t>(customer) * l + j];
+    if (remaining[j] == 0 || c == kInfDistance) continue;
+    remaining[j]--;
+    current[customer] = j;
+    BruteForceRecurse(customer + 1, m, l, cost, remaining, running + c,
+                      current, best_cost, best_assignment);
+    remaining[j]++;
+  }
+}
+
+}  // namespace
+
+std::optional<TransportResult> BruteForceTransport(
+    int m, int l, const std::vector<double>& cost,
+    const std::vector<int>& capacities) {
+  std::vector<int> remaining = capacities;
+  std::vector<int> current(m, -1);
+  std::vector<int> best_assignment;
+  double best_cost = kInfDistance;
+  BruteForceRecurse(0, m, l, cost, remaining, 0.0, current, best_cost,
+                    best_assignment);
+  if (best_assignment.empty()) return std::nullopt;
+  return TransportResult{best_cost, best_assignment};
+}
+
+}  // namespace mcfs

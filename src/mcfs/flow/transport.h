@@ -1,0 +1,38 @@
+#ifndef MCFS_FLOW_TRANSPORT_H_
+#define MCFS_FLOW_TRANSPORT_H_
+
+#include <optional>
+#include <vector>
+
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+// Result of a transportation solve: per-customer facility index and the
+// total cost.
+struct TransportResult {
+  double cost = 0.0;
+  std::vector<int> assignment;  // size m; facility index per customer
+};
+
+// Exact minimum-cost transportation on a dense cost matrix: m unit-demand
+// customers, l facilities with integer capacities. cost[i*l + j] is the
+// cost of assigning customer i to facility j; kInfDistance forbids the
+// pair. Returns nullopt when not all customers can be assigned.
+//
+// Classic successive-shortest-path with potentials; O(m * (m+l)^2).
+// Used as (a) the optimality oracle for IncrementalMatcher in tests and
+// (b) the relaxation bound inside the exact branch-and-bound solver.
+std::optional<TransportResult> SolveDenseTransport(
+    int m, int l, const std::vector<double>& cost,
+    const std::vector<int>& capacities);
+
+// Exponential-time exhaustive search over all feasible assignments.
+// Only for tiny test instances (m <= ~8).
+std::optional<TransportResult> BruteForceTransport(
+    int m, int l, const std::vector<double>& cost,
+    const std::vector<int>& capacities);
+
+}  // namespace mcfs
+
+#endif  // MCFS_FLOW_TRANSPORT_H_

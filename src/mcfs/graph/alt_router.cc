@@ -1,0 +1,116 @@
+#include "mcfs/graph/alt_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/dary_heap.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+AltRouter::AltRouter(const Graph* graph, int num_landmarks, Rng& rng)
+    : graph_(graph) {
+  MCFS_CHECK(graph != nullptr);
+  MCFS_CHECK_GT(num_landmarks, 0);
+  const int n = graph->NumNodes();
+  MCFS_CHECK_GT(n, 0);
+
+  // Farthest-point landmark selection: start from a random node, then
+  // repeatedly take the node farthest from all landmarks so far
+  // (restricted to the start's component; unreachable nodes never
+  // become landmarks for it).
+  NodeId first = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+  landmarks_.push_back(first);
+  landmark_dist_.push_back(ShortestPathsFrom(*graph, first));
+  std::vector<double> nearest_landmark = landmark_dist_.back();
+  while (static_cast<int>(landmarks_.size()) < num_landmarks) {
+    NodeId farthest = kInvalidNode;
+    double farthest_dist = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double d = nearest_landmark[v];
+      if (d != kInfDistance && d > farthest_dist) {
+        farthest_dist = d;
+        farthest = v;
+      }
+    }
+    if (farthest == kInvalidNode || farthest_dist <= 0.0) break;
+    landmarks_.push_back(farthest);
+    landmark_dist_.push_back(ShortestPathsFrom(*graph, farthest));
+    for (NodeId v = 0; v < n; ++v) {
+      nearest_landmark[v] =
+          std::min(nearest_landmark[v], landmark_dist_.back()[v]);
+    }
+  }
+}
+
+double AltRouter::Potential(NodeId v, NodeId target) const {
+  // max over landmarks of |d(L, t) - d(L, v)| (admissible & consistent
+  // on undirected graphs by the triangle inequality).
+  double h = 0.0;
+  for (const auto& dist : landmark_dist_) {
+    const double dv = dist[v];
+    const double dt = dist[target];
+    if (dv == kInfDistance || dt == kInfDistance) continue;
+    h = std::max(h, std::abs(dt - dv));
+  }
+  return h;
+}
+
+double AltRouter::Search(NodeId s, NodeId t,
+                         std::vector<NodeId>* parents) const {
+  const int n = graph_->NumNodes();
+  MCFS_CHECK(s >= 0 && s < n);
+  MCFS_CHECK(t >= 0 && t < n);
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<uint8_t> settled(n, 0);
+  if (parents != nullptr) parents->assign(n, kInvalidNode);
+
+  struct Entry {
+    double f;  // g + h
+    NodeId node;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.f < b.f;
+    }
+  };
+  DaryHeap<Entry, 4, EntryLess> heap;
+  dist[s] = 0.0;
+  heap.push({Potential(s, t), s});
+  last_settled_ = 0;
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const NodeId v = top.node;
+    if (settled[v]) continue;
+    settled[v] = 1;
+    ++last_settled_;
+    if (v == t) return dist[t];
+    for (const AdjEntry& e : graph_->Neighbors(v)) {
+      const double candidate = dist[v] + e.weight;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        if (parents != nullptr) (*parents)[e.to] = v;
+        heap.push({candidate + Potential(e.to, t), e.to});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+double AltRouter::Distance(NodeId s, NodeId t) const {
+  return Search(s, t, nullptr);
+}
+
+std::vector<NodeId> AltRouter::Path(NodeId s, NodeId t) const {
+  std::vector<NodeId> parents;
+  if (Search(s, t, &parents) == kInfDistance) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != kInvalidNode; v = parents[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  MCFS_CHECK_EQ(path.front(), s);
+  return path;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,233 @@
+#include "mcfs/graph/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/dary_heap.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+
+namespace {
+
+struct HeapEntry {
+  double key;
+  NodeId node;
+};
+struct HeapEntryLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.key < b.key;
+  }
+};
+using MinHeap = DaryHeap<HeapEntry, 4, HeapEntryLess>;
+
+// Remaining-graph adjacency during contraction.
+using DynamicAdjacency = std::vector<std::unordered_map<NodeId, double>>;
+
+// Bounded witness search: shortest distance from `from` to `to` in the
+// remaining graph avoiding `excluded`, giving up (returns kInfDistance)
+// beyond `threshold` or after `max_settled` settles. Exact when it
+// returns a finite value <= threshold.
+double WitnessDistance(const DynamicAdjacency& adj, NodeId from, NodeId to,
+                       NodeId excluded, double threshold, int max_settled) {
+  std::unordered_map<NodeId, double> dist;
+  MinHeap heap;
+  dist[from] = 0.0;
+  heap.push({0.0, from});
+  int settled = 0;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    auto it = dist.find(top.node);
+    if (it == dist.end() || top.key > it->second) continue;
+    if (top.key > threshold) return kInfDistance;  // witness too long
+    if (top.node == to) return top.key;
+    if (++settled > max_settled) return kInfDistance;  // budget hit
+    for (const auto& [next, weight] : adj[top.node]) {
+      if (next == excluded) continue;
+      const double candidate = top.key + weight;
+      auto next_it = dist.find(next);
+      if (next_it == dist.end() || candidate < next_it->second) {
+        dist[next] = candidate;
+        heap.push({candidate, next});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(const Graph* graph)
+    : graph_(graph) {
+  MCFS_CHECK(graph != nullptr);
+  const int n = graph->NumNodes();
+  rank_.assign(n, -1);
+  up_.resize(n);
+
+  // Remaining graph starts as the input (parallel edges collapsed to
+  // their minimum weight).
+  DynamicAdjacency adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const AdjEntry& e : graph->Neighbors(v)) {
+      auto it = adj[v].find(e.to);
+      if (it == adj[v].end() || e.weight < it->second) {
+        adj[v][e.to] = e.weight;
+      }
+    }
+  }
+
+  std::vector<int> deleted_neighbors(n, 0);
+
+  // Number of shortcut pairs a contraction of v would insert, probed
+  // with a small witness budget (cheap, may overestimate).
+  auto shortcuts_needed = [&](NodeId v, int witness_budget) {
+    int needed = 0;
+    for (auto u_it = adj[v].begin(); u_it != adj[v].end(); ++u_it) {
+      auto w_it = u_it;
+      for (++w_it; w_it != adj[v].end(); ++w_it) {
+        const double via_v = u_it->second + w_it->second;
+        const double witness = WitnessDistance(
+            adj, u_it->first, w_it->first, v, via_v, witness_budget);
+        if (witness > via_v) ++needed;
+      }
+    }
+    return needed;
+  };
+  auto priority = [&](NodeId v) {
+    return static_cast<double>(shortcuts_needed(v, 40)) -
+           static_cast<double>(adj[v].size()) +
+           0.7 * deleted_neighbors[v];
+  };
+
+  MinHeap queue;
+  for (NodeId v = 0; v < n; ++v) {
+    queue.push({priority(v), v});
+  }
+  int order = 0;
+  while (!queue.empty()) {
+    const HeapEntry top = queue.top();
+    queue.pop();
+    const NodeId v = top.node;
+    if (rank_[v] != -1) continue;  // already contracted
+    // Lazy re-evaluation: contract only if still (approximately) the
+    // minimum-priority node.
+    const double current = priority(v);
+    if (!queue.empty() && current > queue.top().key + 1e-9) {
+      queue.push({current, v});
+      continue;
+    }
+
+    // Record upward arcs: every remaining neighbor outranks v.
+    up_[v].reserve(adj[v].size());
+    for (const auto& [u, weight] : adj[v]) {
+      up_[v].push_back({u, weight});
+    }
+    // Insert shortcuts between neighbor pairs lacking a witness.
+    for (auto u_it = adj[v].begin(); u_it != adj[v].end(); ++u_it) {
+      auto w_it = u_it;
+      for (++w_it; w_it != adj[v].end(); ++w_it) {
+        const NodeId u = u_it->first;
+        const NodeId w = w_it->first;
+        const double via_v = u_it->second + w_it->second;
+        const double witness = WitnessDistance(adj, u, w, v, via_v, 300);
+        if (witness <= via_v) continue;  // real path is no worse
+        auto existing = adj[u].find(w);
+        if (existing == adj[u].end() || via_v < existing->second) {
+          adj[u][w] = via_v;
+          adj[w][u] = via_v;
+          ++num_shortcuts_;
+        }
+      }
+    }
+    // Remove v from the remaining graph.
+    for (const auto& [u, weight] : adj[v]) {
+      (void)weight;
+      adj[u].erase(v);
+      deleted_neighbors[u]++;
+    }
+    adj[v].clear();
+    rank_[v] = order++;
+  }
+}
+
+void ContractionHierarchy::UpwardSearch(
+    NodeId source, std::vector<std::pair<NodeId, double>>* settled) const {
+  std::unordered_map<NodeId, double> dist;
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    auto it = dist.find(top.node);
+    if (it == dist.end() || top.key > it->second) continue;
+    if (it->second < top.key) continue;
+    settled->push_back({top.node, top.key});
+    ++last_settled_;
+    for (const UpArc& arc : up_[top.node]) {
+      const double candidate = top.key + arc.weight;
+      auto next_it = dist.find(arc.to);
+      if (next_it == dist.end() || candidate < next_it->second) {
+        dist[arc.to] = candidate;
+        heap.push({candidate, arc.to});
+      }
+    }
+  }
+}
+
+double ContractionHierarchy::Distance(NodeId s, NodeId t) const {
+  MCFS_CHECK(s >= 0 && s < graph_->NumNodes());
+  MCFS_CHECK(t >= 0 && t < graph_->NumNodes());
+  last_settled_ = 0;
+  std::vector<std::pair<NodeId, double>> forward;
+  std::vector<std::pair<NodeId, double>> backward;
+  UpwardSearch(s, &forward);
+  UpwardSearch(t, &backward);
+  std::unordered_map<NodeId, double> forward_dist(forward.begin(),
+                                                  forward.end());
+  double best = kInfDistance;
+  for (const auto& [node, dist] : backward) {
+    auto it = forward_dist.find(node);
+    if (it != forward_dist.end()) {
+      best = std::min(best, it->second + dist);
+    }
+  }
+  return best;
+}
+
+std::vector<double> ContractionHierarchy::DistanceTable(
+    const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets) const {
+  const size_t rows = sources.size();
+  const size_t cols = targets.size();
+  std::vector<double> table(rows * cols, kInfDistance);
+
+  // Target buckets: (target index, upward distance) per settled node.
+  std::unordered_map<NodeId, std::vector<std::pair<int, double>>> buckets;
+  std::vector<std::pair<NodeId, double>> settled;
+  for (size_t t = 0; t < cols; ++t) {
+    settled.clear();
+    UpwardSearch(targets[t], &settled);
+    for (const auto& [node, dist] : settled) {
+      buckets[node].push_back({static_cast<int>(t), dist});
+    }
+  }
+  for (size_t s = 0; s < rows; ++s) {
+    settled.clear();
+    UpwardSearch(sources[s], &settled);
+    for (const auto& [node, dist] : settled) {
+      auto it = buckets.find(node);
+      if (it == buckets.end()) continue;
+      for (const auto& [t, target_dist] : it->second) {
+        double& cell = table[s * cols + t];
+        cell = std::min(cell, dist + target_dist);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,138 @@
+#include "mcfs/graph/dijkstra.h"
+
+#include "mcfs/common/dary_heap.h"
+
+namespace mcfs {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  NodeId node;
+};
+
+struct HeapEntryLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.dist < b.dist;
+  }
+};
+
+using MinHeap = DaryHeap<HeapEntry, 4, HeapEntryLess>;
+
+}  // namespace
+
+std::vector<double> ShortestPathsFrom(const Graph& graph, NodeId source) {
+  std::vector<double> dist(graph.NumNodes(), kInfDistance);
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist > dist[top.node]) continue;  // stale entry
+    for (const AdjEntry& e : graph.Neighbors(top.node)) {
+      const double candidate = top.dist + e.weight;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        heap.push({candidate, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<SettledNode> DijkstraWithinRadius(const Graph& graph,
+                                              NodeId source, double radius) {
+  std::vector<double> dist(graph.NumNodes(), kInfDistance);
+  std::vector<SettledNode> settled;
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist > dist[top.node]) continue;
+    if (top.dist > radius) break;
+    settled.push_back({top.node, top.dist});
+    for (const AdjEntry& e : graph.Neighbors(top.node)) {
+      const double candidate = top.dist + e.weight;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        heap.push({candidate, e.to});
+      }
+    }
+  }
+  return settled;
+}
+
+MultiSourceResult MultiSourceDijkstra(const Graph& graph,
+                                      const std::vector<NodeId>& sources) {
+  MultiSourceResult result;
+  result.distance.assign(graph.NumNodes(), kInfDistance);
+  result.nearest_index.assign(graph.NumNodes(), -1);
+  MinHeap heap;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    if (result.distance[s] > 0.0) {
+      result.distance[s] = 0.0;
+      result.nearest_index[s] = static_cast<int>(i);
+      heap.push({0.0, s});
+    }
+  }
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist > result.distance[top.node]) continue;
+    for (const AdjEntry& e : graph.Neighbors(top.node)) {
+      const double candidate = top.dist + e.weight;
+      if (candidate < result.distance[e.to]) {
+        result.distance[e.to] = candidate;
+        result.nearest_index[e.to] = result.nearest_index[top.node];
+        heap.push({candidate, e.to});
+      }
+    }
+  }
+  return result;
+}
+
+IncrementalDijkstra::IncrementalDijkstra(const Graph* graph, NodeId source)
+    : graph_(graph), source_(source) {
+  tentative_[source] = 0.0;
+  queue_.push({0.0, source});
+}
+
+void IncrementalDijkstra::AdvanceToUnsettled() {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    if (settled_dist_.count(top.node) != 0 ||
+        top.dist > TentativeDistance(top.node)) {
+      queue_.pop();  // stale or already settled
+      continue;
+    }
+    return;
+  }
+}
+
+double IncrementalDijkstra::PeekNextDistance() {
+  AdvanceToUnsettled();
+  return queue_.empty() ? kInfDistance : queue_.top().dist;
+}
+
+std::optional<SettledNode> IncrementalDijkstra::NextSettled() {
+  AdvanceToUnsettled();
+  if (queue_.empty()) return std::nullopt;
+  const QueueEntry top = queue_.top();
+  queue_.pop();
+  settled_dist_[top.node] = top.dist;
+  for (const AdjEntry& e : graph_->Neighbors(top.node)) {
+    if (settled_dist_.count(e.to) != 0) continue;
+    const double candidate = top.dist + e.weight;
+    if (candidate < TentativeDistance(e.to)) {
+      tentative_[e.to] = candidate;
+      queue_.push({candidate, e.to});
+    }
+  }
+  return SettledNode{top.node, top.dist};
+}
+
+}  // namespace mcfs

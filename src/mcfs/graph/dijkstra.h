@@ -1,0 +1,102 @@
+#ifndef MCFS_GRAPH_DIJKSTRA_H_
+#define MCFS_GRAPH_DIJKSTRA_H_
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mcfs/common/dary_heap.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+// Full single-source shortest paths; dist[v] == kInfDistance when v is
+// unreachable from `source`.
+std::vector<double> ShortestPathsFrom(const Graph& graph, NodeId source);
+
+// Single-source shortest paths truncated at `radius`: settles only nodes
+// with distance <= radius and returns them (with their distances) in
+// non-decreasing distance order.
+struct SettledNode {
+  NodeId node;
+  double distance;
+};
+std::vector<SettledNode> DijkstraWithinRadius(const Graph& graph,
+                                              NodeId source, double radius);
+
+// Multi-source shortest paths: for every node, the distance to the
+// nearest source and that source's index in `sources`. Used for network
+// Voronoi cells (BRNN NLRs, Yelp workload simulation).
+struct MultiSourceResult {
+  std::vector<double> distance;    // to nearest source
+  std::vector<int> nearest_index;  // index into `sources`, -1 if unreachable
+};
+MultiSourceResult MultiSourceDijkstra(const Graph& graph,
+                                      const std::vector<NodeId>& sources);
+
+// Resumable Dijkstra: settles nodes one at a time in non-decreasing
+// distance order, preserving its state between calls. This implements
+// the per-customer "incremental knowledge of network distances" of the
+// paper (Sec. IV-D): each customer keeps one of these alive across
+// FindPair calls so that candidate-facility edges can be materialized in
+// sorted order on demand.
+//
+// Storage is sparse (hash maps), so memory is proportional to the
+// explored neighborhood, not to |V|: WMA keeps one instance per customer
+// (the paper's "heaps for these executions per customer persist" note),
+// and customers typically explore only a few facilities.
+class IncrementalDijkstra {
+ public:
+  IncrementalDijkstra(const Graph* graph, NodeId source);
+
+  // Settles and returns the next nearest node, or nullopt when the
+  // source's component is exhausted.
+  std::optional<SettledNode> NextSettled();
+
+  // Distance of the next node to be settled without consuming it, or
+  // kInfDistance when exhausted.
+  double PeekNextDistance();
+
+  NodeId source() const { return source_; }
+
+  // Distance to a node that has already been settled; kInfDistance if it
+  // has not been settled yet.
+  double SettledDistance(NodeId v) const {
+    auto it = settled_dist_.find(v);
+    return it == settled_dist_.end() ? kInfDistance : it->second;
+  }
+
+  size_t num_settled() const { return settled_dist_.size(); }
+
+ private:
+  struct QueueEntry {
+    double dist;
+    NodeId node;
+  };
+  struct QueueEntryLess {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      return a.dist < b.dist;
+    }
+  };
+
+  void AdvanceToUnsettled();
+
+  double TentativeDistance(NodeId v) const {
+    auto it = tentative_.find(v);
+    return it == tentative_.end() ? kInfDistance : it->second;
+  }
+
+  const Graph* graph_;
+  NodeId source_;
+  std::unordered_map<NodeId, double> tentative_;
+  std::unordered_map<NodeId, double> settled_dist_;
+  DaryHeap<QueueEntry, 4, QueueEntryLess> queue_;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_GRAPH_DIJKSTRA_H_

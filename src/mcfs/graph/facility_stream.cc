@@ -1,0 +1,41 @@
+#include "mcfs/graph/facility_stream.h"
+
+namespace mcfs {
+
+NearestFacilityStream::NearestFacilityStream(
+    const Graph* graph, NodeId customer,
+    const std::vector<int>* facility_index_of_node)
+    : dijkstra_(graph, customer),
+      facility_index_of_node_(facility_index_of_node) {}
+
+void NearestFacilityStream::EnsureLookahead() {
+  if (lookahead_.has_value() || exhausted_) return;
+  while (true) {
+    std::optional<SettledNode> settled = dijkstra_.NextSettled();
+    if (!settled.has_value()) {
+      exhausted_ = true;
+      return;
+    }
+    const int facility = (*facility_index_of_node_)[settled->node];
+    if (facility >= 0) {
+      lookahead_ = FacilityAtDistance{facility, settled->distance};
+      return;
+    }
+  }
+}
+
+double NearestFacilityStream::PeekDistance() {
+  EnsureLookahead();
+  return lookahead_.has_value() ? lookahead_->distance : kInfDistance;
+}
+
+std::optional<FacilityAtDistance> NearestFacilityStream::Pop() {
+  EnsureLookahead();
+  if (!lookahead_.has_value()) return std::nullopt;
+  FacilityAtDistance result = *lookahead_;
+  lookahead_.reset();
+  ++num_popped_;
+  return result;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,62 @@
+#ifndef MCFS_GRAPH_FACILITY_STREAM_H_
+#define MCFS_GRAPH_FACILITY_STREAM_H_
+
+#include <optional>
+#include <vector>
+
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// A candidate facility encountered by a NearestFacilityStream: the
+// facility's index in the instance's candidate list and its network
+// distance from the stream's customer.
+struct FacilityAtDistance {
+  int facility = -1;
+  double distance = kInfDistance;
+};
+
+// Streams the candidate facilities reachable from one customer in
+// non-decreasing network-distance order, lazily expanding an
+// IncrementalDijkstra. This is the "next NN of x in G" primitive of
+// Algorithm 2 (FindPair): the matcher pops one facility at a time to
+// materialize one new bipartite edge, and peeks the next distance to
+// evaluate the Theorem-1 pruning threshold.
+//
+// The stream keeps a one-facility lookahead so that PeekDistance()
+// returns the exact distance of the next facility (nnDist in the paper).
+class NearestFacilityStream {
+ public:
+  // `facility_index_of_node` has one entry per graph node: the candidate
+  // facility index located at that node, or -1. Owned by the caller and
+  // must outlive the stream.
+  NearestFacilityStream(const Graph* graph, NodeId customer,
+                        const std::vector<int>* facility_index_of_node);
+
+  // Exact network distance of the next not-yet-popped candidate
+  // facility, or kInfDistance when the customer's component has no more
+  // candidate facilities.
+  double PeekDistance();
+
+  // Consumes and returns the next nearest candidate facility.
+  std::optional<FacilityAtDistance> Pop();
+
+  bool Exhausted() { return PeekDistance() == kInfDistance; }
+
+  NodeId customer() const { return dijkstra_.source(); }
+  int num_popped() const { return num_popped_; }
+
+ private:
+  void EnsureLookahead();
+
+  IncrementalDijkstra dijkstra_;
+  const std::vector<int>* facility_index_of_node_;
+  std::optional<FacilityAtDistance> lookahead_;
+  bool exhausted_ = false;
+  int num_popped_ = 0;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_GRAPH_FACILITY_STREAM_H_

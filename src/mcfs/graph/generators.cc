@@ -1,0 +1,118 @@
+#include "mcfs/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace mcfs {
+
+std::vector<Point> GenerateUniformPoints(int n, double plane_size,
+                                         Rng& rng) {
+  std::vector<Point> points(n);
+  for (Point& p : points) {
+    p.x = rng.Uniform(0.0, plane_size);
+    p.y = rng.Uniform(0.0, plane_size);
+  }
+  return points;
+}
+
+std::vector<Point> GenerateClusteredPoints(int n, int num_clusters,
+                                           double plane_size, double sigma,
+                                           Rng& rng) {
+  MCFS_CHECK_GT(num_clusters, 0);
+  MCFS_CHECK_GE(n, num_clusters);
+  std::vector<Point> points;
+  points.reserve(n);
+  // Centers first, so callers can identify them by index.
+  for (int c = 0; c < num_clusters; ++c) {
+    points.push_back(
+        {rng.Uniform(0.0, plane_size), rng.Uniform(0.0, plane_size)});
+  }
+  const int remaining = n - num_clusters;
+  for (int i = 0; i < remaining; ++i) {
+    const Point& center = points[i % num_clusters];
+    Point p;
+    p.x = std::clamp(rng.Gaussian(center.x, sigma), 0.0, plane_size);
+    p.y = std::clamp(rng.Gaussian(center.y, sigma), 0.0, plane_size);
+    points.push_back(p);
+  }
+  return points;
+}
+
+Graph BuildGeometricGraph(const std::vector<Point>& points, double radius,
+                          const std::vector<NodeId>& clique_nodes) {
+  const int n = static_cast<int>(points.size());
+  GraphBuilder builder(n);
+  MCFS_CHECK_GT(radius, 0.0);
+
+  // Spatial hash grid with cell size = radius: all pairs within radius
+  // lie in the same or adjacent cells.
+  auto cell_key = [&](double x, double y) {
+    const int64_t cx = static_cast<int64_t>(std::floor(x / radius));
+    const int64_t cy = static_cast<int64_t>(std::floor(y / radius));
+    return (cx << 32) ^ (cy & 0xffffffffLL);
+  };
+  std::unordered_map<int64_t, std::vector<NodeId>> grid;
+  grid.reserve(n * 2);
+  for (NodeId i = 0; i < n; ++i) {
+    grid[cell_key(points[i].x, points[i].y)].push_back(i);
+  }
+  // Minimal positive weight, so coincident points do not create
+  // zero-weight edges (weights must be positive path lengths).
+  const double min_weight = radius * 1e-9;
+  for (NodeId i = 0; i < n; ++i) {
+    const int64_t cx = static_cast<int64_t>(std::floor(points[i].x / radius));
+    const int64_t cy = static_cast<int64_t>(std::floor(points[i].y / radius));
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find(((cx + dx) << 32) ^ ((cy + dy) & 0xffffffffLL));
+        if (it == grid.end()) continue;
+        for (const NodeId j : it->second) {
+          if (j <= i) continue;  // each unordered pair once
+          const double d = EuclideanDistance(points[i], points[j]);
+          if (d < radius) {
+            builder.AddEdge(i, j, std::max(d, min_weight));
+          }
+        }
+      }
+    }
+  }
+  // Clique over cluster centers, per the paper.
+  for (size_t a = 0; a < clique_nodes.size(); ++a) {
+    for (size_t b = a + 1; b < clique_nodes.size(); ++b) {
+      const NodeId u = clique_nodes[a];
+      const NodeId v = clique_nodes[b];
+      const double d = EuclideanDistance(points[u], points[v]);
+      if (d >= radius) {  // short center links already added above
+        builder.AddEdge(u, v, std::max(d, min_weight));
+      }
+    }
+  }
+  builder.SetCoordinates(points);
+  return builder.Build();
+}
+
+Graph GenerateSyntheticNetwork(const SyntheticNetworkOptions& options) {
+  Rng rng(options.seed);
+  // Connection radius alpha * plane / sqrt(n), as in the paper. The
+  // expected average degree is then pi * alpha^2: alpha = 1.2 sits at
+  // the continuum-percolation threshold ("sparser and less connected",
+  // Fig. 6c), alpha = 2 yields a mostly connected network.
+  const double radius =
+      options.alpha * options.plane_size / std::sqrt(options.num_nodes);
+  if (options.num_clusters <= 0) {
+    return BuildGeometricGraph(
+        GenerateUniformPoints(options.num_nodes, options.plane_size, rng),
+        radius);
+  }
+  const double sigma = options.cluster_sigma_scale * options.plane_size *
+                       std::sqrt(1.0 / options.num_clusters);
+  std::vector<Point> points = GenerateClusteredPoints(
+      options.num_nodes, options.num_clusters, options.plane_size, sigma,
+      rng);
+  std::vector<NodeId> centers(options.num_clusters);
+  for (int c = 0; c < options.num_clusters; ++c) centers[c] = c;
+  return BuildGeometricGraph(points, radius, centers);
+}
+
+}  // namespace mcfs

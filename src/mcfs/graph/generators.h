@@ -1,0 +1,50 @@
+#ifndef MCFS_GRAPH_GENERATORS_H_
+#define MCFS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcfs/common/random.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Options for the paper's synthetic networks (Sec. VII-B): n points on a
+// plane_size x plane_size square, connected when closer than
+// alpha * plane_size / sqrt(n); clustered variants draw points from
+// per-cluster Gaussians (sigma^2 proportional to 1/num_clusters) and
+// connect the cluster centers in a clique.
+struct SyntheticNetworkOptions {
+  int num_nodes = 1000;
+  double alpha = 2.0;       // density parameter
+  int num_clusters = 0;     // 0 => uniform distribution
+  double plane_size = 1000.0;
+  // Multiplies the default cluster st.dev. plane_size * sqrt(1/clusters);
+  // the paper "tunes this deviation so that clusters cover the plane".
+  double cluster_sigma_scale = 0.5;
+  uint64_t seed = 42;
+};
+
+// Uniformly random points on the square.
+std::vector<Point> GenerateUniformPoints(int n, double plane_size, Rng& rng);
+
+// Clustered points: uniformly random centers, equal point counts per
+// cluster, Gaussian spread around each center (clamped to the square).
+// The first `num_clusters` points returned are the centers themselves.
+std::vector<Point> GenerateClusteredPoints(int n, int num_clusters,
+                                           double plane_size, double sigma,
+                                           Rng& rng);
+
+// Connects all pairs of points closer than `radius` (Euclidean), weights
+// = distances; uses spatial hashing so construction is ~linear for
+// bounded densities. Additionally adds a clique over `clique_nodes`
+// (cluster centers) as the paper prescribes.
+Graph BuildGeometricGraph(const std::vector<Point>& points, double radius,
+                          const std::vector<NodeId>& clique_nodes = {});
+
+// End-to-end generator implementing SyntheticNetworkOptions.
+Graph GenerateSyntheticNetwork(const SyntheticNetworkOptions& options);
+
+}  // namespace mcfs
+
+#endif  // MCFS_GRAPH_GENERATORS_H_

@@ -1,0 +1,56 @@
+#include "mcfs/graph/graph_io.h"
+
+#include <fstream>
+
+namespace mcfs {
+
+bool SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(12);
+  out << graph.NumNodes() << ' ' << graph.NumEdges() << ' '
+      << (graph.has_coordinates() ? 1 : 0) << '\n';
+  if (graph.has_coordinates()) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      const Point& p = graph.coordinate(v);
+      out << p.x << ' ' << p.y << '\n';
+    }
+  }
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (const AdjEntry& e : graph.Neighbors(u)) {
+      if (u < e.to) out << u << ' ' << e.to << ' ' << e.weight << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  int num_nodes = 0;
+  int64_t num_edges = 0;
+  int has_coords = 0;
+  if (!(in >> num_nodes >> num_edges >> has_coords)) return std::nullopt;
+  if (num_nodes < 0 || num_edges < 0) return std::nullopt;
+  GraphBuilder builder(num_nodes);
+  if (has_coords != 0) {
+    std::vector<Point> coords(num_nodes);
+    for (Point& p : coords) {
+      if (!(in >> p.x >> p.y)) return std::nullopt;
+    }
+    builder.SetCoordinates(std::move(coords));
+  }
+  for (int64_t i = 0; i < num_edges; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    double w = 0.0;
+    if (!(in >> u >> v >> w)) return std::nullopt;
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes || w <= 0.0) {
+      return std::nullopt;
+    }
+    builder.AddEdge(u, v, w);
+  }
+  return builder.Build();
+}
+
+}  // namespace mcfs

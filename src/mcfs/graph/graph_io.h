@@ -1,0 +1,23 @@
+#ifndef MCFS_GRAPH_GRAPH_IO_H_
+#define MCFS_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Plain-text graph format:
+//   line 1: "<num_nodes> <num_undirected_edges> <has_coords:0|1>"
+//   if has_coords: num_nodes lines "x y"
+//   then num_edges lines "u v weight"
+// Returns false on I/O failure.
+bool SaveGraph(const Graph& graph, const std::string& path);
+
+// Loads a graph saved by SaveGraph; nullopt on parse/I/O failure.
+std::optional<Graph> LoadGraph(const std::string& path);
+
+}  // namespace mcfs
+
+#endif  // MCFS_GRAPH_GRAPH_IO_H_

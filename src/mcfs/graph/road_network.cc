@@ -1,0 +1,328 @@
+#include "mcfs/graph/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mcfs/common/random.h"
+#include "mcfs/graph/dijkstra.h"
+
+namespace mcfs {
+namespace {
+
+// Skeleton of a city: intersections plus the streets between them;
+// streets are later subdivided into short road-shape segments.
+struct Skeleton {
+  std::vector<Point> intersections;
+  std::vector<std::pair<NodeId, NodeId>> streets;
+};
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Expands the skeleton into the final road network: every street of
+// length L becomes max(1, round(L / avg_edge_length)) segments with
+// slightly jittered interior shape nodes, like OSM road geometry.
+Graph ExpandSkeleton(const Skeleton& skeleton, double avg_edge_length,
+                     Rng& rng) {
+  // First pass: count nodes.
+  std::vector<int> segments(skeleton.streets.size());
+  int64_t extra_nodes = 0;
+  for (size_t s = 0; s < skeleton.streets.size(); ++s) {
+    const auto [u, v] = skeleton.streets[s];
+    const double len = EuclideanDistance(skeleton.intersections[u],
+                                         skeleton.intersections[v]);
+    segments[s] =
+        std::max(1, static_cast<int>(std::lround(len / avg_edge_length)));
+    extra_nodes += segments[s] - 1;
+  }
+  const int num_intersections = static_cast<int>(skeleton.intersections.size());
+  const int total_nodes = num_intersections + static_cast<int>(extra_nodes);
+  GraphBuilder builder(total_nodes);
+  std::vector<Point> coords = skeleton.intersections;
+  coords.resize(total_nodes);
+  NodeId next_node = num_intersections;
+  for (size_t s = 0; s < skeleton.streets.size(); ++s) {
+    const auto [u, v] = skeleton.streets[s];
+    const Point& a = skeleton.intersections[u];
+    const Point& b = skeleton.intersections[v];
+    const int parts = segments[s];
+    NodeId prev = u;
+    Point prev_point = a;
+    for (int p = 1; p <= parts; ++p) {
+      NodeId cur;
+      Point cur_point;
+      if (p == parts) {
+        cur = v;
+        cur_point = b;
+      } else {
+        const double t = static_cast<double>(p) / parts;
+        cur_point.x = a.x + t * (b.x - a.x) + rng.Gaussian(0.0, 1.5);
+        cur_point.y = a.y + t * (b.y - a.y) + rng.Gaussian(0.0, 1.5);
+        cur = next_node++;
+        coords[cur] = cur_point;
+      }
+      const double w =
+          std::max(EuclideanDistance(prev_point, cur_point), 0.5);
+      builder.AddEdge(prev, cur, w);
+      prev = cur;
+      prev_point = cur_point;
+    }
+  }
+  MCFS_CHECK_EQ(next_node, total_nodes);
+  builder.SetCoordinates(std::move(coords));
+  return builder.Build();
+}
+
+Skeleton BuildGridSkeleton(const CityOptions& options, Rng& rng) {
+  // With ~3 segments per street and dropout q, total nodes are roughly
+  // WH * (1 + (1-q)*2*(s-1)); solve for the intersection count.
+  const int s = 3;
+  const double per_intersection =
+      1.0 + (1.0 - options.street_dropout) * 2.0 * (s - 1);
+  const int num_intersections = std::max(
+      4, static_cast<int>(options.target_nodes / per_intersection));
+  const int width = std::max(
+      2, static_cast<int>(std::lround(std::sqrt(num_intersections * 1.3))));
+  const int height = std::max(2, num_intersections / width);
+  const double spacing = s * options.avg_edge_length;
+
+  Skeleton skeleton;
+  skeleton.intersections.reserve(static_cast<size_t>(width) * height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      skeleton.intersections.push_back({x * spacing + rng.Gaussian(0.0, 3.0),
+                                        y * spacing + rng.Gaussian(0.0, 3.0)});
+    }
+  }
+  auto id = [&](int x, int y) { return y * width + x; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width && rng.NextDouble() >= options.street_dropout) {
+        skeleton.streets.push_back({id(x, y), id(x + 1, y)});
+      }
+      if (y + 1 < height && rng.NextDouble() >= options.street_dropout) {
+        skeleton.streets.push_back({id(x, y), id(x, y + 1)});
+      }
+    }
+  }
+  // A handful of diagonal arterials raise the max degree above 4, as in
+  // real grid cities.
+  const int arterials = std::max(1, num_intersections / 2000);
+  for (int a = 0; a < arterials; ++a) {
+    const int x = static_cast<int>(rng.UniformInt(0, width - 2));
+    const int y = static_cast<int>(rng.UniformInt(0, height - 2));
+    skeleton.streets.push_back({id(x, y), id(x + 1, y + 1)});
+  }
+  return skeleton;
+}
+
+Skeleton BuildOrganicSkeleton(const CityOptions& options, Rng& rng) {
+  // nodes ~= i * (1 + 1.3 * (s-1)) with s=3 segments per street and
+  // ~1.3 streets per intersection (spanning tree + 30% cycle edges).
+  const int s = 3;
+  const double streets_per_intersection = 1.3;
+  const double per_intersection =
+      1.0 + streets_per_intersection * (s - 1);
+  const int num_intersections = std::max(
+      8, static_cast<int>(options.target_nodes / per_intersection));
+  const double spacing = s * options.avg_edge_length;
+  const double side = 2.0 * spacing * std::sqrt(num_intersections);
+
+  Skeleton skeleton;
+  skeleton.intersections.reserve(num_intersections);
+  // A mixture of uniform sprawl and denser districts.
+  const int num_districts = 4 + static_cast<int>(rng.UniformInt(0, 3));
+  std::vector<Point> districts;
+  for (int d = 0; d < num_districts; ++d) {
+    districts.push_back(
+        {rng.Uniform(0.2 * side, 0.8 * side), rng.Uniform(0.2 * side, 0.8 * side)});
+  }
+  for (int i = 0; i < num_intersections; ++i) {
+    if (rng.NextDouble() < 0.4) {
+      const Point& c = districts[rng.UniformInt(0, num_districts - 1)];
+      skeleton.intersections.push_back(
+          {std::clamp(rng.Gaussian(c.x, side * 0.08), 0.0, side),
+           std::clamp(rng.Gaussian(c.y, side * 0.08), 0.0, side)});
+    } else {
+      skeleton.intersections.push_back(
+          {rng.Uniform(0.0, side), rng.Uniform(0.0, side)});
+    }
+  }
+
+  // Candidate edges: grid-bucketed near neighbors.
+  const double cell = spacing * 1.2;
+  auto key = [&](const Point& p) {
+    const int64_t cx = static_cast<int64_t>(std::floor(p.x / cell));
+    const int64_t cy = static_cast<int64_t>(std::floor(p.y / cell));
+    return (cx << 32) ^ (cy & 0xffffffffLL);
+  };
+  std::unordered_map<int64_t, std::vector<NodeId>> grid;
+  for (NodeId i = 0; i < num_intersections; ++i) {
+    grid[key(skeleton.intersections[i])].push_back(i);
+  }
+  struct Candidate {
+    double dist;
+    NodeId u, v;
+    bool operator<(const Candidate& other) const {
+      return dist < other.dist;
+    }
+  };
+  std::vector<Candidate> candidates;
+  const int knn = 4;
+  for (NodeId i = 0; i < num_intersections; ++i) {
+    const Point& p = skeleton.intersections[i];
+    std::vector<Candidate> local;
+    const int64_t cx = static_cast<int64_t>(std::floor(p.x / cell));
+    const int64_t cy = static_cast<int64_t>(std::floor(p.y / cell));
+    for (int64_t dx = -2; dx <= 2; ++dx) {
+      for (int64_t dy = -2; dy <= 2; ++dy) {
+        auto it = grid.find(((cx + dx) << 32) ^ ((cy + dy) & 0xffffffffLL));
+        if (it == grid.end()) continue;
+        for (const NodeId j : it->second) {
+          if (j == i) continue;
+          local.push_back(
+              {EuclideanDistance(p, skeleton.intersections[j]), i, j});
+        }
+      }
+    }
+    const size_t keep = std::min<size_t>(knn, local.size());
+    std::partial_sort(local.begin(), local.begin() + keep, local.end());
+    local.resize(keep);
+    candidates.insert(candidates.end(), local.begin(), local.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Kruskal spanning forest, then extra short cycle edges.
+  UnionFind uf(num_intersections);
+  std::vector<Candidate> unused;
+  std::vector<std::pair<NodeId, NodeId>>& streets = skeleton.streets;
+  auto canonical = [](NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  auto encode = [](std::pair<NodeId, NodeId> e) {
+    return (static_cast<int64_t>(e.first) << 32) | e.second;
+  };
+  std::unordered_set<int64_t> street_set;
+  for (const Candidate& c : candidates) {
+    if (uf.Union(c.u, c.v)) {
+      const auto edge = canonical(c.u, c.v);
+      streets.push_back(edge);
+      street_set.insert(encode(edge));
+    } else {
+      unused.push_back(c);
+    }
+  }
+  const size_t target_streets = static_cast<size_t>(
+      streets_per_intersection * num_intersections);
+  std::sort(unused.begin(), unused.end());
+  for (const Candidate& c : unused) {
+    if (streets.size() >= target_streets) break;
+    const auto edge = canonical(c.u, c.v);
+    if (street_set.insert(encode(edge)).second) {
+      streets.push_back(edge);
+    }
+  }
+
+  // Stitch the spanning forest into one connected network — real road
+  // networks are connected, while the k-NN candidate set can leave
+  // isolated pockets. Repeatedly link the smallest component to its
+  // nearest outside node.
+  while (true) {
+    std::unordered_map<int, std::vector<NodeId>> components;
+    for (NodeId v = 0; v < num_intersections; ++v) {
+      components[uf.Find(v)].push_back(v);
+    }
+    if (components.size() <= 1) break;
+    const std::vector<NodeId>* smallest = nullptr;
+    for (const auto& [root, members] : components) {
+      (void)root;
+      if (smallest == nullptr || members.size() < smallest->size()) {
+        smallest = &members;
+      }
+    }
+    double best_dist = kInfDistance;
+    NodeId best_inside = kInvalidNode;
+    NodeId best_outside = kInvalidNode;
+    const int small_root = uf.Find((*smallest)[0]);
+    for (const NodeId inside : *smallest) {
+      for (NodeId outside = 0; outside < num_intersections; ++outside) {
+        if (uf.Find(outside) == small_root) continue;
+        const double d = EuclideanDistance(skeleton.intersections[inside],
+                                           skeleton.intersections[outside]);
+        if (d < best_dist) {
+          best_dist = d;
+          best_inside = inside;
+          best_outside = outside;
+        }
+      }
+    }
+    uf.Union(best_inside, best_outside);
+    const auto edge = canonical(best_inside, best_outside);
+    if (street_set.insert(encode(edge)).second) streets.push_back(edge);
+  }
+  return skeleton;
+}
+
+}  // namespace
+
+Graph GenerateCity(const CityOptions& options) {
+  Rng rng(options.seed);
+  Skeleton skeleton = options.style == CityStyle::kGrid
+                          ? BuildGridSkeleton(options, rng)
+                          : BuildOrganicSkeleton(options, rng);
+  return ExpandSkeleton(skeleton, options.avg_edge_length, rng);
+}
+
+namespace {
+CityOptions MakePreset(const std::string& name, int nodes, CityStyle style,
+                       double edge_len, double scale, uint64_t seed) {
+  CityOptions options;
+  options.name = name;
+  options.target_nodes =
+      std::max(200, static_cast<int>(std::lround(nodes * scale)));
+  options.style = style;
+  options.avg_edge_length = edge_len;
+  options.seed = seed;
+  return options;
+}
+}  // namespace
+
+CityOptions AalborgPreset(double scale, uint64_t seed) {
+  return MakePreset("Aalborg", 50961, CityStyle::kOrganic, 30.2, scale, seed);
+}
+CityOptions RigaPreset(double scale, uint64_t seed) {
+  return MakePreset("Riga", 287927, CityStyle::kOrganic, 28.7, scale, seed);
+}
+CityOptions CopenhagenPreset(double scale, uint64_t seed) {
+  return MakePreset("Copenhagen", 282826, CityStyle::kOrganic, 32.6, scale,
+                    seed);
+}
+CityOptions LasVegasPreset(double scale, uint64_t seed) {
+  return MakePreset("LasVegas", 425759, CityStyle::kGrid, 50.4, scale, seed);
+}
+
+}  // namespace mcfs

@@ -1,0 +1,48 @@
+#ifndef MCFS_GRAPH_ROAD_NETWORK_H_
+#define MCFS_GRAPH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Style of synthetic city road network.
+//  kGrid    — regular Manhattan-style grid (Las Vegas in the paper);
+//  kOrganic — irregular European-style network grown from a spatial
+//             spanning tree plus cycle edges (Aalborg/Riga/Copenhagen).
+// Both styles subdivide streets into short road-shape segments, which is
+// what gives real OSM networks their characteristic average degree of
+// ~2.2-2.4 and short average edge lengths.
+enum class CityStyle { kGrid, kOrganic };
+
+// Parameters of the synthetic city generator. This substitutes the
+// OpenStreetMap exports used in the paper (see DESIGN.md §2.1): the
+// generator reproduces the structural statistics of Table III (node and
+// edge counts, average/max degree, average edge length in meters).
+struct CityOptions {
+  std::string name = "city";
+  int target_nodes = 50000;
+  CityStyle style = CityStyle::kOrganic;
+  double avg_edge_length = 30.0;  // meters
+  // Fraction of grid streets removed for irregularity (grid style only).
+  double street_dropout = 0.06;
+  uint64_t seed = 42;
+};
+
+// Generates a synthetic city road network with coordinates in meters.
+Graph GenerateCity(const CityOptions& options);
+
+// Presets mirroring Table III of the paper. `scale` in (0, 1] shrinks
+// the target node count (benchmarks default to scaled-down cities so the
+// full suite completes on a laptop; scale=1 reproduces the paper sizes).
+CityOptions AalborgPreset(double scale = 1.0, uint64_t seed = 42);
+CityOptions RigaPreset(double scale = 1.0, uint64_t seed = 43);
+CityOptions CopenhagenPreset(double scale = 1.0, uint64_t seed = 44);
+CityOptions LasVegasPreset(double scale = 1.0, uint64_t seed = 45);
+
+}  // namespace mcfs
+
+#endif  // MCFS_GRAPH_ROAD_NETWORK_H_

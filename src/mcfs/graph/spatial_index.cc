@@ -1,0 +1,73 @@
+#include "mcfs/graph/spatial_index.h"
+
+#include <algorithm>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+SpatialGridIndex::SpatialGridIndex(std::vector<Point> points,
+                                   double target_per_cell)
+    : points_(std::move(points)) {
+  MCFS_CHECK_GT(target_per_cell, 0.0);
+  if (points_.empty()) {
+    buckets_.resize(1);
+    return;
+  }
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  min_x_ = std::numeric_limits<double>::infinity();
+  min_y_ = std::numeric_limits<double>::infinity();
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double extent_x = std::max(max_x - min_x_, 1e-9);
+  const double extent_y = std::max(max_y - min_y_, 1e-9);
+  // Aim for ~target_per_cell points per cell on average.
+  const double area = extent_x * extent_y;
+  cell_size_ = std::sqrt(area * target_per_cell /
+                         static_cast<double>(points_.size()));
+  cell_size_ = std::max(cell_size_, 1e-9);
+  cells_x_ = static_cast<int64_t>(extent_x / cell_size_) + 1;
+  cells_y_ = static_cast<int64_t>(extent_y / cell_size_) + 1;
+  buckets_.resize(static_cast<size_t>(cells_x_ * cells_y_));
+  for (int id = 0; id < static_cast<int>(points_.size()); ++id) {
+    const CellCoord cell = CellOf(points_[id]);
+    buckets_[static_cast<size_t>(cell.y * cells_x_ + cell.x)].push_back(id);
+  }
+}
+
+const std::vector<int>* SpatialGridIndex::CellBucket(int64_t cx,
+                                                     int64_t cy) const {
+  if (cx < 0 || cx >= cells_x_ || cy < 0 || cy >= cells_y_) return nullptr;
+  return &buckets_[static_cast<size_t>(cy * cells_x_ + cx)];
+}
+
+int SpatialGridIndex::NearestNeighbor(const Point& query) const {
+  return NearestNeighborIf(query, [](int) { return true; });
+}
+
+std::vector<int> SpatialGridIndex::RangeQuery(const Point& query,
+                                              double radius) const {
+  std::vector<int> result;
+  if (points_.empty()) return result;
+  const CellCoord lo = CellOf({query.x - radius, query.y - radius});
+  const CellCoord hi = CellOf({query.x + radius, query.y + radius});
+  for (int64_t cx = lo.x; cx <= hi.x; ++cx) {
+    for (int64_t cy = lo.y; cy <= hi.y; ++cy) {
+      const std::vector<int>* bucket = CellBucket(cx, cy);
+      if (bucket == nullptr) continue;
+      for (const int id : *bucket) {
+        if (EuclideanDistance(points_[id], query) <= radius) {
+          result.push_back(id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcfs

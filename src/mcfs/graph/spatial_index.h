@@ -1,0 +1,98 @@
+#ifndef MCFS_GRAPH_SPATIAL_INDEX_H_
+#define MCFS_GRAPH_SPATIAL_INDEX_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Uniform-grid spatial index over a point set (2-D, Euclidean). Used
+// wherever the library needs geometric (not network) proximity: mapping
+// bucket centroids to candidate facilities in the Hilbert baseline,
+// venue placement in the workload simulators, and nearest-node lookups
+// in the examples.
+//
+// Build: O(n). NearestNeighbor: expected O(1) ring search for bounded
+// densities. RangeQuery: output-sensitive.
+class SpatialGridIndex {
+ public:
+  // `points` is copied; `target_per_cell` tunes the grid resolution.
+  explicit SpatialGridIndex(std::vector<Point> points,
+                            double target_per_cell = 4.0);
+
+  int size() const { return static_cast<int>(points_.size()); }
+  const Point& point(int id) const { return points_[id]; }
+
+  // Index of the nearest point to `query`, optionally skipping entries
+  // rejected by `accept` (e.g., already-used facilities). Returns -1
+  // when no acceptable point exists.
+  int NearestNeighbor(const Point& query) const;
+  template <typename AcceptFn>
+  int NearestNeighborIf(const Point& query, AcceptFn&& accept) const;
+
+  // All point ids within `radius` of `query` (unordered).
+  std::vector<int> RangeQuery(const Point& query, double radius) const;
+
+ private:
+  struct CellCoord {
+    int64_t x;
+    int64_t y;
+  };
+  CellCoord CellOf(const Point& p) const {
+    return {static_cast<int64_t>(std::floor((p.x - min_x_) / cell_size_)),
+            static_cast<int64_t>(std::floor((p.y - min_y_) / cell_size_))};
+  }
+  const std::vector<int>* CellBucket(int64_t cx, int64_t cy) const;
+
+  std::vector<Point> points_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  double cell_size_ = 1.0;
+  int64_t cells_x_ = 1;
+  int64_t cells_y_ = 1;
+  std::vector<std::vector<int>> buckets_;  // cells_x_ * cells_y_
+};
+
+template <typename AcceptFn>
+int SpatialGridIndex::NearestNeighborIf(const Point& query,
+                                        AcceptFn&& accept) const {
+  if (points_.empty()) return -1;
+  const CellCoord center = CellOf(query);
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  // Expanding ring search; once a candidate is found, finish the ring
+  // whose cells could still contain something closer.
+  const int64_t max_ring =
+      std::max(cells_x_, cells_y_) + 1;  // covers the whole grid
+  for (int64_t ring = 0; ring <= max_ring; ++ring) {
+    if (best != -1 &&
+        (static_cast<double>(ring) - 1.0) * cell_size_ > best_dist) {
+      break;  // no farther ring can beat the incumbent
+    }
+    for (int64_t dx = -ring; dx <= ring; ++dx) {
+      for (int64_t dy = -ring; dy <= ring; ++dy) {
+        if (std::max(std::llabs(dx), std::llabs(dy)) != ring) continue;
+        const std::vector<int>* bucket =
+            CellBucket(center.x + dx, center.y + dy);
+        if (bucket == nullptr) continue;
+        for (const int id : *bucket) {
+          if (!accept(id)) continue;
+          const double d = EuclideanDistance(points_[id], query);
+          if (d < best_dist) {
+            best_dist = d;
+            best = id;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mcfs
+
+#endif  // MCFS_GRAPH_SPATIAL_INDEX_H_

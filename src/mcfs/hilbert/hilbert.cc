@@ -1,0 +1,67 @@
+#include "mcfs/hilbert/hilbert.h"
+
+#include <algorithm>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+namespace {
+
+// Rotates/flips the quadrant-local coordinates per the curve recursion.
+void Rotate(uint32_t side, uint32_t* x, uint32_t* y, uint32_t rx,
+            uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = side - 1 - *x;
+      *y = side - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertIndex(int order, uint32_t x, uint32_t y) {
+  MCFS_CHECK(order > 0 && order <= 31);
+  const uint32_t side = 1u << order;
+  MCFS_CHECK(x < side && y < side);
+  uint64_t d = 0;
+  for (uint32_t s = side / 2; s > 0; s /= 2) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCell(int order, uint64_t d, uint32_t* x, uint32_t* y) {
+  MCFS_CHECK(order > 0 && order <= 31);
+  const uint32_t side = 1u << order;
+  *x = 0;
+  *y = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < side; s *= 2) {
+    const uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    const uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+uint64_t HilbertIndexForPoint(int order, double x, double y, double min_x,
+                              double min_y, double extent) {
+  MCFS_CHECK_GT(extent, 0.0);
+  const uint32_t side = 1u << order;
+  auto to_cell = [&](double v, double lo) {
+    double scaled = (v - lo) / extent * side;
+    const double max_cell = static_cast<double>(side) - 1.0;
+    return static_cast<uint32_t>(std::clamp(scaled, 0.0, max_cell));
+  };
+  return HilbertIndex(order, to_cell(x, min_x), to_cell(y, min_y));
+}
+
+}  // namespace mcfs

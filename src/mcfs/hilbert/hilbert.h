@@ -1,0 +1,24 @@
+#ifndef MCFS_HILBERT_HILBERT_H_
+#define MCFS_HILBERT_HILBERT_H_
+
+#include <cstdint>
+
+namespace mcfs {
+
+// 2-D Hilbert space-filling curve of order `order` (grid side 2^order).
+// Standard rotate/flip construction (Kamel & Faloutsos [18]).
+//
+// Index along the curve of the grid cell (x, y); x, y in [0, 2^order).
+uint64_t HilbertIndex(int order, uint32_t x, uint32_t y);
+
+// Inverse: grid cell of curve index d.
+void HilbertCell(int order, uint64_t d, uint32_t* x, uint32_t* y);
+
+// Maps a point in [min, min+extent]^2 onto the Hilbert curve of the
+// given order (clamping to the grid). Used to spatially sort customers.
+uint64_t HilbertIndexForPoint(int order, double x, double y, double min_x,
+                              double min_y, double extent);
+
+}  // namespace mcfs
+
+#endif  // MCFS_HILBERT_HILBERT_H_

@@ -1,0 +1,155 @@
+#include "mcfs/workload/bike_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/random.h"
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/workload/workload.h"
+
+namespace mcfs {
+
+namespace {
+
+// Shortest path between two nodes as a node sequence (empty when
+// unreachable). One Dijkstra bounded by reaching the target.
+std::vector<NodeId> ShortestPathNodes(const Graph& graph, NodeId from,
+                                      NodeId to) {
+  std::vector<double> dist(graph.NumNodes(), kInfDistance);
+  std::vector<NodeId> parent(graph.NumNodes(), kInvalidNode);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  dist[from] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    if (v == to) break;
+    for (const AdjEntry& e : graph.Neighbors(v)) {
+      if (d + e.weight < dist[e.to]) {
+        dist[e.to] = d + e.weight;
+        parent[e.to] = v;
+        heap.push({dist[e.to], e.to});
+      }
+    }
+  }
+  if (dist[to] == kInfDistance) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = to; v != kInvalidNode; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// Hourly intensity of commuting: a morning peak toward work and an
+// evening peak back home (sign encodes direction).
+double CommuteIntensity(int hour) {
+  const double morning = std::exp(-0.5 * std::pow((hour - 8.5) / 1.5, 2));
+  const double evening = std::exp(-0.5 * std::pow((hour - 17.0) / 1.8, 2));
+  return morning - evening;
+}
+
+}  // namespace
+
+BikeScenario GenerateBikeScenario(const Graph& city,
+                                  const BikeSimOptions& options) {
+  MCFS_CHECK_GE(city.NumNodes(), options.num_stations);
+  Rng rng(options.seed);
+  BikeScenario scenario;
+
+  // Home and work district anchors.
+  const int num_districts = 4;
+  std::vector<NodeId> homes;
+  std::vector<NodeId> works;
+  for (int d = 0; d < num_districts; ++d) {
+    homes.push_back(
+        static_cast<NodeId>(rng.UniformInt(0, city.NumNodes() - 1)));
+    works.push_back(
+        static_cast<NodeId>(rng.UniformInt(0, city.NumNodes() - 1)));
+  }
+
+  // Commuter origin/destination flows routed along shortest paths; the
+  // endpoints act as sources/sinks of bikes (divergence), interior path
+  // nodes are flow-through (zero net divergence).
+  std::vector<std::vector<double>> divergence(
+      options.hours, std::vector<double>(city.NumNodes(), 0.0));
+  for (int f = 0; f < options.num_commuter_flows; ++f) {
+    // Jittered endpoints near a random home/work anchor: walk a few
+    // random hops from the anchor.
+    auto jitter = [&](NodeId anchor) {
+      NodeId v = anchor;
+      const int hops = static_cast<int>(rng.UniformInt(0, 12));
+      for (int h = 0; h < hops; ++h) {
+        const auto neighbors = city.Neighbors(v);
+        if (neighbors.empty()) break;
+        v = neighbors[rng.UniformInt(0, neighbors.size() - 1)].to;
+      }
+      return v;
+    };
+    const NodeId home = jitter(homes[rng.UniformInt(0, num_districts - 1)]);
+    const NodeId work = jitter(works[rng.UniformInt(0, num_districts - 1)]);
+    const std::vector<NodeId> path = ShortestPathNodes(city, home, work);
+    if (path.empty()) continue;
+    const double volume = rng.Uniform(0.5, 2.0);
+    for (int hour = 0; hour < options.hours; ++hour) {
+      const double g = volume * CommuteIntensity(hour) +
+                       volume * 0.1 * rng.Gaussian();
+      // Positive g: bikes leave home (negative divergence) and arrive
+      // at work (positive divergence); negative g is the reverse leg.
+      divergence[hour][path.front()] -= g;
+      divergence[hour][path.back()] += g;
+    }
+  }
+
+  // Docking demand = variance of the divergence across hours, per node.
+  scenario.demand.assign(city.NumNodes(), 0.0);
+  double total = 0.0;
+  for (NodeId v = 0; v < city.NumNodes(); ++v) {
+    double mean = 0.0;
+    for (int hour = 0; hour < options.hours; ++hour) {
+      mean += divergence[hour][v];
+    }
+    mean /= options.hours;
+    double var = 0.0;
+    for (int hour = 0; hour < options.hours; ++hour) {
+      const double d = divergence[hour][v] - mean;
+      var += d * d;
+    }
+    scenario.demand[v] = var / options.hours;
+    total += scenario.demand[v];
+  }
+  MCFS_CHECK_GT(total, 0.0);
+  for (double& d : scenario.demand) d /= total;
+
+  // Bikes: sampled with replacement from the demand distribution, with
+  // a small uniform smoothing so bikes also appear off the main flows.
+  std::vector<double> cumulative(city.NumNodes());
+  {
+    const double smoothing = 0.1 / city.NumNodes();
+    double run = 0.0;
+    for (NodeId v = 0; v < city.NumNodes(); ++v) {
+      run += 0.9 * scenario.demand[v] + smoothing;
+      cumulative[v] = run;
+    }
+  }
+  for (int b = 0; b < options.num_bikes; ++b) {
+    const double target = rng.Uniform(0.0, cumulative.back());
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), target);
+    scenario.bikes.push_back(static_cast<NodeId>(it - cumulative.begin()));
+  }
+
+  // Stations: uniform distinct sites with skewed dock counts.
+  scenario.stations = SampleDistinctNodes(city, options.num_stations, rng);
+  scenario.capacities.resize(options.num_stations);
+  for (int s = 0; s < options.num_stations; ++s) {
+    scenario.capacities[s] =
+        2 + static_cast<int>(std::floor(std::exp(rng.Uniform(0.0, 3.0))));
+  }
+  return scenario;
+}
+
+}  // namespace mcfs

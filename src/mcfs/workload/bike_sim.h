@@ -1,0 +1,41 @@
+#ifndef MCFS_WORKLOAD_BIKE_SIM_H_
+#define MCFS_WORKLOAD_BIKE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Parameters of the dockless-bike scenario generator (Sec. VII-F-2).
+// This substitutes the Copenhagen open-data feeds: synthetic commuting
+// flows stand in for the bike traffic counters, and the paper's own
+// pipeline — per-hour bike flow on streets, node divergence (bikes
+// parked per hour), variance of the divergence across hours, normalized
+// into a docking-demand distribution — is reproduced on top of them.
+struct BikeSimOptions {
+  int num_stations = 600;  // candidate docking stations (6000 in the paper)
+  int num_bikes = 500;     // scattered bikes = customers (1000 in the paper)
+  int num_commuter_flows = 200;  // simulated home->work origin/destination pairs
+  int hours = 24;
+  uint64_t seed = 42;
+};
+
+struct BikeScenario {
+  std::vector<NodeId> stations;      // candidate facility nodes (distinct)
+  std::vector<int> capacities;       // docks per station
+  std::vector<NodeId> bikes;         // customer locations
+  std::vector<double> demand;        // normalized per-node docking demand
+};
+
+// Simulates commuter traffic between home and work districts across the
+// day, accumulates per-node divergence per hour along shortest paths,
+// takes the variance across hours as docking demand, and places bikes
+// accordingly. Stations are sampled uniformly with skewed capacities.
+BikeScenario GenerateBikeScenario(const Graph& city,
+                                  const BikeSimOptions& options);
+
+}  // namespace mcfs
+
+#endif  // MCFS_WORKLOAD_BIKE_SIM_H_

@@ -1,0 +1,120 @@
+#include "mcfs/workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+std::vector<int> UniformCapacities(int l, int c) {
+  MCFS_CHECK_GE(c, 0);
+  return std::vector<int>(l, c);
+}
+
+std::vector<int> RandomCapacities(int l, int lo, int hi, Rng& rng) {
+  std::vector<int> capacities(l);
+  for (int& c : capacities) {
+    c = static_cast<int>(rng.UniformInt(lo, hi));
+  }
+  return capacities;
+}
+
+std::vector<int> OperatingHoursCapacities(int l, Rng& rng) {
+  std::vector<int> capacities(l);
+  for (int& c : capacities) {
+    c = std::clamp(static_cast<int>(std::lround(rng.Gaussian(9.0, 2.5))), 4,
+                   14);
+  }
+  return capacities;
+}
+
+std::vector<NodeId> SampleNodesWithReplacement(const Graph& graph, int m,
+                                               Rng& rng) {
+  std::vector<NodeId> nodes(m);
+  for (NodeId& v : nodes) {
+    v = static_cast<NodeId>(rng.UniformInt(0, graph.NumNodes() - 1));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> SampleDistinctNodes(const Graph& graph, int m, Rng& rng) {
+  const std::vector<int> sample =
+      rng.SampleWithoutReplacement(graph.NumNodes(), m);
+  return std::vector<NodeId>(sample.begin(), sample.end());
+}
+
+std::vector<NodeId> SampleDistinctNodesWeighted(
+    const std::vector<double>& weights, int m, Rng& rng) {
+  // Weighted sampling without replacement via exponential sort keys
+  // (Efraimidis–Spirakis): key = -log(u) / w, keep the m smallest.
+  std::vector<std::pair<double, NodeId>> keyed;
+  keyed.reserve(weights.size());
+  for (size_t v = 0; v < weights.size(); ++v) {
+    if (weights[v] <= 0.0) continue;
+    double u = 0.0;
+    while (u <= 1e-300) u = rng.NextDouble();
+    keyed.push_back({-std::log(u) / weights[v], static_cast<NodeId>(v)});
+  }
+  MCFS_CHECK_GE(keyed.size(), static_cast<size_t>(m))
+      << "not enough positively weighted nodes to sample from";
+  std::partial_sort(keyed.begin(), keyed.begin() + m, keyed.end());
+  std::vector<NodeId> nodes(m);
+  for (int i = 0; i < m; ++i) nodes[i] = keyed[i].second;
+  return nodes;
+}
+
+std::vector<NodeId> PlaceCustomersByDistricts(const Graph& graph, int m,
+                                              int num_districts, Rng& rng) {
+  MCFS_CHECK(graph.has_coordinates());
+  MCFS_CHECK_GT(num_districts, 0);
+  // District centers with lognormal-ish population weights and radii
+  // proportional to the city extent.
+  double min_x = graph.coordinate(0).x;
+  double min_y = graph.coordinate(0).y;
+  double max_x = min_x;
+  double max_y = min_y;
+  for (const Point& p : graph.coordinates()) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double extent = std::max({max_x - min_x, max_y - min_y, 1e-9});
+  struct District {
+    Point center;
+    double weight;
+    double radius;
+  };
+  std::vector<District> districts(num_districts);
+  for (District& d : districts) {
+    d.center = {rng.Uniform(min_x, max_x), rng.Uniform(min_y, max_y)};
+    d.weight = std::exp(rng.Gaussian(0.0, 0.7));
+    d.radius = extent * rng.Uniform(0.06, 0.18);
+  }
+  // Per-node density: sum of district kernels plus a small floor.
+  std::vector<double> cumulative(graph.NumNodes());
+  double run = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const Point& p = graph.coordinate(v);
+    double density = 0.02;
+    for (const District& d : districts) {
+      const double dist = EuclideanDistance(p, d.center);
+      density +=
+          d.weight * std::exp(-(dist * dist) / (2.0 * d.radius * d.radius));
+    }
+    run += density;
+    cumulative[v] = run;
+  }
+  std::vector<NodeId> customers(m);
+  for (NodeId& c : customers) {
+    const double target = rng.Uniform(0.0, run);
+    c = static_cast<NodeId>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), target) -
+        cumulative.begin());
+    if (c >= graph.NumNodes()) c = graph.NumNodes() - 1;
+  }
+  return customers;
+}
+
+}  // namespace mcfs

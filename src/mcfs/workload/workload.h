@@ -1,0 +1,49 @@
+#ifndef MCFS_WORKLOAD_WORKLOAD_H_
+#define MCFS_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "mcfs/common/random.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// --- capacity generators -------------------------------------------------
+
+// All facilities share capacity c (the paper's uniform experiments).
+std::vector<int> UniformCapacities(int l, int c);
+
+// Independent uniform capacities in [lo, hi] (Fig. 6d uses [1, 10]).
+std::vector<int> RandomCapacities(int l, int lo, int hi, Rng& rng);
+
+// Daily operating hours as capacity proxy (Sec. VII-F: venues average 9
+// opening hours); clamped integer Gaussian around 9 in [4, 14].
+std::vector<int> OperatingHoursCapacities(int l, Rng& rng);
+
+// --- customer / facility placement ---------------------------------------
+
+// m node ids sampled uniformly with replacement (customers may share a
+// node).
+std::vector<NodeId> SampleNodesWithReplacement(const Graph& graph, int m,
+                                               Rng& rng);
+
+// m distinct node ids sampled uniformly (e.g., "customers at 10% of all
+// nodes", facility sites).
+std::vector<NodeId> SampleDistinctNodes(const Graph& graph, int m, Rng& rng);
+
+// m distinct nodes sampled from an explicit per-node weight vector
+// (weights need not be normalized; nodes with zero weight are excluded).
+std::vector<NodeId> SampleDistinctNodesWeighted(
+    const std::vector<double>& weights, int m, Rng& rng);
+
+// Customers placed proportionally to district populations (the paper's
+// Copenhagen coworking setup, Sec. VII-F-1b): `num_districts` Gaussian
+// population centers with random weights; every node gets a population
+// density and m customers are drawn from it (with replacement).
+// Requires graph coordinates.
+std::vector<NodeId> PlaceCustomersByDistricts(const Graph& graph, int m,
+                                              int num_districts, Rng& rng);
+
+}  // namespace mcfs
+
+#endif  // MCFS_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,119 @@
+#include "mcfs/workload/yelp_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/random.h"
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/workload/workload.h"
+
+namespace mcfs {
+
+CoworkingScenario GenerateCoworkingScenario(const Graph& city,
+                                            const YelpSimOptions& options) {
+  MCFS_CHECK(city.has_coordinates());
+  MCFS_CHECK_GE(city.NumNodes(), options.num_venues);
+  Rng rng(options.seed);
+  CoworkingScenario scenario;
+
+  // Hotspot centers where venues (and occupancies) concentrate.
+  std::vector<Point> hotspots;
+  for (int h = 0; h < options.num_hotspots; ++h) {
+    const NodeId v =
+        static_cast<NodeId>(rng.UniformInt(0, city.NumNodes() - 1));
+    hotspots.push_back(city.coordinate(v));
+  }
+  // Characteristic hotspot radius: a fraction of the city extent.
+  double min_x = kInfDistance, max_x = -kInfDistance;
+  double min_y = kInfDistance, max_y = -kInfDistance;
+  for (const Point& p : city.coordinates()) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double radius =
+      0.15 * std::max({max_x - min_x, max_y - min_y, 1.0});
+
+  auto hotspot_affinity = [&](NodeId v) {
+    const Point& p = city.coordinate(v);
+    double best = kInfDistance;
+    for (const Point& h : hotspots) {
+      best = std::min(best, EuclideanDistance(p, h));
+    }
+    return std::exp(-(best * best) / (2.0 * radius * radius));
+  };
+
+  // Venues: weighted sample favoring hotspot proximity.
+  std::vector<double> venue_weights(city.NumNodes());
+  for (NodeId v = 0; v < city.NumNodes(); ++v) {
+    venue_weights[v] = 0.05 + hotspot_affinity(v);
+  }
+  scenario.venues =
+      SampleDistinctNodesWeighted(venue_weights, options.num_venues, rng);
+
+  // Occupancies: lognormal-ish scale boosted near hotspots.
+  scenario.occupancy.resize(options.num_venues);
+  for (int i = 0; i < options.num_venues; ++i) {
+    const double base = std::exp(rng.Gaussian(0.0, 0.6));
+    scenario.occupancy[i] =
+        base * (0.3 + 2.0 * hotspot_affinity(scenario.venues[i]));
+  }
+  scenario.capacities = OperatingHoursCapacities(options.num_venues, rng);
+
+  // Network Voronoi cells of the venues.
+  const MultiSourceResult voronoi = MultiSourceDijkstra(city, scenario.venues);
+  std::vector<int64_t> cell_size(options.num_venues, 0);
+  for (NodeId v = 0; v < city.NumNodes(); ++v) {
+    if (voronoi.nearest_index[v] >= 0) cell_size[voronoi.nearest_index[v]]++;
+  }
+  const double occupancy_total = std::accumulate(
+      scenario.occupancy.begin(), scenario.occupancy.end(), 0.0);
+
+  // Per-node customer weights following the paper's mixture: the
+  // omega-term pulls customers toward cell boundaries shared with
+  // high-occupancy neighbors, the (1-omega)-term spreads them evenly
+  // over the cell.
+  std::vector<double> node_weights(city.NumNodes(), 0.0);
+  for (NodeId v = 0; v < city.NumNodes(); ++v) {
+    const int cell = voronoi.nearest_index[v];
+    if (cell < 0) continue;  // unreachable from every venue
+    // Neighboring cell (if this node borders one).
+    double neighbor_occupancy = 0.0;
+    for (const AdjEntry& e : city.Neighbors(v)) {
+      const int other = voronoi.nearest_index[e.to];
+      if (other >= 0 && other != cell) {
+        neighbor_occupancy =
+            std::max(neighbor_occupancy, scenario.occupancy[other]);
+      }
+    }
+    const double boundary_term =
+        occupancy_total > 0.0 ? neighbor_occupancy / occupancy_total : 0.0;
+    const double area_term =
+        cell_size[cell] > 0 ? 1.0 / static_cast<double>(cell_size[cell]) : 0.0;
+    node_weights[v] = scenario.occupancy[cell] *
+                      (options.omega * boundary_term +
+                       (1.0 - options.omega) * area_term);
+  }
+
+  // Customers sampled with replacement from the weight field (several
+  // coworkers can share a street corner).
+  std::vector<double> cumulative(node_weights.size());
+  std::partial_sum(node_weights.begin(), node_weights.end(),
+                   cumulative.begin());
+  const double total_weight = cumulative.back();
+  MCFS_CHECK_GT(total_weight, 0.0);
+  scenario.customers.reserve(options.num_customers);
+  for (int i = 0; i < options.num_customers; ++i) {
+    const double target = rng.Uniform(0.0, total_weight);
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), target);
+    scenario.customers.push_back(
+        static_cast<NodeId>(it - cumulative.begin()));
+  }
+  return scenario;
+}
+
+}  // namespace mcfs

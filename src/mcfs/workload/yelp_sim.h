@@ -1,0 +1,44 @@
+#ifndef MCFS_WORKLOAD_YELP_SIM_H_
+#define MCFS_WORKLOAD_YELP_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Parameters of the coworking scenario generator (Sec. VII-F-1). This
+// substitutes the Yelp check-in data of the paper: synthetic venues with
+// occupancies stand in for restaurants with check-in counts, and the
+// customer distribution is derived with the paper's own occupancy/area
+// mixture formula (omega-weighted) over *network* Voronoi cells.
+struct YelpSimOptions {
+  int num_venues = 400;     // candidate facilities (4089 in the paper's LV)
+  int num_customers = 500;  // coworkers to place (1000 in the paper's LV)
+  int num_hotspots = 3;     // venue concentration centers ("the strip")
+  double omega = 0.5;       // paper's default mixing weight
+  uint64_t seed = 42;
+};
+
+struct CoworkingScenario {
+  std::vector<NodeId> venues;      // candidate facility nodes (distinct)
+  std::vector<int> capacities;     // operating hours per venue
+  std::vector<double> occupancy;   // per venue, arbitrary positive scale
+  std::vector<NodeId> customers;   // derived customer locations
+};
+
+// Generates venues concentrated around hotspots, assigns each an
+// occupancy (higher near hotspots) and an operating-hours capacity, and
+// places customers according to the occupancy-driven per-node weights:
+// within venue i's network Voronoi cell, a node's weight is
+//   O_i * (omega * O_j / sum_j O_j + (1 - omega) / |cell_i|),
+// where O_j is the occupancy of the neighboring cell the node borders
+// (interior nodes use the area term only) — the road-network adaptation
+// of the paper's Voronoi/triangle construction.
+CoworkingScenario GenerateCoworkingScenario(const Graph& city,
+                                            const YelpSimOptions& options);
+
+}  // namespace mcfs
+
+#endif  // MCFS_WORKLOAD_YELP_SIM_H_

@@ -1,0 +1,97 @@
+#include "mcfs/graph/alt_router.h"
+
+#include <gtest/gtest.h>
+
+#include "mcfs/graph/road_network.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+using testing_util::RandomDisconnectedGraph;
+using testing_util::RandomGraph;
+
+class AltRouterOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AltRouterOracleTest, DistancesMatchDijkstra) {
+  Rng rng(500 + GetParam());
+  const int n = 20 + static_cast<int>(rng.UniformInt(0, 150));
+  const Graph graph = GetParam() % 4 == 0
+                          ? RandomDisconnectedGraph(n, 3, rng)
+                          : RandomGraph(n, n, rng);
+  AltRouter router(&graph, 4, rng);
+  for (int q = 0; q < 15; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    const std::vector<double> oracle = ShortestPathsFrom(graph, s);
+    const double alt = router.Distance(s, t);
+    if (oracle[t] == kInfDistance) {
+      EXPECT_EQ(alt, kInfDistance);
+    } else {
+      EXPECT_NEAR(alt, oracle[t], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, AltRouterOracleTest,
+                         ::testing::Range(0, 20));
+
+TEST(AltRouterTest, PathIsConnectedAndPricedCorrectly) {
+  Rng rng(77);
+  const Graph graph = RandomGraph(80, 100, rng);
+  AltRouter router(&graph, 4, rng);
+  const NodeId s = 3;
+  const NodeId t = 71;
+  const std::vector<NodeId> path = router.Path(s, t);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), s);
+  EXPECT_EQ(path.back(), t);
+  // Consecutive nodes are adjacent; edge weights sum to the distance.
+  double total = 0.0;
+  for (size_t hop = 0; hop + 1 < path.size(); ++hop) {
+    double weight = kInfDistance;
+    for (const AdjEntry& e : graph.Neighbors(path[hop])) {
+      if (e.to == path[hop + 1]) weight = std::min(weight, e.weight);
+    }
+    ASSERT_NE(weight, kInfDistance) << "path uses a non-edge";
+    total += weight;
+  }
+  EXPECT_NEAR(total, router.Distance(s, t), 1e-9);
+}
+
+TEST(AltRouterTest, TrivialAndDisconnectedQueries) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 2.0);
+  // nodes 2, 3 isolated
+  builder.AddEdge(2, 3, 1.0);
+  const Graph graph = builder.Build();
+  Rng rng(1);
+  AltRouter router(&graph, 2, rng);
+  EXPECT_DOUBLE_EQ(router.Distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(router.Distance(0, 1), 2.0);
+  EXPECT_EQ(router.Distance(0, 3), kInfDistance);
+  EXPECT_TRUE(router.Path(0, 3).empty());
+  EXPECT_EQ(router.Path(0, 0), (std::vector<NodeId>{0}));
+}
+
+TEST(AltRouterTest, SettlesFewerNodesThanDijkstraOnRoadNetworks) {
+  const Graph city = GenerateCity(AalborgPreset(0.05, 42));
+  Rng rng(5);
+  AltRouter router(&city, 8, rng);
+  int64_t alt_settled = 0;
+  int queries = 0;
+  for (int q = 0; q < 10; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, city.NumNodes() - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, city.NumNodes() - 1));
+    if (router.Distance(s, t) == kInfDistance) continue;
+    alt_settled += router.last_settled_count();
+    ++queries;
+  }
+  ASSERT_GT(queries, 0);
+  // On a road network ALT should settle well under half the graph per
+  // query on average.
+  EXPECT_LT(alt_settled / queries, city.NumNodes() / 2);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,153 @@
+#include "mcfs/graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+using testing_util::FloydWarshall;
+using testing_util::RandomDisconnectedGraph;
+using testing_util::RandomGraph;
+
+TEST(DijkstraTest, PathGraphDistances) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.5);
+  builder.AddEdge(1, 2, 2.5);
+  builder.AddEdge(2, 3, 3.0);
+  const Graph graph = builder.Build();
+  const std::vector<double> dist = ShortestPathsFrom(graph, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.5);
+  EXPECT_DOUBLE_EQ(dist[2], 4.0);
+  EXPECT_DOUBLE_EQ(dist[3], 7.0);
+}
+
+TEST(DijkstraTest, UnreachableNodesAreInfinite) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  const Graph graph = builder.Build();
+  const std::vector<double> dist = ShortestPathsFrom(graph, 0);
+  EXPECT_EQ(dist[2], kInfDistance);
+  EXPECT_EQ(dist[3], kInfDistance);
+}
+
+class DijkstraOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraOracleTest, MatchesFloydWarshall) {
+  Rng rng(100 + GetParam());
+  const int n = 5 + static_cast<int>(rng.UniformInt(0, 40));
+  const Graph graph = GetParam() % 3 == 0
+                          ? RandomDisconnectedGraph(n, 2 + n % 3, rng)
+                          : RandomGraph(n, n, rng);
+  const auto oracle = FloydWarshall(graph);
+  for (NodeId s = 0; s < n; s += 3) {
+    const std::vector<double> dist = ShortestPathsFrom(graph, s);
+    for (NodeId v = 0; v < n; ++v) {
+      if (oracle[s][v] == kInfDistance) {
+        EXPECT_EQ(dist[v], kInfDistance);
+      } else {
+        EXPECT_NEAR(dist[v], oracle[s][v], 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, DijkstraOracleTest,
+                         ::testing::Range(0, 25));
+
+TEST(DijkstraWithinRadiusTest, SettlesOnlyWithinRadiusInOrder) {
+  Rng rng(7);
+  const Graph graph = RandomGraph(60, 80, rng);
+  const std::vector<double> full = ShortestPathsFrom(graph, 0);
+  const double radius = 8.0;
+  const std::vector<SettledNode> settled =
+      DijkstraWithinRadius(graph, 0, radius);
+  double prev = 0.0;
+  for (const SettledNode& s : settled) {
+    EXPECT_LE(prev, s.distance + 1e-12);
+    EXPECT_LE(s.distance, radius);
+    EXPECT_NEAR(s.distance, full[s.node], 1e-9);
+    prev = s.distance;
+  }
+  // Every node within the radius must be present.
+  size_t expected = 0;
+  for (const double d : full) {
+    if (d <= radius) ++expected;
+  }
+  EXPECT_EQ(settled.size(), expected);
+}
+
+TEST(MultiSourceDijkstraTest, NearestSourceAndDistance) {
+  Rng rng(9);
+  const Graph graph = RandomGraph(50, 60, rng);
+  const std::vector<NodeId> sources = {3, 17, 42};
+  const MultiSourceResult msd = MultiSourceDijkstra(graph, sources);
+  std::vector<std::vector<double>> per_source;
+  for (const NodeId s : sources) {
+    per_source.push_back(ShortestPathsFrom(graph, s));
+  }
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    double best = kInfDistance;
+    for (const auto& dist : per_source) best = std::min(best, dist[v]);
+    EXPECT_NEAR(msd.distance[v], best, 1e-9);
+    if (best != kInfDistance) {
+      EXPECT_NEAR(per_source[msd.nearest_index[v]][v], best, 1e-9);
+    }
+  }
+}
+
+class IncrementalDijkstraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalDijkstraTest, SettlesAllNodesInSortedOrder) {
+  Rng rng(200 + GetParam());
+  const int n = 5 + static_cast<int>(rng.UniformInt(0, 60));
+  const Graph graph = RandomGraph(n, n / 2, rng);
+  const std::vector<double> full = ShortestPathsFrom(graph, 0);
+
+  IncrementalDijkstra inc(&graph, 0);
+  double prev = 0.0;
+  int count = 0;
+  while (true) {
+    const double peek = inc.PeekNextDistance();
+    const std::optional<SettledNode> s = inc.NextSettled();
+    if (!s.has_value()) {
+      EXPECT_EQ(peek, kInfDistance);
+      break;
+    }
+    EXPECT_NEAR(peek, s->distance, 1e-12);
+    EXPECT_LE(prev, s->distance + 1e-12);
+    EXPECT_NEAR(s->distance, full[s->node], 1e-9);
+    EXPECT_NEAR(inc.SettledDistance(s->node), s->distance, 1e-12);
+    prev = s->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, n);  // RandomGraph is connected
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, IncrementalDijkstraTest,
+                         ::testing::Range(0, 20));
+
+TEST(IncrementalDijkstraTest, InterleavedInstancesAreIndependent) {
+  Rng rng(5);
+  const Graph graph = RandomGraph(40, 40, rng);
+  const std::vector<double> from0 = ShortestPathsFrom(graph, 0);
+  const std::vector<double> from5 = ShortestPathsFrom(graph, 5);
+  IncrementalDijkstra a(&graph, 0);
+  IncrementalDijkstra b(&graph, 5);
+  for (int step = 0; step < 40; ++step) {
+    const auto sa = a.NextSettled();
+    const auto sb = b.NextSettled();
+    ASSERT_TRUE(sa.has_value());
+    ASSERT_TRUE(sb.has_value());
+    EXPECT_NEAR(sa->distance, from0[sa->node], 1e-9);
+    EXPECT_NEAR(sb->distance, from5[sb->node], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,61 @@
+#include "mcfs/exact/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "mcfs/graph/road_network.h"
+#include "mcfs/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+// Dijkstra oracle for the matrix.
+std::vector<double> OracleMatrix(const McfsInstance& instance) {
+  return testing_util::DistanceMatrix(instance);
+}
+
+TEST(DistanceMatrixTest, DijkstraPathOnDenseCandidates) {
+  Rng rng(1);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(60, 10, 40, 4, 3, rng);
+  bool used_ch = true;
+  const std::vector<double> matrix =
+      ComputeDistanceMatrix(ri.instance, &used_ch);
+  EXPECT_FALSE(used_ch);  // l = 40 of n = 60: candidates are dense
+  const std::vector<double> oracle = OracleMatrix(ri.instance);
+  ASSERT_EQ(matrix.size(), oracle.size());
+  for (size_t e = 0; e < matrix.size(); ++e) {
+    if (oracle[e] == kInfDistance) {
+      EXPECT_EQ(matrix[e], kInfDistance);
+    } else {
+      EXPECT_NEAR(matrix[e], oracle[e], 1e-9);
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, ChPathOnSparseCandidates) {
+  const Graph city = GenerateCity(CopenhagenPreset(0.005, 42));
+  Rng rng(2);
+  McfsInstance instance;
+  instance.graph = &city;
+  instance.customers = SampleDistinctNodes(city, 50, rng);
+  instance.facility_nodes = SampleDistinctNodes(city, city.NumNodes() / 8, rng);
+  instance.capacities = UniformCapacities(instance.l(), 5);
+  instance.k = 5;
+  bool used_ch = false;
+  const std::vector<double> matrix =
+      ComputeDistanceMatrix(instance, &used_ch);
+  EXPECT_TRUE(used_ch);  // sparse candidates, many customers
+  const std::vector<double> oracle = OracleMatrix(instance);
+  ASSERT_EQ(matrix.size(), oracle.size());
+  for (size_t e = 0; e < matrix.size(); ++e) {
+    if (oracle[e] == kInfDistance) {
+      EXPECT_EQ(matrix[e], kInfDistance);
+    } else {
+      EXPECT_NEAR(matrix[e], oracle[e], 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,118 @@
+#include "mcfs/core/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+TEST(DynamicMcfsTest, AddRemoveBookkeeping) {
+  Rng rng(1);
+  const Graph graph = testing_util::RandomGraph(50, 30, rng);
+  DynamicMcfs dynamic(&graph, {1, 10, 20, 30}, {5, 5, 5, 5}, 2);
+  const int a = dynamic.AddCustomer(3);
+  const int b = dynamic.AddCustomer(7);
+  const int c = dynamic.AddCustomer(11);
+  EXPECT_EQ(dynamic.num_active_customers(), 3);
+  dynamic.RemoveCustomer(b);
+  EXPECT_EQ(dynamic.num_active_customers(), 2);
+  EXPECT_EQ(dynamic.ActiveCustomerIds(), (std::vector<int>{a, c}));
+}
+
+TEST(DynamicMcfsTest, FirstResolveIsAFullSolve) {
+  Rng rng(2);
+  const Graph graph = testing_util::RandomGraph(60, 40, rng);
+  DynamicMcfs dynamic(&graph, {5, 15, 25, 35, 45}, {3, 3, 3, 3, 3}, 3);
+  dynamic.AddCustomer(0);
+  dynamic.AddCustomer(10);
+  bool reselected = false;
+  const McfsSolution& solution = dynamic.Resolve(&reselected);
+  EXPECT_TRUE(reselected);
+  EXPECT_TRUE(solution.feasible);
+  EXPECT_EQ(dynamic.full_solves(), 1);
+  EXPECT_EQ(dynamic.incremental_solves(), 0);
+}
+
+TEST(DynamicMcfsTest, SmallChangesReuseTheSelection) {
+  Rng rng(3);
+  const Graph graph = testing_util::RandomGraph(100, 80, rng);
+  std::vector<NodeId> facilities;
+  std::vector<int> capacities;
+  for (int j = 0; j < 20; ++j) {
+    facilities.push_back(j * 5);
+    capacities.push_back(4);
+  }
+  DynamicMcfs dynamic(&graph, facilities, capacities, 8);
+  for (int i = 0; i < 20; ++i) {
+    dynamic.AddCustomer(static_cast<NodeId>(rng.UniformInt(0, 99)));
+  }
+  dynamic.Resolve();
+  ASSERT_EQ(dynamic.full_solves(), 1);
+
+  // A single extra customer should not trigger re-selection (ratio
+  // default 1.25 gives slack).
+  dynamic.AddCustomer(static_cast<NodeId>(rng.UniformInt(0, 99)));
+  bool reselected = true;
+  const McfsSolution& solution = dynamic.Resolve(&reselected);
+  EXPECT_TRUE(solution.feasible);
+  if (!reselected) {
+    EXPECT_EQ(dynamic.incremental_solves(), 1);
+  }
+  // Solutions stay consistent with the active customer set.
+  EXPECT_EQ(solution.assignment.size(),
+            static_cast<size_t>(dynamic.num_active_customers()));
+}
+
+TEST(DynamicMcfsTest, CapacityPressureTriggersReselection) {
+  // Facilities with capacity 1; once customers outnumber the selected
+  // capacity, keeping the old selection is infeasible and the solver
+  // must re-select.
+  GraphBuilder builder(10);
+  for (int v = 0; v + 1 < 10; ++v) builder.AddEdge(v, v + 1, 1.0);
+  const Graph graph = builder.Build();
+  DynamicMcfs dynamic(&graph, {1, 4, 7}, {1, 1, 1}, 3);
+  dynamic.AddCustomer(0);
+  dynamic.Resolve();
+  dynamic.AddCustomer(5);
+  dynamic.AddCustomer(9);
+  bool reselected = false;
+  const McfsSolution& solution = dynamic.Resolve(&reselected);
+  EXPECT_TRUE(solution.feasible);
+  EXPECT_EQ(solution.assignment.size(), 3u);
+}
+
+TEST(DynamicMcfsTest, ObjectiveTracksFullSolveQuality) {
+  Rng rng(4);
+  const Graph graph = testing_util::RandomGraph(120, 100, rng);
+  std::vector<NodeId> facilities;
+  std::vector<int> capacities;
+  for (int j = 0; j < 30; ++j) {
+    facilities.push_back(j * 4);
+    capacities.push_back(3);
+  }
+  DynamicMcfs dynamic(&graph, facilities, capacities, 10);
+  Rng arrivals(5);
+  std::vector<int> ids;
+  for (int event = 0; event < 30; ++event) {
+    if (ids.size() > 5 && arrivals.NextDouble() < 0.3) {
+      const size_t pick = arrivals.UniformInt(0, ids.size() - 1);
+      dynamic.RemoveCustomer(ids[pick]);
+      ids.erase(ids.begin() + pick);
+    } else {
+      ids.push_back(dynamic.AddCustomer(
+          static_cast<NodeId>(arrivals.UniformInt(0, 119))));
+    }
+    const McfsSolution& incremental = dynamic.Resolve();
+    ASSERT_TRUE(incremental.feasible);
+    // Assignments must cover exactly the active customers.
+    EXPECT_EQ(incremental.assignment.size(),
+              static_cast<size_t>(dynamic.num_active_customers()));
+  }
+  EXPECT_GT(dynamic.incremental_solves(), 0)
+      << "warm-start path never exercised";
+  EXPECT_GE(dynamic.full_solves(), 1);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,82 @@
+#include "mcfs/graph/facility_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+using testing_util::RandomGraph;
+
+class FacilityStreamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FacilityStreamTest, StreamsFacilitiesInSortedDistanceOrder) {
+  Rng rng(800 + GetParam());
+  const int n = 10 + static_cast<int>(rng.UniformInt(0, 60));
+  const Graph graph = RandomGraph(n, n, rng);
+  const int l = 1 + static_cast<int>(rng.UniformInt(0, n / 2));
+  std::vector<int> facility_index_of_node(n, -1);
+  const std::vector<int> facility_nodes =
+      rng.SampleWithoutReplacement(n, l);
+  for (int j = 0; j < l; ++j) {
+    facility_index_of_node[facility_nodes[j]] = j;
+  }
+  const NodeId customer = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+  const std::vector<double> dist = ShortestPathsFrom(graph, customer);
+
+  // Oracle: facilities sorted by true distance.
+  std::vector<double> expected;
+  for (const int node : facility_nodes) {
+    if (dist[node] != kInfDistance) expected.push_back(dist[node]);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  NearestFacilityStream stream(&graph, customer, &facility_index_of_node);
+  std::set<int> seen;
+  for (const double want : expected) {
+    EXPECT_NEAR(stream.PeekDistance(), want, 1e-9);
+    const auto got = stream.Pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_NEAR(got->distance, want, 1e-9);
+    EXPECT_NEAR(dist[facility_nodes[got->facility]], got->distance, 1e-9);
+    EXPECT_TRUE(seen.insert(got->facility).second) << "duplicate facility";
+  }
+  EXPECT_TRUE(stream.Exhausted());
+  EXPECT_FALSE(stream.Pop().has_value());
+  EXPECT_EQ(stream.num_popped(), static_cast<int>(expected.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, FacilityStreamTest,
+                         ::testing::Range(0, 25));
+
+TEST(FacilityStreamTest, PeekDoesNotConsume) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  const Graph graph = builder.Build();
+  std::vector<int> facility_index_of_node = {-1, 0, 1};
+  NearestFacilityStream stream(&graph, 0, &facility_index_of_node);
+  EXPECT_DOUBLE_EQ(stream.PeekDistance(), 1.0);
+  EXPECT_DOUBLE_EQ(stream.PeekDistance(), 1.0);
+  EXPECT_EQ(stream.Pop()->facility, 0);
+  EXPECT_DOUBLE_EQ(stream.PeekDistance(), 2.0);
+}
+
+TEST(FacilityStreamTest, CustomerOnFacilityNodeYieldsZeroDistance) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 5.0);
+  const Graph graph = builder.Build();
+  std::vector<int> facility_index_of_node = {0, 1};
+  NearestFacilityStream stream(&graph, 0, &facility_index_of_node);
+  const auto first = stream.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->facility, 0);
+  EXPECT_DOUBLE_EQ(first->distance, 0.0);
+}
+
+}  // namespace
+}  // namespace mcfs

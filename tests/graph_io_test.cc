@@ -1,0 +1,83 @@
+#include "mcfs/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripsGraphWithCoordinates) {
+  Rng rng(17);
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1, 1.5);
+  builder.AddEdge(1, 2, 2.25);
+  builder.AddEdge(3, 4, 0.75);
+  builder.SetCoordinates(
+      {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  const Graph original = builder.Build();
+  const std::string path = TempPath("roundtrip.graph");
+  ASSERT_TRUE(SaveGraph(original, path));
+  const std::optional<Graph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  ASSERT_TRUE(loaded->has_coordinates());
+  for (NodeId v = 0; v < original.NumNodes(); ++v) {
+    EXPECT_DOUBLE_EQ(loaded->coordinate(v).x, original.coordinate(v).x);
+  }
+  // Shortest paths agree (same weights).
+  const std::vector<double> a = ShortestPathsFrom(original, 0);
+  const std::vector<double> b = ShortestPathsFrom(*loaded, 0);
+  for (NodeId v = 0; v < original.NumNodes(); ++v) {
+    if (a[v] == kInfDistance) {
+      EXPECT_EQ(b[v], kInfDistance);
+    } else {
+      EXPECT_NEAR(a[v], b[v], 1e-9);
+    }
+  }
+}
+
+TEST(GraphIoTest, RoundTripsGraphWithoutCoordinates) {
+  Rng rng(18);
+  const Graph original = testing_util::RandomGraph(20, 15, rng);
+  const std::string path = TempPath("nocoords.graph");
+  ASSERT_TRUE(SaveGraph(original, path));
+  const std::optional<Graph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  EXPECT_FALSE(loaded->has_coordinates());
+}
+
+TEST(GraphIoTest, MissingFileFailsCleanly) {
+  EXPECT_FALSE(LoadGraph("/nonexistent/path/x.graph").has_value());
+}
+
+TEST(GraphIoTest, CorruptFileFailsCleanly) {
+  const std::string path = TempPath("corrupt.graph");
+  {
+    std::ofstream out(path);
+    out << "3 2 0\n0 1 1.0\n0 99 1.0\n";  // node out of range
+  }
+  EXPECT_FALSE(LoadGraph(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "3 2 0\n0 1 -4.0\n";  // negative weight
+  }
+  EXPECT_FALSE(LoadGraph(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "not a graph";
+  }
+  EXPECT_FALSE(LoadGraph(path).has_value());
+}
+
+}  // namespace
+}  // namespace mcfs

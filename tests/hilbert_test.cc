@@ -1,0 +1,69 @@
+#include "mcfs/hilbert/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mcfs {
+namespace {
+
+TEST(HilbertTest, Order1Curve) {
+  // The order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+  EXPECT_EQ(HilbertIndex(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertIndex(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertIndex(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertIndex(1, 1, 0), 3u);
+}
+
+class HilbertOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrderTest, BijectionOverTheGrid) {
+  const int order = GetParam();
+  const uint32_t side = 1u << order;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      const uint64_t d = HilbertIndex(order, x, y);
+      EXPECT_LT(d, static_cast<uint64_t>(side) * side);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      HilbertCell(order, d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrderTest, ::testing::Values(1, 2, 3,
+                                                                     4, 5));
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining locality property of the curve.
+  const int order = 5;
+  const uint32_t side = 1u << order;
+  for (uint64_t d = 0; d + 1 < static_cast<uint64_t>(side) * side; ++d) {
+    uint32_t x1, y1, x2, y2;
+    HilbertCell(order, d, &x1, &y1);
+    HilbertCell(order, d + 1, &x2, &y2);
+    const int manhattan = std::abs(static_cast<int>(x1) - static_cast<int>(x2)) +
+                          std::abs(static_cast<int>(y1) - static_cast<int>(y2));
+    EXPECT_EQ(manhattan, 1) << "jump at index " << d;
+  }
+}
+
+TEST(HilbertTest, PointMappingClampsAndScales) {
+  const int order = 8;
+  // Corners map to distinct cells; out-of-range points clamp.
+  const uint64_t origin = HilbertIndexForPoint(order, 0.0, 0.0, 0.0, 0.0, 100.0);
+  const uint64_t beyond =
+      HilbertIndexForPoint(order, 1e9, 1e9, 0.0, 0.0, 100.0);
+  const uint64_t below =
+      HilbertIndexForPoint(order, -1e9, -1e9, 0.0, 0.0, 100.0);
+  EXPECT_EQ(origin, below);
+  EXPECT_NE(origin, beyond);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,99 @@
+#include "mcfs/core/instance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "mcfs/core/wma.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(InstanceIoTest, RoundTripsInstance) {
+  Rng rng(3);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(40, 10, 8, 4, 5, rng);
+  const std::string path = TempPath("instance.mcfs");
+  ASSERT_TRUE(SaveInstance(ri.instance, path));
+  const std::optional<McfsInstance> loaded =
+      LoadInstance(&ri.graph, path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->customers, ri.instance.customers);
+  EXPECT_EQ(loaded->facility_nodes, ri.instance.facility_nodes);
+  EXPECT_EQ(loaded->capacities, ri.instance.capacities);
+  EXPECT_EQ(loaded->k, ri.instance.k);
+  // Both instances solve to the same objective.
+  const McfsSolution a = RunWma(ri.instance).solution;
+  const McfsSolution b = RunWma(*loaded).solution;
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(InstanceIoTest, RoundTripsSolution) {
+  Rng rng(4);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(40, 10, 8, 4, 5, rng);
+  const McfsSolution solution = RunWma(ri.instance).solution;
+  const std::string path = TempPath("solution.mcfs");
+  ASSERT_TRUE(SaveSolution(solution, path));
+  const std::optional<McfsSolution> loaded = LoadSolution(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->selected, solution.selected);
+  EXPECT_EQ(loaded->assignment, solution.assignment);
+  EXPECT_EQ(loaded->feasible, solution.feasible);
+  EXPECT_NEAR(loaded->objective, solution.objective, 1e-9);
+  // A loaded solution still validates against the original instance.
+  EXPECT_TRUE(ValidateSolution(ri.instance, *loaded, true).ok);
+}
+
+TEST(InstanceIoTest, RejectsCorruptInstance) {
+  Rng rng(5);
+  const Graph graph = testing_util::RandomGraph(10, 5, rng);
+  const std::string path = TempPath("corrupt_instance.mcfs");
+  {
+    std::ofstream out(path);
+    out << "MCFS 1\n2 1 1\n0\n99\n0 3\n";  // customer node 99 > n
+  }
+  EXPECT_FALSE(LoadInstance(&graph, path).has_value());
+  {
+    std::ofstream out(path);
+    out << "WRONG 1\n";
+  }
+  EXPECT_FALSE(LoadInstance(&graph, path).has_value());
+  {
+    std::ofstream out(path);
+    out << "MCFS 2\n";  // unknown version
+  }
+  EXPECT_FALSE(LoadInstance(&graph, path).has_value());
+  EXPECT_FALSE(LoadInstance(&graph, "/no/such/file").has_value());
+}
+
+TEST(InstanceIoTest, RejectsCorruptSolution) {
+  const std::string path = TempPath("corrupt_solution.mcfs");
+  {
+    std::ofstream out(path);
+    out << "MCFSSOL 1\n2 1 5.0 1\n0 1\n";  // truncated assignment
+  }
+  EXPECT_FALSE(LoadSolution(path).has_value());
+  EXPECT_FALSE(LoadSolution("/no/such/file").has_value());
+}
+
+TEST(InstanceIoTest, EmptySelectionSolution) {
+  McfsSolution solution;
+  solution.assignment = {-1, -1};
+  solution.distances = {0.0, 0.0};
+  solution.feasible = false;
+  const std::string path = TempPath("empty_solution.mcfs");
+  ASSERT_TRUE(SaveSolution(solution, path));
+  const std::optional<McfsSolution> loaded = LoadSolution(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->selected.empty());
+  EXPECT_EQ(loaded->assignment, solution.assignment);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,127 @@
+// End-to-end integration tests: the full production pipeline — city
+// generation, workload simulation, solving, analytics, persistence —
+// exercised together, as the examples and benches use it.
+
+#include <gtest/gtest.h>
+
+#include "mcfs/baselines/hilbert_baseline.h"
+#include "mcfs/core/instance_io.h"
+#include "mcfs/core/local_search.h"
+#include "mcfs/core/solution_stats.h"
+#include "mcfs/core/wma.h"
+#include "mcfs/exact/bb_solver.h"
+#include "mcfs/graph/graph_io.h"
+#include "mcfs/graph/road_network.h"
+#include "mcfs/workload/bike_sim.h"
+#include "mcfs/workload/yelp_sim.h"
+
+namespace mcfs {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static const Graph& City() {
+    static const Graph* city =
+        new Graph(GenerateCity(AalborgPreset(0.02, 42)));
+    return *city;
+  }
+};
+
+TEST_F(IntegrationTest, CoworkingPipeline) {
+  YelpSimOptions yelp;
+  yelp.num_venues = 80;
+  yelp.num_customers = 120;
+  yelp.seed = 7;
+  const CoworkingScenario scenario = GenerateCoworkingScenario(City(), yelp);
+
+  McfsInstance instance;
+  instance.graph = &City();
+  instance.customers = scenario.customers;
+  instance.facility_nodes = scenario.venues;
+  instance.capacities = scenario.capacities;
+  instance.k = 25;
+  ASSERT_TRUE(IsFeasible(instance));
+
+  // Solve with every algorithm; all must validate, WMA must win or tie
+  // against Hilbert.
+  const McfsSolution wma = RunWma(instance).solution;
+  const McfsSolution uf = RunUniformFirstWma(instance).solution;
+  const McfsSolution hilbert = RunHilbertBaseline(instance);
+  for (const McfsSolution* solution : {&wma, &uf, &hilbert}) {
+    const ValidationResult validation =
+        ValidateSolution(instance, *solution, true);
+    EXPECT_TRUE(validation.ok) << validation.message;
+    EXPECT_TRUE(solution->feasible);
+  }
+  EXPECT_LE(wma.objective, hilbert.objective * 1.1);
+
+  // Polish, analyze, persist, reload.
+  const LocalSearchResult polished = ImproveByLocalSearch(instance, wma);
+  EXPECT_LE(polished.solution.objective, wma.objective + 1e-9);
+  const SolutionStats stats =
+      ComputeSolutionStats(instance, polished.solution);
+  EXPECT_EQ(stats.assigned_customers, instance.m());
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(SaveGraph(City(), dir + "/it.graph"));
+  ASSERT_TRUE(SaveInstance(instance, dir + "/it.instance"));
+  ASSERT_TRUE(SaveSolution(polished.solution, dir + "/it.solution"));
+  const std::optional<Graph> graph2 = LoadGraph(dir + "/it.graph");
+  ASSERT_TRUE(graph2.has_value());
+  const std::optional<McfsInstance> instance2 =
+      LoadInstance(&*graph2, dir + "/it.instance");
+  ASSERT_TRUE(instance2.has_value());
+  const std::optional<McfsSolution> solution2 =
+      LoadSolution(dir + "/it.solution");
+  ASSERT_TRUE(solution2.has_value());
+  // The reloaded triple still validates, including network distances.
+  EXPECT_TRUE(ValidateSolution(*instance2, *solution2, true).ok);
+}
+
+TEST_F(IntegrationTest, BikePipelineMatchesExactOnSmallK) {
+  BikeSimOptions sim;
+  sim.num_stations = 60;
+  sim.num_bikes = 80;
+  sim.num_commuter_flows = 40;
+  sim.seed = 11;
+  const BikeScenario scenario = GenerateBikeScenario(City(), sim);
+  McfsInstance instance;
+  instance.graph = &City();
+  instance.customers = scenario.bikes;
+  instance.facility_nodes = scenario.stations;
+  instance.capacities = scenario.capacities;
+  instance.k = 20;
+  if (!IsFeasible(instance)) GTEST_SKIP();
+
+  const McfsSolution wma = RunWma(instance).solution;
+  ASSERT_TRUE(wma.feasible);
+  ExactOptions options;
+  options.time_limit_seconds = 30.0;
+  const ExactResult exact = SolveExact(instance, options);
+  if (exact.optimal && exact.solution.feasible) {
+    EXPECT_GE(wma.objective, exact.solution.objective - 1e-6);
+    EXPECT_LE(wma.objective, exact.solution.objective * 1.6);
+  }
+}
+
+TEST_F(IntegrationTest, DeterministicAcrossRuns) {
+  YelpSimOptions yelp;
+  yelp.num_venues = 40;
+  yelp.num_customers = 60;
+  yelp.seed = 3;
+  const CoworkingScenario scenario = GenerateCoworkingScenario(City(), yelp);
+  McfsInstance instance;
+  instance.graph = &City();
+  instance.customers = scenario.customers;
+  instance.facility_nodes = scenario.venues;
+  instance.capacities = scenario.capacities;
+  instance.k = 12;
+  const McfsSolution a = RunWma(instance).solution;
+  const McfsSolution b = RunWma(instance).solution;
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,106 @@
+#include "mcfs/core/set_cover.h"
+
+#include <gtest/gtest.h>
+
+namespace mcfs {
+namespace {
+
+CoverInput MakeInput(int num_customers, int k,
+                     const std::vector<std::vector<int>>* sigma,
+                     const std::vector<int>* demand, int demand_cap) {
+  CoverInput input;
+  input.num_customers = num_customers;
+  input.k = k;
+  input.customers_of_facility = sigma;
+  input.demand = demand;
+  input.demand_cap = demand_cap;
+  return input;
+}
+
+TEST(CheckCoverTest, SelectsGreedyMaxCoverage) {
+  // f0 covers {0,1,2}; f1 covers {2,3}; f2 covers {3}. k=2 should take
+  // f0 then f1 and cover everyone.
+  const std::vector<std::vector<int>> sigma = {{0, 1, 2}, {2, 3}, {3}};
+  const std::vector<int> demand(4, 1);
+  std::vector<int64_t> last_selected(3, -1);
+  const CoverResult result =
+      CheckCover(MakeInput(4, 2, &sigma, &demand, 3), last_selected, 0);
+  EXPECT_EQ(result.selected, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(result.fully_covered);
+  EXPECT_TRUE(result.all_delta_zero);
+}
+
+TEST(CheckCoverTest, LazyGainRefreshAvoidsDoubleCounting) {
+  // f1's raw count (3) exceeds f2's (2), but after f0 is taken f1's
+  // marginal gain drops to 1 while f2 still gains 2.
+  const std::vector<std::vector<int>> sigma = {
+      {0, 1, 2, 3}, {1, 2, 3}, {4, 5}};
+  const std::vector<int> demand(6, 1);
+  std::vector<int64_t> last_selected(3, -1);
+  const CoverResult result =
+      CheckCover(MakeInput(6, 2, &sigma, &demand, 3), last_selected, 0);
+  EXPECT_EQ(result.selected, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(result.fully_covered);
+}
+
+TEST(CheckCoverTest, UncoveredCustomersGetDemandIncrease) {
+  const std::vector<std::vector<int>> sigma = {{0}, {1}};
+  const std::vector<int> demand = {1, 1, 1};
+  std::vector<int64_t> last_selected(2, -1);
+  const CoverResult result =
+      CheckCover(MakeInput(3, 2, &sigma, &demand, 2), last_selected, 0);
+  EXPECT_FALSE(result.fully_covered);
+  EXPECT_FALSE(result.all_delta_zero);
+  EXPECT_EQ(result.delta_demand[0], 0);  // covered
+  EXPECT_EQ(result.delta_demand[1], 0);  // covered
+  EXPECT_EQ(result.delta_demand[2], 1);  // uncovered, can explore
+}
+
+TEST(CheckCoverTest, DemandCapStopsExploration) {
+  const std::vector<std::vector<int>> sigma = {{0}};
+  const std::vector<int> demand = {1, 1};  // customer 1 at cap (cap=1)
+  std::vector<int64_t> last_selected(1, -1);
+  const CoverResult result =
+      CheckCover(MakeInput(2, 1, &sigma, &demand, 1), last_selected, 0);
+  EXPECT_FALSE(result.fully_covered);
+  EXPECT_TRUE(result.all_delta_zero);  // cap reached: loop must stop
+}
+
+TEST(CheckCoverTest, SaturatedCustomersDoNotExplore) {
+  const std::vector<std::vector<int>> sigma = {{0}};
+  const std::vector<int> demand = {1, 1};
+  const std::vector<uint8_t> saturated = {0, 1};
+  CoverInput input = MakeInput(2, 1, &sigma, &demand, 5);
+  input.saturated = &saturated;
+  std::vector<int64_t> last_selected(1, -1);
+  const CoverResult result = CheckCover(input, last_selected, 0);
+  EXPECT_TRUE(result.all_delta_zero);
+  EXPECT_FALSE(result.fully_covered);
+}
+
+TEST(CheckCoverTest, RecencyBreaksTies) {
+  // Both facilities cover one distinct customer each; k=1. The one
+  // selected least recently must win the tie.
+  const std::vector<std::vector<int>> sigma = {{0}, {1}};
+  const std::vector<int> demand = {1, 1};
+  std::vector<int64_t> last_selected = {5, 2};  // f1 chosen longer ago
+  const CoverResult result =
+      CheckCover(MakeInput(2, 1, &sigma, &demand, 2), last_selected, 7);
+  EXPECT_EQ(result.selected, (std::vector<int>{1}));
+  EXPECT_EQ(last_selected[1], 7);  // updated to the current iteration
+  EXPECT_EQ(last_selected[0], 5);
+}
+
+TEST(CheckCoverTest, StopsAtZeroGain) {
+  // Only one facility has any customers; k=3 must not select empties.
+  const std::vector<std::vector<int>> sigma = {{0, 1}, {}, {}};
+  const std::vector<int> demand = {1, 1};
+  std::vector<int64_t> last_selected(3, -1);
+  const CoverResult result =
+      CheckCover(MakeInput(2, 3, &sigma, &demand, 3), last_selected, 0);
+  EXPECT_EQ(result.selected, (std::vector<int>{0}));
+  EXPECT_TRUE(result.fully_covered);
+}
+
+}  // namespace
+}  // namespace mcfs

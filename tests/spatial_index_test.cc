@@ -1,0 +1,105 @@
+#include "mcfs/graph/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mcfs/common/random.h"
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/graph/generators.h"
+
+namespace mcfs {
+namespace {
+
+std::vector<Point> RandomPoints(int n, Rng& rng) {
+  return GenerateUniformPoints(n, 1000.0, rng);
+}
+
+TEST(SpatialIndexTest, NearestNeighborSmallCase) {
+  SpatialGridIndex index({{0, 0}, {10, 0}, {0, 10}, {7, 7}});
+  EXPECT_EQ(index.NearestNeighbor({1, 1}), 0);
+  EXPECT_EQ(index.NearestNeighbor({9, 1}), 1);
+  EXPECT_EQ(index.NearestNeighbor({6, 6}), 3);
+  EXPECT_EQ(index.size(), 4);
+}
+
+TEST(SpatialIndexTest, EmptyIndex) {
+  SpatialGridIndex index({});
+  EXPECT_EQ(index.NearestNeighbor({0, 0}), -1);
+  EXPECT_TRUE(index.RangeQuery({0, 0}, 10.0).empty());
+}
+
+class SpatialIndexOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpatialIndexOracleTest, NearestNeighborMatchesBruteForce) {
+  Rng rng(100 + GetParam());
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 300));
+  const std::vector<Point> points = RandomPoints(n, rng);
+  const SpatialGridIndex index(points);
+  for (int q = 0; q < 25; ++q) {
+    const Point query{rng.Uniform(-100.0, 1100.0),
+                      rng.Uniform(-100.0, 1100.0)};
+    int expected = 0;
+    for (int i = 1; i < n; ++i) {
+      if (EuclideanDistance(points[i], query) <
+          EuclideanDistance(points[expected], query)) {
+        expected = i;
+      }
+    }
+    const int got = index.NearestNeighbor(query);
+    ASSERT_NE(got, -1);
+    EXPECT_NEAR(EuclideanDistance(points[got], query),
+                EuclideanDistance(points[expected], query), 1e-9);
+  }
+}
+
+TEST_P(SpatialIndexOracleTest, RangeQueryMatchesBruteForce) {
+  Rng rng(400 + GetParam());
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 300));
+  const std::vector<Point> points = RandomPoints(n, rng);
+  const SpatialGridIndex index(points);
+  for (int q = 0; q < 10; ++q) {
+    const Point query{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    const double radius = rng.Uniform(10.0, 300.0);
+    std::set<int> expected;
+    for (int i = 0; i < n; ++i) {
+      if (EuclideanDistance(points[i], query) <= radius) expected.insert(i);
+    }
+    const std::vector<int> got = index.RangeQuery(query, radius);
+    EXPECT_EQ(std::set<int>(got.begin(), got.end()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, SpatialIndexOracleTest,
+                         ::testing::Range(0, 15));
+
+TEST(SpatialIndexTest, NearestNeighborIfRespectsFilter) {
+  Rng rng(9);
+  const std::vector<Point> points = RandomPoints(100, rng);
+  const SpatialGridIndex index(points);
+  const Point query{500.0, 500.0};
+  const int unrestricted = index.NearestNeighbor(query);
+  const int filtered = index.NearestNeighborIf(
+      query, [&](int id) { return id != unrestricted; });
+  EXPECT_NE(filtered, unrestricted);
+  ASSERT_NE(filtered, -1);
+  // The filtered answer is the true second-nearest.
+  double best = kInfDistance;
+  int expected = -1;
+  for (int i = 0; i < 100; ++i) {
+    if (i == unrestricted) continue;
+    const double d = EuclideanDistance(points[i], query);
+    if (d < best) {
+      best = d;
+      expected = i;
+    }
+  }
+  EXPECT_NEAR(EuclideanDistance(points[filtered], query), best, 1e-9);
+  (void)expected;
+  // Rejecting everything yields -1.
+  EXPECT_EQ(index.NearestNeighborIf(query, [](int) { return false; }), -1);
+}
+
+}  // namespace
+}  // namespace mcfs

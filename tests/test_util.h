@@ -1,0 +1,116 @@
+#ifndef MCFS_TESTS_TEST_UTIL_H_
+#define MCFS_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "mcfs/common/random.h"
+#include "mcfs/core/instance.h"
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+namespace testing_util {
+
+// Random connected-ish sparse graph: a random spanning tree over n nodes
+// plus `extra_edges` random chords, weights uniform in [1, 10].
+inline Graph RandomGraph(int n, int extra_edges, Rng& rng) {
+  GraphBuilder builder(n);
+  for (int v = 1; v < n; ++v) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(0, v - 1));
+    builder.AddEdge(u, v, rng.Uniform(1.0, 10.0));
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    if (u != v) builder.AddEdge(u, v, rng.Uniform(1.0, 10.0));
+  }
+  return builder.Build();
+}
+
+// Random graph made of `parts` disconnected random subgraphs.
+inline Graph RandomDisconnectedGraph(int n, int parts, Rng& rng) {
+  GraphBuilder builder(n);
+  const int per_part = n / parts;
+  for (int p = 0; p < parts; ++p) {
+    const int lo = p * per_part;
+    const int hi = (p == parts - 1) ? n - 1 : lo + per_part - 1;
+    for (int v = lo + 1; v <= hi; ++v) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(lo, v - 1));
+      builder.AddEdge(u, v, rng.Uniform(1.0, 10.0));
+    }
+  }
+  return builder.Build();
+}
+
+// All-pairs shortest paths by repeated relaxation (Floyd–Warshall),
+// used as an oracle for Dijkstra-based code.
+inline std::vector<std::vector<double>> FloydWarshall(const Graph& graph) {
+  const int n = graph.NumNodes();
+  std::vector<std::vector<double>> dist(
+      n, std::vector<double>(n, kInfDistance));
+  for (int v = 0; v < n; ++v) {
+    dist[v][v] = 0.0;
+    for (const AdjEntry& e : graph.Neighbors(v)) {
+      dist[v][e.to] = std::min(dist[v][e.to], e.weight);
+    }
+  }
+  for (int mid = 0; mid < n; ++mid) {
+    for (int a = 0; a < n; ++a) {
+      if (dist[a][mid] == kInfDistance) continue;
+      for (int b = 0; b < n; ++b) {
+        if (dist[mid][b] == kInfDistance) continue;
+        dist[a][b] = std::min(dist[a][b], dist[a][mid] + dist[mid][b]);
+      }
+    }
+  }
+  return dist;
+}
+
+// Random MCFS instance over a random graph. Customer nodes may repeat;
+// facility nodes are distinct.
+struct RandomInstance {
+  Graph graph;
+  McfsInstance instance;
+};
+
+inline RandomInstance MakeRandomInstance(int n, int m, int l, int k,
+                                         int max_capacity, Rng& rng,
+                                         int disconnected_parts = 1) {
+  RandomInstance out;
+  out.graph = disconnected_parts <= 1
+                  ? RandomGraph(n, n / 2, rng)
+                  : RandomDisconnectedGraph(n, disconnected_parts, rng);
+  out.instance.graph = &out.graph;
+  for (int i = 0; i < m; ++i) {
+    out.instance.customers.push_back(
+        static_cast<NodeId>(rng.UniformInt(0, n - 1)));
+  }
+  std::vector<int> nodes = rng.SampleWithoutReplacement(n, l);
+  for (const int node : nodes) {
+    out.instance.facility_nodes.push_back(node);
+    out.instance.capacities.push_back(
+        static_cast<int>(rng.UniformInt(1, max_capacity)));
+  }
+  out.instance.k = k;
+  return out;
+}
+
+// Dense customer-facility distance matrix via per-customer Dijkstra.
+inline std::vector<double> DistanceMatrix(const McfsInstance& instance) {
+  std::vector<double> cost(
+      static_cast<size_t>(instance.m()) * instance.l());
+  for (int i = 0; i < instance.m(); ++i) {
+    const std::vector<double> dist =
+        ShortestPathsFrom(*instance.graph, instance.customers[i]);
+    for (int j = 0; j < instance.l(); ++j) {
+      cost[static_cast<size_t>(i) * instance.l() + j] =
+          dist[instance.facility_nodes[j]];
+    }
+  }
+  return cost;
+}
+
+}  // namespace testing_util
+}  // namespace mcfs
+
+#endif  // MCFS_TESTS_TEST_UTIL_H_

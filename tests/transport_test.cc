@@ -1,0 +1,85 @@
+#include "mcfs/flow/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "mcfs/common/random.h"
+
+namespace mcfs {
+namespace {
+
+TEST(TransportTest, TrivialAssignment) {
+  // 2 customers, 2 facilities, obvious diagonal optimum.
+  const std::vector<double> cost = {1.0, 5.0,   // customer 0
+                                    5.0, 1.0};  // customer 1
+  const auto result = SolveDenseTransport(2, 2, cost, {1, 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->cost, 2.0);
+  EXPECT_EQ(result->assignment[0], 0);
+  EXPECT_EQ(result->assignment[1], 1);
+}
+
+TEST(TransportTest, CapacityForcesRerouting) {
+  // Both customers prefer facility 0, but it only has one slot.
+  const std::vector<double> cost = {1.0, 10.0,  //
+                                    2.0, 3.0};
+  const auto result = SolveDenseTransport(2, 2, cost, {1, 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->cost, 4.0);  // 0->f0 (1), 1->f1 (3)
+}
+
+TEST(TransportTest, InfeasibleWhenCapacityShort) {
+  const std::vector<double> cost = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(SolveDenseTransport(3, 1, cost, {2}).has_value());
+}
+
+TEST(TransportTest, ForbiddenEdgesRespected) {
+  const std::vector<double> cost = {kInfDistance, 4.0,  //
+                                    1.0, kInfDistance};
+  const auto result = SolveDenseTransport(2, 2, cost, {1, 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->cost, 5.0);
+}
+
+TEST(TransportTest, AllEdgesForbiddenIsInfeasible) {
+  const std::vector<double> cost = {kInfDistance, kInfDistance};
+  EXPECT_FALSE(SolveDenseTransport(1, 2, cost, {1, 1}).has_value());
+}
+
+class TransportOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportOracleTest, MatchesBruteForce) {
+  Rng rng(300 + GetParam());
+  const int m = 2 + static_cast<int>(rng.UniformInt(0, 4));
+  const int l = 1 + static_cast<int>(rng.UniformInt(0, 4));
+  std::vector<double> cost(static_cast<size_t>(m) * l);
+  for (double& c : cost) {
+    c = rng.NextDouble() < 0.15 ? kInfDistance : rng.Uniform(0.0, 100.0);
+  }
+  std::vector<int> capacities(l);
+  for (int& c : capacities) c = static_cast<int>(rng.UniformInt(0, 3));
+
+  const auto fast = SolveDenseTransport(m, l, cost, capacities);
+  const auto brute = BruteForceTransport(m, l, cost, capacities);
+  ASSERT_EQ(fast.has_value(), brute.has_value());
+  if (fast.has_value()) {
+    EXPECT_NEAR(fast->cost, brute->cost, 1e-6);
+    // Verify the assignment is valid and priced correctly.
+    std::vector<int> load(l, 0);
+    double total = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const int j = fast->assignment[i];
+      ASSERT_GE(j, 0);
+      ASSERT_LT(j, l);
+      load[j]++;
+      total += cost[static_cast<size_t>(i) * l + j];
+    }
+    for (int j = 0; j < l; ++j) EXPECT_LE(load[j], capacities[j]);
+    EXPECT_NEAR(total, fast->cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, TransportOracleTest,
+                         ::testing::Range(0, 80));
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "mcfs/graph/road_network.h"
+#include "mcfs/workload/bike_sim.h"
+#include "mcfs/workload/workload.h"
+#include "mcfs/workload/yelp_sim.h"
+
+namespace mcfs {
+namespace {
+
+TEST(CapacitiesTest, UniformAndRandomRanges) {
+  Rng rng(1);
+  const std::vector<int> uniform = UniformCapacities(10, 7);
+  EXPECT_EQ(uniform, std::vector<int>(10, 7));
+  const std::vector<int> random = RandomCapacities(200, 1, 10, rng);
+  for (const int c : random) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 10);
+  }
+  // All values of the range appear for a large sample.
+  std::set<int> values(random.begin(), random.end());
+  EXPECT_GE(values.size(), 8u);
+}
+
+TEST(CapacitiesTest, OperatingHoursAverageNine) {
+  Rng rng(2);
+  const std::vector<int> hours = OperatingHoursCapacities(2000, rng);
+  const double mean =
+      std::accumulate(hours.begin(), hours.end(), 0.0) / hours.size();
+  EXPECT_NEAR(mean, 9.0, 0.3);  // paper: venues average 9 opening hours
+  for (const int h : hours) {
+    EXPECT_GE(h, 4);
+    EXPECT_LE(h, 14);
+  }
+}
+
+TEST(SamplingTest, DistinctNodesAreDistinctAndInRange) {
+  GraphBuilder builder(50);
+  for (int v = 0; v + 1 < 50; ++v) builder.AddEdge(v, v + 1, 1.0);
+  const Graph graph = builder.Build();
+  Rng rng(3);
+  const std::vector<NodeId> nodes = SampleDistinctNodes(graph, 30, rng);
+  std::set<NodeId> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const NodeId v : nodes) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(SamplingTest, WeightedSamplingAvoidsZeroWeights) {
+  Rng rng(4);
+  std::vector<double> weights(100, 0.0);
+  for (int v = 20; v < 60; ++v) weights[v] = 1.0;
+  const std::vector<NodeId> nodes =
+      SampleDistinctNodesWeighted(weights, 25, rng);
+  std::set<NodeId> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 25u);
+  for (const NodeId v : nodes) {
+    EXPECT_GE(v, 20);
+    EXPECT_LT(v, 60);
+  }
+}
+
+TEST(SamplingTest, WeightedSamplingFavorsHeavyNodes) {
+  Rng rng(5);
+  std::vector<double> weights(100, 0.01);
+  weights[7] = 1000.0;
+  int hits = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<NodeId> nodes =
+        SampleDistinctNodesWeighted(weights, 1, rng);
+    if (nodes[0] == 7) ++hits;
+  }
+  EXPECT_GT(hits, 45);
+}
+
+TEST(DistrictPlacementTest, ConcentratesOnDistricts) {
+  // Compact districts + density floor: customers land everywhere but
+  // concentrate near the centers. We check reproducibility and range.
+  GraphBuilder builder(400);
+  std::vector<Point> coords(400);
+  for (int v = 0; v < 400; ++v) {
+    coords[v] = {static_cast<double>(v % 20) * 50.0,
+                 static_cast<double>(v / 20) * 50.0};
+    if (v > 0) builder.AddEdge(v - 1, v, 1.0);
+  }
+  builder.SetCoordinates(coords);
+  const Graph graph = builder.Build();
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const std::vector<NodeId> a = PlaceCustomersByDistricts(graph, 200, 4, rng_a);
+  const std::vector<NodeId> b = PlaceCustomersByDistricts(graph, 200, 4, rng_b);
+  EXPECT_EQ(a, b);  // deterministic for a seed
+  ASSERT_EQ(a.size(), 200u);
+  for (const NodeId v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 400);
+  }
+  // Not uniform: the most popular quarter of nodes should hold well
+  // over a quarter of the customers.
+  std::vector<int> counts(400, 0);
+  for (const NodeId v : a) counts[v]++;
+  std::sort(counts.begin(), counts.end(), std::greater<int>());
+  int top_quarter = 0;
+  for (int i = 0; i < 100; ++i) top_quarter += counts[i];
+  EXPECT_GT(top_quarter, 75);
+}
+
+class CoworkingScenarioTest : public ::testing::Test {
+ protected:
+  static const Graph& City() {
+    static const Graph* city = new Graph(GenerateCity(CopenhagenPreset(0.01)));
+    return *city;
+  }
+};
+
+TEST_F(CoworkingScenarioTest, ProducesConsistentScenario) {
+  YelpSimOptions options;
+  options.num_venues = 120;
+  options.num_customers = 150;
+  options.seed = 6;
+  const CoworkingScenario scenario =
+      GenerateCoworkingScenario(City(), options);
+  EXPECT_EQ(scenario.venues.size(), 120u);
+  EXPECT_EQ(scenario.capacities.size(), 120u);
+  EXPECT_EQ(scenario.occupancy.size(), 120u);
+  EXPECT_EQ(scenario.customers.size(), 150u);
+  std::set<NodeId> distinct(scenario.venues.begin(), scenario.venues.end());
+  EXPECT_EQ(distinct.size(), 120u);
+  for (const double o : scenario.occupancy) EXPECT_GT(o, 0.0);
+  for (const NodeId c : scenario.customers) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, City().NumNodes());
+  }
+}
+
+TEST_F(CoworkingScenarioTest, DeterministicForSeed) {
+  YelpSimOptions options;
+  options.num_venues = 50;
+  options.num_customers = 60;
+  options.seed = 7;
+  const CoworkingScenario a = GenerateCoworkingScenario(City(), options);
+  const CoworkingScenario b = GenerateCoworkingScenario(City(), options);
+  EXPECT_EQ(a.venues, b.venues);
+  EXPECT_EQ(a.customers, b.customers);
+}
+
+TEST_F(CoworkingScenarioTest, BikeScenarioDemandIsADistribution) {
+  BikeSimOptions options;
+  options.num_stations = 80;
+  options.num_bikes = 100;
+  options.num_commuter_flows = 60;
+  options.seed = 8;
+  const BikeScenario scenario = GenerateBikeScenario(City(), options);
+  EXPECT_EQ(scenario.stations.size(), 80u);
+  EXPECT_EQ(scenario.bikes.size(), 100u);
+  double total = 0.0;
+  for (const double d : scenario.demand) {
+    EXPECT_GE(d, 0.0);
+    total += d;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (const int c : scenario.capacities) EXPECT_GE(c, 2);
+  std::set<NodeId> distinct(scenario.stations.begin(),
+                            scenario.stations.end());
+  EXPECT_EQ(distinct.size(), 80u);
+}
+
+TEST_F(CoworkingScenarioTest, BikeDemandConcentratesOnFlowEndpoints) {
+  BikeSimOptions options;
+  options.num_stations = 50;
+  options.num_bikes = 50;
+  options.num_commuter_flows = 80;
+  options.seed = 9;
+  const BikeScenario scenario = GenerateBikeScenario(City(), options);
+  // Demand should be sparse: most nodes see no commuter endpoints.
+  int positive = 0;
+  for (const double d : scenario.demand) {
+    if (d > 0.0) ++positive;
+  }
+  EXPECT_LT(positive, City().NumNodes() / 2);
+  EXPECT_GT(positive, 0);
+}
+
+}  // namespace
+}  // namespace mcfs
