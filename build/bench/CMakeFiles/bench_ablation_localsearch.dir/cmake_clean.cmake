@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localsearch.dir/bench_ablation_localsearch.cc.o"
+  "CMakeFiles/bench_ablation_localsearch.dir/bench_ablation_localsearch.cc.o.d"
+  "bench_ablation_localsearch"
+  "bench_ablation_localsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_aalborg.dir/bench_fig10_aalborg.cc.o"
+  "CMakeFiles/bench_fig10_aalborg.dir/bench_fig10_aalborg.cc.o.d"
+  "bench_fig10_aalborg"
+  "bench_fig10_aalborg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_aalborg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lasvegas.dir/bench_fig12_lasvegas.cc.o"
+  "CMakeFiles/bench_fig12_lasvegas.dir/bench_fig12_lasvegas.cc.o.d"
+  "bench_fig12_lasvegas"
+  "bench_fig12_lasvegas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lasvegas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_copenhagen.dir/bench_fig13_copenhagen.cc.o"
+  "CMakeFiles/bench_fig13_copenhagen.dir/bench_fig13_copenhagen.cc.o.d"
+  "bench_fig13_copenhagen"
+  "bench_fig13_copenhagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_copenhagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

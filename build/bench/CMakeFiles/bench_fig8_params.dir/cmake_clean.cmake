@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_params.dir/bench_fig8_params.cc.o"
+  "CMakeFiles/bench_fig8_params.dir/bench_fig8_params.cc.o.d"
+  "bench_fig8_params"
+  "bench_fig8_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

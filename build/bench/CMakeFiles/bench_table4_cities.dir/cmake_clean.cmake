@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cities.dir/bench_table4_cities.cc.o"
+  "CMakeFiles/bench_table4_cities.dir/bench_table4_cities.cc.o.d"
+  "bench_table4_cities"
+  "bench_table4_cities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bike_docking.dir/bike_docking.cpp.o"
+  "CMakeFiles/bike_docking.dir/bike_docking.cpp.o.d"
+  "bike_docking"
+  "bike_docking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bike_docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coworking_meetups.dir/coworking_meetups.cpp.o"
+  "CMakeFiles/coworking_meetups.dir/coworking_meetups.cpp.o.d"
+  "coworking_meetups"
+  "coworking_meetups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coworking_meetups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

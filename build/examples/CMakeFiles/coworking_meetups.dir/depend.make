@@ -1,0 +1,2 @@
+# Empty dependencies file for coworking_meetups.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_solution.dir/visualize_solution.cpp.o"
+  "CMakeFiles/visualize_solution.dir/visualize_solution.cpp.o.d"
+  "visualize_solution"
+  "visualize_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/mcfs
+# Build directory: /root/repo/build/src/mcfs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("hilbert")
+subdirs("flow")
+subdirs("core")
+subdirs("baselines")
+subdirs("exact")
+subdirs("workload")
+subdirs("bench")

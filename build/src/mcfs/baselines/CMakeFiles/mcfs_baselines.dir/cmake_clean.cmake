@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_baselines.dir/brnn.cc.o"
+  "CMakeFiles/mcfs_baselines.dir/brnn.cc.o.d"
+  "CMakeFiles/mcfs_baselines.dir/greedy_kmedian.cc.o"
+  "CMakeFiles/mcfs_baselines.dir/greedy_kmedian.cc.o.d"
+  "CMakeFiles/mcfs_baselines.dir/hilbert_baseline.cc.o"
+  "CMakeFiles/mcfs_baselines.dir/hilbert_baseline.cc.o.d"
+  "libmcfs_baselines.a"
+  "libmcfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcfs_baselines.a"
+)

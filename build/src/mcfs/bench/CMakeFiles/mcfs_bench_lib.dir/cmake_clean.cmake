@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_bench_lib.dir/runner.cc.o"
+  "CMakeFiles/mcfs_bench_lib.dir/runner.cc.o.d"
+  "libmcfs_bench_lib.a"
+  "libmcfs_bench_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_bench_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_common.dir/flags.cc.o"
+  "CMakeFiles/mcfs_common.dir/flags.cc.o.d"
+  "CMakeFiles/mcfs_common.dir/random.cc.o"
+  "CMakeFiles/mcfs_common.dir/random.cc.o.d"
+  "CMakeFiles/mcfs_common.dir/table.cc.o"
+  "CMakeFiles/mcfs_common.dir/table.cc.o.d"
+  "libmcfs_common.a"
+  "libmcfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

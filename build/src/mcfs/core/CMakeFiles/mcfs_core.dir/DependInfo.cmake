@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcfs/core/dynamic.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/dynamic.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/dynamic.cc.o.d"
+  "/root/repo/src/mcfs/core/instance.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/instance.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/instance.cc.o.d"
+  "/root/repo/src/mcfs/core/instance_io.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/instance_io.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/instance_io.cc.o.d"
+  "/root/repo/src/mcfs/core/local_search.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/local_search.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/local_search.cc.o.d"
+  "/root/repo/src/mcfs/core/repair.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/repair.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/repair.cc.o.d"
+  "/root/repo/src/mcfs/core/set_cover.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/set_cover.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/set_cover.cc.o.d"
+  "/root/repo/src/mcfs/core/solution_stats.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/solution_stats.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/solution_stats.cc.o.d"
+  "/root/repo/src/mcfs/core/wma.cc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/wma.cc.o" "gcc" "src/mcfs/core/CMakeFiles/mcfs_core.dir/wma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcfs/flow/CMakeFiles/mcfs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/graph/CMakeFiles/mcfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/common/CMakeFiles/mcfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_core.dir/dynamic.cc.o"
+  "CMakeFiles/mcfs_core.dir/dynamic.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/instance.cc.o"
+  "CMakeFiles/mcfs_core.dir/instance.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/instance_io.cc.o"
+  "CMakeFiles/mcfs_core.dir/instance_io.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/local_search.cc.o"
+  "CMakeFiles/mcfs_core.dir/local_search.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/repair.cc.o"
+  "CMakeFiles/mcfs_core.dir/repair.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/set_cover.cc.o"
+  "CMakeFiles/mcfs_core.dir/set_cover.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/solution_stats.cc.o"
+  "CMakeFiles/mcfs_core.dir/solution_stats.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/wma.cc.o"
+  "CMakeFiles/mcfs_core.dir/wma.cc.o.d"
+  "libmcfs_core.a"
+  "libmcfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

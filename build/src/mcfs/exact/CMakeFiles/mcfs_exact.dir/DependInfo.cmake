@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcfs/exact/bb_solver.cc" "src/mcfs/exact/CMakeFiles/mcfs_exact.dir/bb_solver.cc.o" "gcc" "src/mcfs/exact/CMakeFiles/mcfs_exact.dir/bb_solver.cc.o.d"
+  "/root/repo/src/mcfs/exact/distance_matrix.cc" "src/mcfs/exact/CMakeFiles/mcfs_exact.dir/distance_matrix.cc.o" "gcc" "src/mcfs/exact/CMakeFiles/mcfs_exact.dir/distance_matrix.cc.o.d"
+  "/root/repo/src/mcfs/exact/lagrangian.cc" "src/mcfs/exact/CMakeFiles/mcfs_exact.dir/lagrangian.cc.o" "gcc" "src/mcfs/exact/CMakeFiles/mcfs_exact.dir/lagrangian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcfs/core/CMakeFiles/mcfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/flow/CMakeFiles/mcfs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/graph/CMakeFiles/mcfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/common/CMakeFiles/mcfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

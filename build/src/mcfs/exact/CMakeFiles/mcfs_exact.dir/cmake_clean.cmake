@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_exact.dir/bb_solver.cc.o"
+  "CMakeFiles/mcfs_exact.dir/bb_solver.cc.o.d"
+  "CMakeFiles/mcfs_exact.dir/distance_matrix.cc.o"
+  "CMakeFiles/mcfs_exact.dir/distance_matrix.cc.o.d"
+  "CMakeFiles/mcfs_exact.dir/lagrangian.cc.o"
+  "CMakeFiles/mcfs_exact.dir/lagrangian.cc.o.d"
+  "libmcfs_exact.a"
+  "libmcfs_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_flow.dir/matcher.cc.o"
+  "CMakeFiles/mcfs_flow.dir/matcher.cc.o.d"
+  "CMakeFiles/mcfs_flow.dir/transport.cc.o"
+  "CMakeFiles/mcfs_flow.dir/transport.cc.o.d"
+  "libmcfs_flow.a"
+  "libmcfs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

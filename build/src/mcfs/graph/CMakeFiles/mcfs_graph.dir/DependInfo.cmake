@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcfs/graph/alt_router.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/alt_router.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/alt_router.cc.o.d"
+  "/root/repo/src/mcfs/graph/contraction_hierarchy.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/contraction_hierarchy.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/contraction_hierarchy.cc.o.d"
+  "/root/repo/src/mcfs/graph/dijkstra.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/dijkstra.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/dijkstra.cc.o.d"
+  "/root/repo/src/mcfs/graph/facility_stream.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/facility_stream.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/facility_stream.cc.o.d"
+  "/root/repo/src/mcfs/graph/generators.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/generators.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/generators.cc.o.d"
+  "/root/repo/src/mcfs/graph/graph.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/graph.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/graph.cc.o.d"
+  "/root/repo/src/mcfs/graph/graph_io.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/graph_io.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/mcfs/graph/road_network.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/road_network.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/road_network.cc.o.d"
+  "/root/repo/src/mcfs/graph/spatial_index.cc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/spatial_index.cc.o" "gcc" "src/mcfs/graph/CMakeFiles/mcfs_graph.dir/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcfs/common/CMakeFiles/mcfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_graph.dir/alt_router.cc.o"
+  "CMakeFiles/mcfs_graph.dir/alt_router.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/contraction_hierarchy.cc.o"
+  "CMakeFiles/mcfs_graph.dir/contraction_hierarchy.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/dijkstra.cc.o"
+  "CMakeFiles/mcfs_graph.dir/dijkstra.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/facility_stream.cc.o"
+  "CMakeFiles/mcfs_graph.dir/facility_stream.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/generators.cc.o"
+  "CMakeFiles/mcfs_graph.dir/generators.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/graph.cc.o"
+  "CMakeFiles/mcfs_graph.dir/graph.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/graph_io.cc.o"
+  "CMakeFiles/mcfs_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/road_network.cc.o"
+  "CMakeFiles/mcfs_graph.dir/road_network.cc.o.d"
+  "CMakeFiles/mcfs_graph.dir/spatial_index.cc.o"
+  "CMakeFiles/mcfs_graph.dir/spatial_index.cc.o.d"
+  "libmcfs_graph.a"
+  "libmcfs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

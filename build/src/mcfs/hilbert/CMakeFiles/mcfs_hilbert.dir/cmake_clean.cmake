@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_hilbert.dir/hilbert.cc.o"
+  "CMakeFiles/mcfs_hilbert.dir/hilbert.cc.o.d"
+  "libmcfs_hilbert.a"
+  "libmcfs_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

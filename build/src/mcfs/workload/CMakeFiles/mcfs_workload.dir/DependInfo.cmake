@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcfs/workload/bike_sim.cc" "src/mcfs/workload/CMakeFiles/mcfs_workload.dir/bike_sim.cc.o" "gcc" "src/mcfs/workload/CMakeFiles/mcfs_workload.dir/bike_sim.cc.o.d"
+  "/root/repo/src/mcfs/workload/workload.cc" "src/mcfs/workload/CMakeFiles/mcfs_workload.dir/workload.cc.o" "gcc" "src/mcfs/workload/CMakeFiles/mcfs_workload.dir/workload.cc.o.d"
+  "/root/repo/src/mcfs/workload/yelp_sim.cc" "src/mcfs/workload/CMakeFiles/mcfs_workload.dir/yelp_sim.cc.o" "gcc" "src/mcfs/workload/CMakeFiles/mcfs_workload.dir/yelp_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcfs/graph/CMakeFiles/mcfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/common/CMakeFiles/mcfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_workload.dir/bike_sim.cc.o"
+  "CMakeFiles/mcfs_workload.dir/bike_sim.cc.o.d"
+  "CMakeFiles/mcfs_workload.dir/workload.cc.o"
+  "CMakeFiles/mcfs_workload.dir/workload.cc.o.d"
+  "CMakeFiles/mcfs_workload.dir/yelp_sim.cc.o"
+  "CMakeFiles/mcfs_workload.dir/yelp_sim.cc.o.d"
+  "libmcfs_workload.a"
+  "libmcfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_router_test.dir/alt_router_test.cc.o"
+  "CMakeFiles/alt_router_test.dir/alt_router_test.cc.o.d"
+  "alt_router_test"
+  "alt_router_test.pdb"
+  "alt_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

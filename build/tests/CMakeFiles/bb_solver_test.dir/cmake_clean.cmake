@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_solver_test.dir/bb_solver_test.cc.o"
+  "CMakeFiles/bb_solver_test.dir/bb_solver_test.cc.o.d"
+  "bb_solver_test"
+  "bb_solver_test.pdb"
+  "bb_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

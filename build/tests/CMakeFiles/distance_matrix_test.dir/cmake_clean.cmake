@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_matrix_test.dir/distance_matrix_test.cc.o"
+  "CMakeFiles/distance_matrix_test.dir/distance_matrix_test.cc.o.d"
+  "distance_matrix_test"
+  "distance_matrix_test.pdb"
+  "distance_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

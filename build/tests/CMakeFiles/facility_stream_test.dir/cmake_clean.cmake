@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_stream_test.dir/facility_stream_test.cc.o"
+  "CMakeFiles/facility_stream_test.dir/facility_stream_test.cc.o.d"
+  "facility_stream_test"
+  "facility_stream_test.pdb"
+  "facility_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/generators_test.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/generators_test.dir/generators_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcfs/exact/CMakeFiles/mcfs_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/baselines/CMakeFiles/mcfs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/workload/CMakeFiles/mcfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/core/CMakeFiles/mcfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/flow/CMakeFiles/mcfs_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/hilbert/CMakeFiles/mcfs_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/graph/CMakeFiles/mcfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcfs/common/CMakeFiles/mcfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

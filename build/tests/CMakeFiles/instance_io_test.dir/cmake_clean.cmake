@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_io_test.dir/instance_io_test.cc.o"
+  "CMakeFiles/instance_io_test.dir/instance_io_test.cc.o.d"
+  "instance_io_test"
+  "instance_io_test.pdb"
+  "instance_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_invariants_test.dir/matcher_invariants_test.cc.o"
+  "CMakeFiles/matcher_invariants_test.dir/matcher_invariants_test.cc.o.d"
+  "matcher_invariants_test"
+  "matcher_invariants_test.pdb"
+  "matcher_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

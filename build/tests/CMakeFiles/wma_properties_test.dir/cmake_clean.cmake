@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wma_properties_test.dir/wma_properties_test.cc.o"
+  "CMakeFiles/wma_properties_test.dir/wma_properties_test.cc.o.d"
+  "wma_properties_test"
+  "wma_properties_test.pdb"
+  "wma_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wma_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

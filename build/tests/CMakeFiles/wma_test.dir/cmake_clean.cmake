@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wma_test.dir/wma_test.cc.o"
+  "CMakeFiles/wma_test.dir/wma_test.cc.o.d"
+  "wma_test"
+  "wma_test.pdb"
+  "wma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
