@@ -36,10 +36,9 @@ int main(int argc, char** argv) {
     instance.capacities = UniformCapacities(city.NumNodes(), 20);
     instance.k = std::max(1, m / 10);
 
-    AlgorithmSuite suite;
+    AlgorithmSuite suite = bench_util::MakeSuite(bench);
     suite.with_brnn = base_m <= 128;  // BRNN becomes impractical beyond
     suite.with_exact = false;
-    suite.seed = bench.seed;
     table.Add(FmtInt(m), RunSuite(instance, suite));
   }
   table.PrintAndMaybeSave(flags);

@@ -48,13 +48,11 @@ int main(int argc, char** argv) {
   const int max_k = static_cast<int>(scenario.venues.size());
   for (const double fraction : {0.20, 0.30, 0.40, 0.50}) {
     instance.k = std::max(2, static_cast<int>(max_k * fraction));
-    AlgorithmSuite suite;
+    AlgorithmSuite suite = bench_util::MakeSuite(bench);
     suite.with_brnn = true;
     suite.with_uf_wma = true;
     suite.with_wma_ls = true;
     suite.with_greedy_kmedian = true;
-    suite.seed = bench.seed;
-    suite.exact_options.time_limit_seconds = bench.exact_seconds;
     table.Add(FmtInt(instance.k), RunSuite(instance, suite));
   }
   table.PrintAndMaybeSave(flags);

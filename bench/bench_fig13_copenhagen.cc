@@ -55,13 +55,11 @@ int main(int argc, char** argv) {
     for (const double fraction : {0.2, 0.3, 0.4, 0.5}) {
       instance.k = std::max(
           2, static_cast<int>(scenario.venues.size() * fraction));
-      AlgorithmSuite suite;
+      AlgorithmSuite suite = bench_util::MakeSuite(bench);
       suite.with_brnn = true;
       suite.with_uf_wma = true;
       suite.with_wma_ls = true;
       suite.with_greedy_kmedian = true;
-      suite.seed = bench.seed;
-      suite.exact_options.time_limit_seconds = bench.exact_seconds;
       table.Add(FmtInt(instance.k), RunSuite(instance, suite));
     }
     table.PrintAndMaybeSave(flags);
@@ -89,12 +87,10 @@ int main(int argc, char** argv) {
     for (const double fraction : {0.15, 0.25, 0.35}) {
       instance.k = std::max(
           2, static_cast<int>(scenario.stations.size() * fraction));
-      AlgorithmSuite suite;
+      AlgorithmSuite suite = bench_util::MakeSuite(bench);
       suite.with_uf_wma = true;
       suite.with_wma_ls = true;
       suite.with_greedy_kmedian = true;
-      suite.seed = bench.seed;
-      suite.exact_options.time_limit_seconds = bench.exact_seconds;
       table.Add(FmtInt(instance.k), RunSuite(instance, suite));
     }
     table.PrintAndMaybeSave(flags);

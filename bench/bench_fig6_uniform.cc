@@ -60,10 +60,8 @@ void RunConfig(const Fig6Config& config, const BenchConfig& bench,
     const McfsInstance instance =
         bench_util::BuildFeasibleInstance(build, bench.seed + base + 1);
 
-    AlgorithmSuite suite;
+    AlgorithmSuite suite = bench_util::MakeSuite(bench);
     suite.with_brnn = config.with_brnn;
-    suite.seed = bench.seed;
-    suite.exact_options.time_limit_seconds = bench.exact_seconds;
     table.Add(FmtInt(n), RunSuite(instance, suite));
   }
   table.PrintAndMaybeSave(flags);

@@ -30,12 +30,7 @@ Graph MakeGraph(int n, uint64_t seed) {
   return GenerateSyntheticNetwork(options);
 }
 
-AlgorithmSuite MakeSuite(const BenchConfig& bench) {
-  AlgorithmSuite suite;
-  suite.seed = bench.seed;
-  suite.exact_options.time_limit_seconds = bench.exact_seconds;
-  return suite;
-}
+using bench_util::MakeSuite;
 
 void SweepCandidates(const Graph& graph, const BenchConfig& bench,
                      const Flags& flags) {

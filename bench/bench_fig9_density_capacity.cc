@@ -59,9 +59,7 @@ int main(int argc, char** argv) {
     for (const double alpha : {1.0, 1.2, 1.5, 2.0, 2.5}) {
       const Graph graph = MakeGraph(n, alpha, bench.seed);
       const McfsInstance instance = MakeInstance(graph, 10, bench.seed + 3);
-      AlgorithmSuite suite;
-      suite.seed = bench.seed;
-      suite.exact_options.time_limit_seconds = bench.exact_seconds;
+      AlgorithmSuite suite = bench_util::MakeSuite(bench);
       table.Add(FmtDouble(graph.AverageDegree(), 2),
                 RunSuite(instance, suite));
     }
@@ -74,9 +72,7 @@ int main(int argc, char** argv) {
     const Graph graph = MakeGraph(n, 1.5, bench.seed + 1);
     for (const int c : {5, 6, 10, 20, 40}) {
       const McfsInstance instance = MakeInstance(graph, c, bench.seed + 4);
-      AlgorithmSuite suite;
-      suite.seed = bench.seed;
-      suite.exact_options.time_limit_seconds = bench.exact_seconds;
+      AlgorithmSuite suite = bench_util::MakeSuite(bench);
       table.Add(FmtInt(c), RunSuite(instance, suite));
     }
     table.PrintAndMaybeSave(flags);

@@ -43,10 +43,9 @@ int main(int argc, char** argv) {
     instance.capacities = UniformCapacities(city.NumNodes(), 20);
     instance.k = k;
 
-    AlgorithmSuite suite;
+    AlgorithmSuite suite = bench_util::MakeSuite(bench);
     suite.with_brnn = true;
     suite.with_exact = false;  // Gurobi "did not terminate within a week"
-    suite.seed = bench.seed;
     table.Add(preset.name, RunSuite(instance, suite));
   }
   table.PrintAndMaybeSave(flags);

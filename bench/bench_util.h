@@ -18,19 +18,35 @@ namespace bench_util {
 //               suite finishes on a laptop; 1.0 reproduces paper scale)
 //   --seed=N    RNG seed
 //   --exact_seconds=S  budget for the exact reference solver
+//   --threads=N run independent (instance, algorithm) suite cells and
+//               the WMA stream prefetch on N threads (default 1: serial,
+//               contention-free per-cell timings; 0 = MCFS_THREADS /
+//               hardware default). Objectives are identical either way.
 struct BenchConfig {
   double scale = 1.0;
   uint64_t seed = 42;
   double exact_seconds = 20.0;
+  int threads = 1;
 
   static BenchConfig FromFlags(const Flags& flags, double default_scale) {
     BenchConfig config;
     config.scale = flags.GetDouble("scale", default_scale);
     config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     config.exact_seconds = flags.GetDouble("exact_seconds", 20.0);
+    config.threads = static_cast<int>(flags.GetInt("threads", 1));
     return config;
   }
 };
+
+// Applies the shared per-binary knobs to a suite (seed, exact budget,
+// thread count); the caller then toggles the algorithm set.
+inline AlgorithmSuite MakeSuite(const BenchConfig& config) {
+  AlgorithmSuite suite;
+  suite.seed = config.seed;
+  suite.exact_options.time_limit_seconds = config.exact_seconds;
+  suite.threads = config.threads;
+  return suite;
+}
 
 // Prints one experiment banner.
 inline void Banner(const std::string& title, const BenchConfig& config) {

@@ -5,6 +5,7 @@
 #include "mcfs/baselines/hilbert_baseline.h"
 #include "mcfs/common/check.h"
 #include "mcfs/common/table.h"
+#include "mcfs/common/thread_pool.h"
 #include "mcfs/common/timer.h"
 #include "mcfs/core/local_search.h"
 #include "mcfs/core/wma.h"
@@ -27,69 +28,94 @@ AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
 
 std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
                                   const AlgorithmSuite& suite) {
-  std::vector<AlgoOutcome> outcomes;
+  // Build the enabled cells first (paper's table order), then execute
+  // them as one parallel point sweep: every cell only reads the shared
+  // instance and writes its own outcome slot, so the outcome vector is
+  // identical for any thread count. WMA variants inherit suite.threads
+  // for their batched stream prefetch; when cells themselves run on the
+  // pool, the nested prefetch loops degrade gracefully to inline serial.
+  WmaOptions wma_options;
+  wma_options.seed = suite.seed;
+  wma_options.threads = suite.threads;
+  WmaOptions naive_options = wma_options;
+  naive_options.naive = true;
+
+  std::vector<std::function<AlgoOutcome()>> cells;
   if (suite.with_brnn) {
-    outcomes.push_back(RunAlgorithm("BRNN", RunBrnnBaseline, instance));
+    cells.push_back(
+        [&] { return RunAlgorithm("BRNN", RunBrnnBaseline, instance); });
   }
   if (suite.with_hilbert) {
-    outcomes.push_back(
-        RunAlgorithm("Hilbert", RunHilbertBaseline, instance));
+    cells.push_back(
+        [&] { return RunAlgorithm("Hilbert", RunHilbertBaseline, instance); });
   }
   if (suite.with_greedy_kmedian) {
-    outcomes.push_back(RunAlgorithm(
-        "Greedy k-med",
-        [](const McfsInstance& inst) { return RunGreedyKMedian(inst); },
-        instance));
+    cells.push_back([&] {
+      return RunAlgorithm(
+          "Greedy k-med",
+          [](const McfsInstance& inst) { return RunGreedyKMedian(inst); },
+          instance);
+    });
   }
   if (suite.with_wma_naive) {
-    WmaOptions options;
-    options.naive = true;
-    options.seed = suite.seed;
-    outcomes.push_back(RunAlgorithm(
-        "WMA Naive",
-        [&](const McfsInstance& inst) { return RunWma(inst, options).solution; },
-        instance));
+    cells.push_back([&] {
+      return RunAlgorithm(
+          "WMA Naive",
+          [&](const McfsInstance& inst) {
+            return RunWma(inst, naive_options).solution;
+          },
+          instance);
+    });
   }
   if (suite.with_wma) {
-    WmaOptions options;
-    options.seed = suite.seed;
-    outcomes.push_back(RunAlgorithm(
-        "WMA",
-        [&](const McfsInstance& inst) { return RunWma(inst, options).solution; },
-        instance));
+    cells.push_back([&] {
+      return RunAlgorithm(
+          "WMA",
+          [&](const McfsInstance& inst) {
+            return RunWma(inst, wma_options).solution;
+          },
+          instance);
+    });
   }
   if (suite.with_uf_wma) {
-    WmaOptions options;
-    options.seed = suite.seed;
-    outcomes.push_back(RunAlgorithm(
-        "UF WMA",
-        [&](const McfsInstance& inst) {
-          return RunUniformFirstWma(inst, options).solution;
-        },
-        instance));
+    cells.push_back([&] {
+      return RunAlgorithm(
+          "UF WMA",
+          [&](const McfsInstance& inst) {
+            return RunUniformFirstWma(inst, wma_options).solution;
+          },
+          instance);
+    });
   }
   if (suite.with_wma_ls) {
-    WmaOptions options;
-    options.seed = suite.seed;
-    outcomes.push_back(RunAlgorithm(
-        "WMA+LS",
-        [&](const McfsInstance& inst) {
-          const McfsSolution wma = RunWma(inst, options).solution;
-          return ImproveByLocalSearch(inst, wma).solution;
-        },
-        instance));
+    cells.push_back([&] {
+      return RunAlgorithm(
+          "WMA+LS",
+          [&](const McfsInstance& inst) {
+            const McfsSolution wma = RunWma(inst, wma_options).solution;
+            return ImproveByLocalSearch(inst, wma).solution;
+          },
+          instance);
+    });
   }
   if (suite.with_exact) {
-    WallTimer timer;
-    const ExactResult exact = SolveExact(instance, suite.exact_options);
-    AlgoOutcome outcome;
-    outcome.algorithm = "Exact (B&B)";
-    outcome.seconds = timer.Seconds();
-    outcome.objective = exact.solution.objective;
-    outcome.feasible = exact.solution.feasible;
-    outcome.failed = exact.failed || !exact.optimal;
-    outcomes.push_back(outcome);
+    cells.push_back([&] {
+      WallTimer timer;
+      const ExactResult exact = SolveExact(instance, suite.exact_options);
+      AlgoOutcome outcome;
+      outcome.algorithm = "Exact (B&B)";
+      outcome.seconds = timer.Seconds();
+      outcome.objective = exact.solution.objective;
+      outcome.feasible = exact.solution.feasible;
+      outcome.failed = exact.failed || !exact.optimal;
+      return outcome;
+    });
   }
+
+  std::vector<AlgoOutcome> outcomes(cells.size());
+  ParallelFor(
+      0, static_cast<int64_t>(cells.size()), /*grain=*/1,
+      [&](int64_t c) { outcomes[c] = cells[c](); }, suite.threads);
   return outcomes;
 }
 

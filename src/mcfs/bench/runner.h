@@ -42,6 +42,14 @@ struct AlgorithmSuite {
   bool with_exact = true;
   ExactOptions exact_options;
   uint64_t seed = 42;
+  // Threads for the suite: independent (instance, algorithm) cells run
+  // concurrently on the shared pool, and the WMA variants inherit the
+  // same value for their batched stream prefetch. Default 1 keeps the
+  // per-cell runtimes contention-free (comparable, as the figures
+  // require); raise it (bench binaries: --threads=N) to trade timing
+  // fidelity for wall-clock. Objectives and solutions are identical for
+  // every value.
+  int threads = 1;
 };
 
 // Runs the configured suite on one instance and returns one outcome per

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "mcfs/common/thread_pool.h"
 #include "mcfs/flow/matcher.h"
 #include "mcfs/graph/dijkstra.h"
 
@@ -103,7 +104,8 @@ bool IsFeasible(const McfsInstance& instance) {
 }
 
 McfsSolution AssignOptimally(const McfsInstance& instance,
-                             const std::vector<int>& selected) {
+                             const std::vector<int>& selected,
+                             int threads) {
   McfsSolution solution;
   solution.selected = selected;
   solution.assignment.assign(instance.m(), -1);
@@ -118,6 +120,11 @@ McfsSolution AssignOptimally(const McfsInstance& instance,
   }
   IncrementalMatcher matcher(instance.graph, instance.customers, nodes,
                              capacities);
+  if (ResolveThreadCount(threads) > 1) {
+    // Every customer needs one assignment plus the threshold lookahead;
+    // front-load those two stream entries in parallel.
+    matcher.PrefetchCandidates(std::vector<int>(instance.m(), 2), threads);
+  }
   solution.feasible = matcher.MatchAllOnce();
   for (const MatchedPair& pair : matcher.MatchedPairs()) {
     solution.assignment[pair.customer] = selected[pair.facility];

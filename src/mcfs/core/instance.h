@@ -62,9 +62,13 @@ bool IsFeasible(const McfsInstance& instance);
 // (minimum-cost transportation over the network via the incremental
 // matcher) and packages the result as a solution. If some customers
 // cannot be assigned, the solution has feasible == false and contains
-// the partial assignment.
+// the partial assignment. `threads` parallelizes the nearest-facility
+// stream prefetch that front-loads the matcher's network Dijkstras
+// (0 = MCFS_THREADS / hardware default, 1 = serial); the assignment is
+// identical for every thread count.
 McfsSolution AssignOptimally(const McfsInstance& instance,
-                             const std::vector<int>& selected);
+                             const std::vector<int>& selected,
+                             int threads = 1);
 
 }  // namespace mcfs
 

@@ -5,6 +5,7 @@
 
 #include "mcfs/common/check.h"
 #include "mcfs/common/random.h"
+#include "mcfs/common/thread_pool.h"
 #include "mcfs/common/timer.h"
 #include "mcfs/core/repair.h"
 #include "mcfs/core/set_cover.h"
@@ -30,6 +31,24 @@ class GreedyDemandMatcher {
     for (int j = 0; j < instance.l(); ++j) {
       facility_index_of_node_[instance.facility_nodes[j]] = j;
     }
+  }
+
+  // Advance-only phase: extends every customer's cached nearest-facility
+  // order to at least demand[i] entries, running the per-customer
+  // Dijkstras on up to `threads` threads. Each parallel index touches
+  // only its own customer's cache and stream, so the cached orders are
+  // identical for any thread count; AssignDemands then mostly consumes
+  // cache hits (falling back to inline extension when full facilities
+  // force a customer further down its order).
+  void Prefetch(const std::vector<int>& demand, int threads) {
+    if (ResolveThreadCount(threads) <= 1) return;
+    ParallelFor(
+        0, instance_.m(), /*grain=*/1,
+        [&](int64_t i) {
+          const int customer = static_cast<int>(i);
+          ExtendCache(customer, demand[customer]);
+        },
+        threads);
   }
 
   // Rebuilds the full exploratory assignment for the given demands.
@@ -98,20 +117,28 @@ class GreedyDemandMatcher {
   }
 
  private:
-  // idx-th nearest candidate facility of `customer`, extending the
-  // cache from the network stream on demand; nullptr when exhausted.
-  const FacilityAtDistance* CachedAt(int customer, size_t idx) {
+  // Extends `customer`'s cached nearest-facility order to `target`
+  // entries (or until the component runs out of candidates).
+  void ExtendCache(int customer, size_t target) {
     auto& cache = cache_[customer];
-    while (cache.size() <= idx) {
+    while (cache.size() < target) {
       if (streams_[customer] == nullptr) {
         streams_[customer] = std::make_unique<NearestFacilityStream>(
             instance_.graph, instance_.customers[customer],
             &facility_index_of_node_);
       }
       std::optional<FacilityAtDistance> next = streams_[customer]->Pop();
-      if (!next.has_value()) return nullptr;
+      if (!next.has_value()) return;
       cache.push_back(*next);
     }
+  }
+
+  // idx-th nearest candidate facility of `customer`, extending the
+  // cache from the network stream on demand; nullptr when exhausted.
+  const FacilityAtDistance* CachedAt(int customer, size_t idx) {
+    auto& cache = cache_[customer];
+    if (cache.size() <= idx) ExtendCache(customer, idx + 1);
+    if (cache.size() <= idx) return nullptr;
     return &cache[idx];
   }
 
@@ -165,12 +192,32 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
     // enrichment iterations for a good partial cover and stop.
     max_iterations = std::min<int64_t>(max_iterations, 8);
   }
+  // Batched stream prefetch (parallel execution layer): before each
+  // matching phase every unsaturated customer's nearest-facility stream
+  // is advanced in parallel so the first B candidates — B derived from
+  // the current demand vector — are already cached when the serial
+  // FindPair/SSPA consumes them. Thread count 1 skips the batch and the
+  // matcher pays each Dijkstra inline, exactly as before.
+  const int threads = ResolveThreadCount(options.threads);
+  std::vector<int> prefetch_counts;
   CoverResult cover;
   for (int64_t iteration = 0; iteration < max_iterations; ++iteration) {
     WallTimer phase_timer;
     if (options.naive) {
+      if (threads > 1) greedy->Prefetch(demand, threads);
       greedy->AssignDemands(demand, rng, &sigma, &matched_cost, &saturated);
     } else {
+      if (threads > 1) {
+        prefetch_counts.assign(m, 0);
+        for (int i = 0; i < m; ++i) {
+          if (saturated[i]) continue;
+          const int deficit = demand[i] - matcher->CustomerMatchCount(i);
+          // +1 buffers the lookahead entry FindPair peeks for the
+          // Theorem-1 threshold.
+          if (deficit > 0) prefetch_counts[i] = deficit + 1;
+        }
+        matcher->PrefetchCandidates(prefetch_counts, threads);
+      }
       for (int i = 0; i < m; ++i) {
         while (!saturated[i] &&
                matcher->CustomerMatchCount(i) < demand[i]) {
@@ -229,10 +276,10 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
     if (!result.solution.feasible) {
       // Greedy assignment can dead-end on feasible instances (capacity
       // grabbed by the wrong customers); fall back to one matching.
-      result.solution = AssignOptimally(instance, selected);
+      result.solution = AssignOptimally(instance, selected, options.threads);
     }
   } else {
-    result.solution = AssignOptimally(instance, selected);
+    result.solution = AssignOptimally(instance, selected, options.threads);
   }
   if (matcher != nullptr) {
     result.stats.dijkstra_runs = matcher->num_dijkstra_runs();
@@ -263,12 +310,12 @@ WmaResult RunUniformFirstWma(const McfsInstance& instance,
   CoverComponents(instance, selected);
   WmaResult result;
   result.stats = phase1.stats;
-  result.solution = AssignOptimally(instance, selected);
+  result.solution = AssignOptimally(instance, selected, options.threads);
   if (!result.solution.feasible) {
     // A second repair attempt with greedy extension, then reassign.
     SelectGreedy(instance, selected);
     CoverComponents(instance, selected);
-    result.solution = AssignOptimally(instance, selected);
+    result.solution = AssignOptimally(instance, selected, options.threads);
   }
   result.stats.total_seconds = total_timer.Seconds();
   return result;

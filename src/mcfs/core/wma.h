@@ -26,6 +26,13 @@ struct WmaOptions {
   bool collect_iteration_stats = false;
   // Safety cap on main-loop iterations; 0 derives the paper's m*l bound.
   int max_iterations = 0;
+  // Threads for the batched nearest-facility prefetch that runs before
+  // each matching phase (and before the final assignment): 0 resolves
+  // via MCFS_THREADS / hardware_concurrency, 1 disables prefetch (fully
+  // serial). Results are bit-identical for every value — parallelism
+  // only moves when distances are computed, never which entry the
+  // matcher consumes next (see DESIGN.md "Parallel execution layer").
+  int threads = 0;
 };
 
 // Per-iteration instrumentation (covered customers after CheckCover,

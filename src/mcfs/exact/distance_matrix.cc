@@ -1,12 +1,14 @@
 #include "mcfs/exact/distance_matrix.h"
 
+#include "mcfs/common/check.h"
+#include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/contraction_hierarchy.h"
 #include "mcfs/graph/dijkstra.h"
 
 namespace mcfs {
 
 std::vector<double> ComputeDistanceMatrix(const McfsInstance& instance,
-                                          bool* used_ch) {
+                                          bool* used_ch, int threads) {
   const int m = instance.m();
   const int l = instance.l();
   const int n = instance.graph->NumNodes();
@@ -18,17 +20,34 @@ std::vector<double> ComputeDistanceMatrix(const McfsInstance& instance,
   const bool use_ch = l * 4 <= n && m >= 32;
   if (used_ch != nullptr) *used_ch = use_ch;
 
+  std::vector<double> cost;
   if (use_ch) {
     const ContractionHierarchy ch(instance.graph);
-    return ch.DistanceTable(instance.customers, instance.facility_nodes);
+    cost = ch.DistanceTable(instance.customers, instance.facility_nodes,
+                            threads);
+  } else {
+    cost.resize(static_cast<size_t>(m) * l);
+    // One Dijkstra per customer; row i is written only by index i.
+    ParallelFor(
+        0, m, /*grain=*/1,
+        [&](int64_t i) {
+          const std::vector<double> dist =
+              ShortestPathsFrom(*instance.graph, instance.customers[i]);
+          for (int j = 0; j < l; ++j) {
+            cost[static_cast<size_t>(i) * l + j] =
+                dist[instance.facility_nodes[j]];
+          }
+        },
+        threads);
   }
-  std::vector<double> cost(static_cast<size_t>(m) * l);
-  for (int i = 0; i < m; ++i) {
-    const std::vector<double> dist =
-        ShortestPathsFrom(*instance.graph, instance.customers[i]);
-    for (int j = 0; j < l; ++j) {
-      cost[static_cast<size_t>(i) * l + j] = dist[instance.facility_nodes[j]];
-    }
+
+  // Reachability invariant: every cell is a finite non-negative distance
+  // or exactly kInfDistance (disconnected candidate). A NaN or negative
+  // entry would silently corrupt the B&B cost matrix and the Lagrangian
+  // bound, so fail loudly here instead.
+  for (size_t e = 0; e < cost.size(); ++e) {
+    MCFS_CHECK(cost[e] >= 0.0)
+        << "distance matrix cell " << e << " is negative or NaN";
   }
   return cost;
 }

@@ -14,10 +14,21 @@ namespace mcfs {
 //   * a contraction-hierarchy bucket table (best when the candidate set
 //     is a small fraction of the nodes and m is large — the coworking /
 //     bike scenarios).
+// Both strategies run their independent per-customer rows (and, for CH,
+// the per-target bucket searches) on up to `threads` threads
+// (0 = MCFS_THREADS / hardware default); rows are written to disjoint
+// slots so the matrix is identical for every thread count.
+//
+// Unreachable (customer, facility) pairs are reported as exactly
+// kInfDistance by both strategies — never as a large finite sentinel or
+// NaN — so downstream consumers (dense transport, B&B bounds, greedy
+// k-median) can skip them consistently; this invariant is checked
+// before returning.
 // `used_ch`, when non-null, reports which path was taken (for tests and
 // instrumentation).
 std::vector<double> ComputeDistanceMatrix(const McfsInstance& instance,
-                                          bool* used_ch = nullptr);
+                                          bool* used_ch = nullptr,
+                                          int threads = 0);
 
 }  // namespace mcfs
 

@@ -4,6 +4,7 @@
 
 #include "mcfs/common/check.h"
 #include "mcfs/common/dary_heap.h"
+#include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
 
 namespace mcfs {
@@ -272,6 +273,22 @@ bool IncrementalMatcher::MatchAllOnce() {
     if (!FindPair(i)) all_ok = false;
   }
   return all_ok;
+}
+
+void IncrementalMatcher::PrefetchCandidates(const std::vector<int>& counts,
+                                            int threads) {
+  MCFS_CHECK_EQ(counts.size(), static_cast<size_t>(m_));
+  if (ResolveThreadCount(threads) <= 1) return;  // FindPair pays inline
+  // Each index touches only customer i's stream (creation included), so
+  // side effects are disjoint and the result is thread-count invariant.
+  ParallelFor(
+      0, m_, /*grain=*/1,
+      [&](int64_t i) {
+        const int customer = static_cast<int>(i);
+        if (counts[customer] <= 0) return;
+        StreamFor(customer).Prefetch(counts[customer]);
+      },
+      threads);
 }
 
 std::vector<int> IncrementalMatcher::CustomersOf(int facility) const {

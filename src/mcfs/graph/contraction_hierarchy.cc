@@ -6,6 +6,7 @@
 
 #include "mcfs/common/check.h"
 #include "mcfs/common/dary_heap.h"
+#include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
 
 namespace mcfs {
@@ -159,6 +160,7 @@ void ContractionHierarchy::UpwardSearch(
   MinHeap heap;
   dist[source] = 0.0;
   heap.push({0.0, source});
+  int64_t settled_count = 0;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
@@ -166,7 +168,7 @@ void ContractionHierarchy::UpwardSearch(
     if (it == dist.end() || top.key > it->second) continue;
     if (it->second < top.key) continue;
     settled->push_back({top.node, top.key});
-    ++last_settled_;
+    ++settled_count;
     for (const UpArc& arc : up_[top.node]) {
       const double candidate = top.key + arc.weight;
       auto next_it = dist.find(arc.to);
@@ -176,6 +178,7 @@ void ContractionHierarchy::UpwardSearch(
       }
     }
   }
+  last_settled_.fetch_add(settled_count, std::memory_order_relaxed);
 }
 
 double ContractionHierarchy::Distance(NodeId s, NodeId t) const {
@@ -199,34 +202,48 @@ double ContractionHierarchy::Distance(NodeId s, NodeId t) const {
 }
 
 std::vector<double> ContractionHierarchy::DistanceTable(
-    const std::vector<NodeId>& sources,
-    const std::vector<NodeId>& targets) const {
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& targets,
+    int threads) const {
   const size_t rows = sources.size();
   const size_t cols = targets.size();
   std::vector<double> table(rows * cols, kInfDistance);
 
-  // Target buckets: (target index, upward distance) per settled node.
+  // Phase 1 (parallel): one upward search per target; each index fills
+  // only its own settled list.
+  std::vector<std::vector<std::pair<NodeId, double>>> target_settled(cols);
+  ParallelFor(
+      0, static_cast<int64_t>(cols), /*grain=*/1,
+      [&](int64_t t) { UpwardSearch(targets[t], &target_settled[t]); },
+      threads);
+
+  // Bucket merge stays serial and in target order, so bucket contents
+  // (and therefore the min-scan below) are thread-count independent.
   std::unordered_map<NodeId, std::vector<std::pair<int, double>>> buckets;
-  std::vector<std::pair<NodeId, double>> settled;
   for (size_t t = 0; t < cols; ++t) {
-    settled.clear();
-    UpwardSearch(targets[t], &settled);
-    for (const auto& [node, dist] : settled) {
+    for (const auto& [node, dist] : target_settled[t]) {
       buckets[node].push_back({static_cast<int>(t), dist});
     }
+    target_settled[t].clear();
+    target_settled[t].shrink_to_fit();
   }
-  for (size_t s = 0; s < rows; ++s) {
-    settled.clear();
-    UpwardSearch(sources[s], &settled);
-    for (const auto& [node, dist] : settled) {
-      auto it = buckets.find(node);
-      if (it == buckets.end()) continue;
-      for (const auto& [t, target_dist] : it->second) {
-        double& cell = table[s * cols + t];
-        cell = std::min(cell, dist + target_dist);
-      }
-    }
-  }
+
+  // Phase 2 (parallel): one upward search per source, scanning the
+  // now-read-only buckets; row s is written only by index s.
+  ParallelFor(
+      0, static_cast<int64_t>(rows), /*grain=*/1,
+      [&](int64_t s) {
+        std::vector<std::pair<NodeId, double>> settled;
+        UpwardSearch(sources[s], &settled);
+        for (const auto& [node, dist] : settled) {
+          auto it = buckets.find(node);
+          if (it == buckets.end()) continue;
+          for (const auto& [t, target_dist] : it->second) {
+            double& cell = table[static_cast<size_t>(s) * cols + t];
+            cell = std::min(cell, dist + target_dist);
+          }
+        }
+      },
+      threads);
   return table;
 }
 

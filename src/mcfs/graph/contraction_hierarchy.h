@@ -1,6 +1,7 @@
 #ifndef MCFS_GRAPH_CONTRACTION_HIERARCHY_H_
 #define MCFS_GRAPH_CONTRACTION_HIERARCHY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -32,13 +33,20 @@ class ContractionHierarchy {
   double Distance(NodeId s, NodeId t) const;
 
   // Row-major |sources| x |targets| exact distance table via target
-  // buckets: one upward search per target plus one per source.
+  // buckets: one upward search per target plus one per source. The
+  // per-target bucket searches and the per-source row scans run on up
+  // to `threads` threads (0 = MCFS_THREADS / hardware default); bucket
+  // merging stays in target order and every source writes only its own
+  // row, so the table is identical for any thread count.
   std::vector<double> DistanceTable(const std::vector<NodeId>& sources,
-                                    const std::vector<NodeId>& targets) const;
+                                    const std::vector<NodeId>& targets,
+                                    int threads = 0) const;
 
   // --- instrumentation ---
   int64_t num_shortcuts() const { return num_shortcuts_; }
-  int64_t last_settled_count() const { return last_settled_; }
+  int64_t last_settled_count() const {
+    return last_settled_.load(std::memory_order_relaxed);
+  }
   int rank(NodeId v) const { return rank_[v]; }
 
  private:
@@ -56,7 +64,8 @@ class ContractionHierarchy {
   std::vector<int> rank_;                  // contraction order per node
   std::vector<std::vector<UpArc>> up_;     // arcs toward higher ranks
   int64_t num_shortcuts_ = 0;
-  mutable int64_t last_settled_ = 0;
+  // Atomic: DistanceTable's upward searches run concurrently.
+  mutable std::atomic<int64_t> last_settled_{0};
 };
 
 }  // namespace mcfs

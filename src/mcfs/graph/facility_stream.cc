@@ -8,32 +8,37 @@ NearestFacilityStream::NearestFacilityStream(
     : dijkstra_(graph, customer),
       facility_index_of_node_(facility_index_of_node) {}
 
-void NearestFacilityStream::EnsureLookahead() {
-  if (lookahead_.has_value() || exhausted_) return;
+bool NearestFacilityStream::AdvanceOne() {
+  if (exhausted_) return false;
   while (true) {
     std::optional<SettledNode> settled = dijkstra_.NextSettled();
     if (!settled.has_value()) {
       exhausted_ = true;
-      return;
+      return false;
     }
     const int facility = (*facility_index_of_node_)[settled->node];
     if (facility >= 0) {
-      lookahead_ = FacilityAtDistance{facility, settled->distance};
-      return;
+      buffer_.push_back(FacilityAtDistance{facility, settled->distance});
+      return true;
     }
   }
 }
 
+void NearestFacilityStream::Prefetch(int count) {
+  while (static_cast<int>(buffer_.size()) < count) {
+    if (!AdvanceOne()) return;
+  }
+}
+
 double NearestFacilityStream::PeekDistance() {
-  EnsureLookahead();
-  return lookahead_.has_value() ? lookahead_->distance : kInfDistance;
+  if (buffer_.empty() && !AdvanceOne()) return kInfDistance;
+  return buffer_.front().distance;
 }
 
 std::optional<FacilityAtDistance> NearestFacilityStream::Pop() {
-  EnsureLookahead();
-  if (!lookahead_.has_value()) return std::nullopt;
-  FacilityAtDistance result = *lookahead_;
-  lookahead_.reset();
+  if (buffer_.empty() && !AdvanceOne()) return std::nullopt;
+  FacilityAtDistance result = buffer_.front();
+  buffer_.pop_front();
   ++num_popped_;
   return result;
 }

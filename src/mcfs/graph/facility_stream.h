@@ -1,6 +1,7 @@
 #ifndef MCFS_GRAPH_FACILITY_STREAM_H_
 #define MCFS_GRAPH_FACILITY_STREAM_H_
 
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -24,8 +25,14 @@ struct FacilityAtDistance {
 // materialize one new bipartite edge, and peeks the next distance to
 // evaluate the Theorem-1 pruning threshold.
 //
-// The stream keeps a one-facility lookahead so that PeekDistance()
-// returns the exact distance of the next facility (nnDist in the paper).
+// The stream separates *advancing* (running the Dijkstra to discover
+// more facilities, buffered internally) from *consuming* (Pop). The
+// discovered sequence is a pure function of the graph and the source
+// node, so Prefetch() never changes what later Pop()s return — it only
+// moves the Dijkstra work earlier. This is what makes WMA's batched
+// parallel prefetch deterministic: worker threads each advance disjoint
+// streams ahead of time, and the serial matcher then consumes cached
+// entries in the exact order it always would have.
 class NearestFacilityStream {
  public:
   // `facility_index_of_node` has one entry per graph node: the candidate
@@ -42,17 +49,28 @@ class NearestFacilityStream {
   // Consumes and returns the next nearest candidate facility.
   std::optional<FacilityAtDistance> Pop();
 
+  // Advance-only: ensures at least `count` not-yet-popped candidates are
+  // buffered (stopping early when the component runs out of candidates).
+  // Safe to call from a worker thread as long as no other thread touches
+  // this stream concurrently; does not change the Pop() sequence.
+  void Prefetch(int count);
+
+  // Candidates discovered but not yet popped.
+  int BufferedCount() const { return static_cast<int>(buffer_.size()); }
+
   bool Exhausted() { return PeekDistance() == kInfDistance; }
 
   NodeId customer() const { return dijkstra_.source(); }
   int num_popped() const { return num_popped_; }
 
  private:
-  void EnsureLookahead();
+  // Appends the next candidate facility to the buffer; false when the
+  // component has no more candidates.
+  bool AdvanceOne();
 
   IncrementalDijkstra dijkstra_;
   const std::vector<int>* facility_index_of_node_;
-  std::optional<FacilityAtDistance> lookahead_;
+  std::deque<FacilityAtDistance> buffer_;
   bool exhausted_ = false;
   int num_popped_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "mcfs/exact/distance_matrix.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "mcfs/graph/road_network.h"
@@ -54,6 +56,77 @@ TEST(DistanceMatrixTest, ChPathOnSparseCandidates) {
     } else {
       EXPECT_NEAR(matrix[e], oracle[e], 1e-6);
     }
+  }
+}
+
+// Regression: a candidate living in a different component than some
+// customers must surface as kInfDistance cells (never NaN, negative, or
+// a silently-dropped row), and downstream consumers must keep working.
+TEST(DistanceMatrixTest, DisconnectedCandidateYieldsInfCells) {
+  Rng rng(3);
+  testing_util::RandomInstance ri = testing_util::MakeRandomInstance(
+      /*n=*/80, /*m=*/12, /*l=*/50, /*k=*/6, /*max_capacity=*/4, rng,
+      /*disconnected_parts=*/3);
+  const std::vector<double> matrix = ComputeDistanceMatrix(ri.instance);
+  const std::vector<double> oracle = OracleMatrix(ri.instance);
+  ASSERT_EQ(matrix.size(), oracle.size());
+  size_t inf_cells = 0;
+  for (size_t e = 0; e < matrix.size(); ++e) {
+    EXPECT_FALSE(std::isnan(matrix[e]));
+    EXPECT_GE(matrix[e], 0.0);
+    if (oracle[e] == kInfDistance) {
+      EXPECT_EQ(matrix[e], kInfDistance);
+      ++inf_cells;
+    } else {
+      EXPECT_NEAR(matrix[e], oracle[e], 1e-9);
+    }
+  }
+  // With 3 components and customers/candidates spread across them, some
+  // pairs must be unreachable — otherwise this test exercises nothing.
+  EXPECT_GT(inf_cells, 0u);
+}
+
+TEST(DistanceMatrixTest, ParallelMatrixIsIdenticalToSerial) {
+  Rng rng(4);
+  testing_util::RandomInstance ri = testing_util::MakeRandomInstance(
+      /*n=*/100, /*m=*/16, /*l=*/60, /*k=*/6, /*max_capacity=*/4, rng,
+      /*disconnected_parts=*/2);
+  bool used_ch_serial = true;
+  const std::vector<double> serial =
+      ComputeDistanceMatrix(ri.instance, &used_ch_serial, /*threads=*/1);
+  for (const int threads : {2, 8}) {
+    bool used_ch = true;
+    const std::vector<double> parallel =
+        ComputeDistanceMatrix(ri.instance, &used_ch, threads);
+    EXPECT_EQ(used_ch, used_ch_serial);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t e = 0; e < serial.size(); ++e) {
+      EXPECT_EQ(parallel[e], serial[e]) << "cell " << e << " with "
+                                        << threads << " threads";
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, ParallelChTableIsIdenticalToSerial) {
+  const Graph city = GenerateCity(CopenhagenPreset(0.005, 42));
+  Rng rng(5);
+  McfsInstance instance;
+  instance.graph = &city;
+  instance.customers = SampleDistinctNodes(city, 40, rng);
+  instance.facility_nodes =
+      SampleDistinctNodes(city, city.NumNodes() / 8, rng);
+  instance.capacities = UniformCapacities(instance.l(), 5);
+  instance.k = 5;
+  bool used_ch = false;
+  const std::vector<double> serial =
+      ComputeDistanceMatrix(instance, &used_ch, /*threads=*/1);
+  EXPECT_TRUE(used_ch);
+  const std::vector<double> parallel =
+      ComputeDistanceMatrix(instance, &used_ch, /*threads=*/4);
+  EXPECT_TRUE(used_ch);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(parallel[e], serial[e]) << "cell " << e;
   }
 }
 

@@ -1,0 +1,149 @@
+// Property test for the parallel-prefetch determinism contract: RunWma
+// (and RunUniformFirstWma) must return bit-identical solutions for any
+// thread count, because prefetching only changes *when* candidate
+// distances are computed, never *which* entry the matcher consumes.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcfs/common/random.h"
+#include "mcfs/core/wma.h"
+#include "mcfs/graph/generators.h"
+#include "mcfs/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+McfsInstance MakeInstanceOnGraph(const Graph& graph, int m, int l, int k,
+                                 int max_capacity, Rng& rng) {
+  McfsInstance instance;
+  instance.graph = &graph;
+  instance.customers = SampleDistinctNodes(graph, m, rng);
+  instance.facility_nodes = SampleDistinctNodes(graph, l, rng);
+  for (int j = 0; j < l; ++j) {
+    instance.capacities.push_back(
+        static_cast<int>(rng.UniformInt(1, max_capacity)));
+  }
+  instance.k = k;
+  return instance;
+}
+
+void ExpectIdenticalAcrossThreadCounts(const McfsInstance& instance,
+                                       bool naive, bool uniform_first) {
+  WmaOptions base;
+  base.naive = naive;
+  base.threads = 1;
+  const WmaResult reference = uniform_first
+                                  ? RunUniformFirstWma(instance, base)
+                                  : RunWma(instance, base);
+  for (const int threads : kThreadCounts) {
+    WmaOptions options = base;
+    options.threads = threads;
+    const WmaResult result = uniform_first
+                                 ? RunUniformFirstWma(instance, options)
+                                 : RunWma(instance, options);
+    SCOPED_TRACE("threads=" + std::to_string(threads) +
+                 " naive=" + std::to_string(naive) +
+                 " uf=" + std::to_string(uniform_first));
+    EXPECT_EQ(result.solution.feasible, reference.solution.feasible);
+    // Bit-identical, not merely close: determinism is the contract.
+    EXPECT_EQ(result.solution.objective, reference.solution.objective);
+    EXPECT_EQ(result.solution.selected, reference.solution.selected);
+    EXPECT_EQ(result.solution.assignment, reference.solution.assignment);
+    EXPECT_EQ(result.solution.distances, reference.solution.distances);
+  }
+}
+
+TEST(WmaDeterminismTest, UniformNetworkExactMatcher) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 600;
+  network.alpha = 2.0;
+  network.seed = 11;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(21);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/80, /*l=*/120, /*k=*/15,
+                          /*max_capacity=*/8, rng);
+  ExpectIdenticalAcrossThreadCounts(instance, /*naive=*/false,
+                                    /*uniform_first=*/false);
+}
+
+TEST(WmaDeterminismTest, UniformNetworkNaiveMatcher) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 600;
+  network.alpha = 2.0;
+  network.seed = 11;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(21);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/80, /*l=*/120, /*k=*/15,
+                          /*max_capacity=*/8, rng);
+  ExpectIdenticalAcrossThreadCounts(instance, /*naive=*/true,
+                                    /*uniform_first=*/false);
+}
+
+TEST(WmaDeterminismTest, ClusteredNetworkExactMatcher) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 800;
+  network.alpha = 2.0;
+  network.num_clusters = 8;
+  network.seed = 33;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(34);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/100, /*l=*/150, /*k=*/20,
+                          /*max_capacity=*/6, rng);
+  ExpectIdenticalAcrossThreadCounts(instance, /*naive=*/false,
+                                    /*uniform_first=*/false);
+}
+
+TEST(WmaDeterminismTest, ClusteredNetworkNaiveMatcher) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 800;
+  network.alpha = 2.0;
+  network.num_clusters = 8;
+  network.seed = 33;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(34);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/100, /*l=*/150, /*k=*/20,
+                          /*max_capacity=*/6, rng);
+  ExpectIdenticalAcrossThreadCounts(instance, /*naive=*/true,
+                                    /*uniform_first=*/false);
+}
+
+TEST(WmaDeterminismTest, UniformFirstVariant) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 500;
+  network.alpha = 2.0;
+  network.num_clusters = 5;
+  network.seed = 55;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(56);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/60, /*l=*/90, /*k=*/12,
+                          /*max_capacity=*/7, rng);
+  ExpectIdenticalAcrossThreadCounts(instance, /*naive=*/false,
+                                    /*uniform_first=*/true);
+}
+
+TEST(WmaDeterminismTest, RandomSparseInstancesSweep) {
+  // Several small random instances, including capacity-tight ones where
+  // demand growth iterates many times (more prefetch rounds).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    testing_util::RandomInstance random = testing_util::MakeRandomInstance(
+        /*n=*/200, /*m=*/40, /*l=*/60, /*k=*/10, /*max_capacity=*/4, rng);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExpectIdenticalAcrossThreadCounts(random.instance, /*naive=*/false,
+                                      /*uniform_first=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace mcfs
