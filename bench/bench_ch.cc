@@ -25,13 +25,16 @@ int main(int argc, char** argv) {
   std::printf("city: n=%d, edges=%lld\n", city.NumNodes(),
               static_cast<long long>(city.NumEdges()));
 
-  WallTimer timer;
+  double ch_prep = 0.0;
+  ScopedTimer ch_prep_timer(&ch_prep, "bench/ch_preprocess_seconds");
   const ContractionHierarchy ch(&city);
-  const double ch_prep = timer.Seconds();
-  timer.Restart();
+  ch_prep_timer.Stop();
+
+  double alt_prep = 0.0;
+  ScopedTimer alt_prep_timer(&alt_prep, "bench/alt_preprocess_seconds");
   Rng rng(bench.seed + 1);
   AltRouter alt(&city, 8, rng);
-  const double alt_prep = timer.Seconds();
+  alt_prep_timer.Stop();
 
   const int queries = 200;
   std::vector<std::pair<NodeId, NodeId>> pairs;
@@ -42,33 +45,39 @@ int main(int argc, char** argv) {
   }
 
   // Plain Dijkstra baseline (settles the whole component per query).
-  timer.Restart();
+  double dijkstra_seconds = 0.0;
   double checksum_dijkstra = 0.0;
-  for (const auto& [s, t] : pairs) {
-    const std::vector<double> dist = ShortestPathsFrom(city, s);
-    if (dist[t] != kInfDistance) checksum_dijkstra += dist[t];
+  {
+    ScopedTimer t(&dijkstra_seconds, "bench/dijkstra_query_seconds");
+    for (const auto& [s, t_node] : pairs) {
+      const std::vector<double> dist = ShortestPathsFrom(city, s);
+      if (dist[t_node] != kInfDistance) checksum_dijkstra += dist[t_node];
+    }
   }
-  const double dijkstra_seconds = timer.Seconds();
 
-  timer.Restart();
+  double ch_seconds = 0.0;
   double checksum_ch = 0.0;
   int64_t ch_settled = 0;
-  for (const auto& [s, t] : pairs) {
-    const double d = ch.Distance(s, t);
-    if (d != kInfDistance) checksum_ch += d;
-    ch_settled += ch.last_settled_count();
+  {
+    ScopedTimer t(&ch_seconds, "bench/ch_query_seconds");
+    for (const auto& [s, t_node] : pairs) {
+      const double d = ch.Distance(s, t_node);
+      if (d != kInfDistance) checksum_ch += d;
+      ch_settled += ch.last_settled_count();
+    }
   }
-  const double ch_seconds = timer.Seconds();
 
-  timer.Restart();
+  double alt_seconds = 0.0;
   double checksum_alt = 0.0;
   int64_t alt_settled = 0;
-  for (const auto& [s, t] : pairs) {
-    const double d = alt.Distance(s, t);
-    if (d != kInfDistance) checksum_alt += d;
-    alt_settled += alt.last_settled_count();
+  {
+    ScopedTimer t(&alt_seconds, "bench/alt_query_seconds");
+    for (const auto& [s, t_node] : pairs) {
+      const double d = alt.Distance(s, t_node);
+      if (d != kInfDistance) checksum_alt += d;
+      alt_settled += alt.last_settled_count();
+    }
   }
-  const double alt_seconds = timer.Seconds();
 
   MCFS_CHECK(std::abs(checksum_ch - checksum_dijkstra) <
              1e-6 * (1.0 + checksum_dijkstra))
@@ -94,18 +103,21 @@ int main(int argc, char** argv) {
   // Many-to-many: 64 x 64 table, CH buckets vs repeated Dijkstra.
   const std::vector<NodeId> sources = SampleDistinctNodes(city, 64, rng);
   const std::vector<NodeId> targets = SampleDistinctNodes(city, 64, rng);
-  timer.Restart();
+  double mtm_ch = 0.0;
+  ScopedTimer mtm_ch_timer(&mtm_ch, "bench/ch_table_seconds");
   const std::vector<double> table_ch = ch.DistanceTable(sources, targets);
-  const double mtm_ch = timer.Seconds();
-  timer.Restart();
+  mtm_ch_timer.Stop();
+  double mtm_dijkstra = 0.0;
   double mtm_checksum = 0.0;
-  for (const NodeId s : sources) {
-    const std::vector<double> dist = ShortestPathsFrom(city, s);
-    for (const NodeId t : targets) {
-      if (dist[t] != kInfDistance) mtm_checksum += dist[t];
+  {
+    ScopedTimer t(&mtm_dijkstra, "bench/dijkstra_table_seconds");
+    for (const NodeId s : sources) {
+      const std::vector<double> dist = ShortestPathsFrom(city, s);
+      for (const NodeId t_node : targets) {
+        if (dist[t_node] != kInfDistance) mtm_checksum += dist[t_node];
+      }
     }
   }
-  const double mtm_dijkstra = timer.Seconds();
   double mtm_ch_checksum = 0.0;
   for (const double d : table_ch) {
     if (d != kInfDistance) mtm_ch_checksum += d;

@@ -35,7 +35,7 @@ void RunConfig(const Fig6Config& config, const BenchConfig& bench,
               config.name, config.alpha, config.customer_fraction,
               config.k_fraction,
               config.capacity > 0 ? "uniform c" : "c ~ U[1,10]");
-  SweepTable table("n");
+  SweepTable table("n", std::string("fig6") + config.name);
   for (int base : {512, 1024, 2048, 4096}) {
     const int n = std::max(64, static_cast<int>(base * bench.scale * 4));
     SyntheticNetworkOptions graph_options;

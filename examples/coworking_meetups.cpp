@@ -45,15 +45,18 @@ int main(int argc, char** argv) {
   }
 
   // Direct WMA vs. the Uniform-First variant vs. the Hilbert baseline.
-  WallTimer timer;
+  double direct_seconds = 0.0;
+  ScopedTimer direct_timer(&direct_seconds);
   const McfsSolution direct = RunWma(instance).solution;
-  const double direct_seconds = timer.Seconds();
-  timer.Restart();
+  direct_timer.Stop();
+  double uf_seconds = 0.0;
+  ScopedTimer uf_timer(&uf_seconds);
   const McfsSolution uf = RunUniformFirstWma(instance).solution;
-  const double uf_seconds = timer.Seconds();
-  timer.Restart();
+  uf_timer.Stop();
+  double hilbert_seconds = 0.0;
+  ScopedTimer hilbert_timer(&hilbert_seconds);
   const McfsSolution hilbert = RunHilbertBaseline(instance);
-  const double hilbert_seconds = timer.Seconds();
+  hilbert_timer.Stop();
 
   std::printf("\n%-12s %12s %10s %9s\n", "algorithm", "objective (m)",
               "runtime", "feasible");

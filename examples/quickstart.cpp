@@ -9,6 +9,7 @@
 #include "mcfs/core/wma.h"
 #include "mcfs/exact/bb_solver.h"
 #include "mcfs/graph/generators.h"
+#include "mcfs/obs/metrics.h"
 #include "mcfs/workload/workload.h"
 
 int main() {
@@ -42,6 +43,11 @@ int main() {
   //    the solution is bit-identical to threads = 1.
   WmaOptions wma_options;
   wma_options.threads = 0;
+  // Turn on the instrumentation layer for this run: counters accumulate
+  // in the process-wide registry and the result carries per-phase and
+  // per-iteration statistics (the structured run report of step 7).
+  wma_options.metrics = true;
+  wma_options.collect_iteration_stats = true;
   const WmaResult result = RunWma(instance, wma_options);
   std::printf("WMA: objective %.1f in %.0f ms over %d iterations "
               "(feasible=%s)\n",
@@ -78,6 +84,34 @@ int main() {
                 instance.customers[i],
                 instance.facility_nodes[result.solution.assignment[i]],
                 result.solution.distances[i]);
+  }
+
+  // 7. The structured run report: phase breakdown from WmaStats plus the
+  //    hot-path counters the instrumentation layer collected (the same
+  //    numbers the bench binaries write to run_report.json).
+  std::printf("\nrun report:\n");
+  std::printf("  phases: matching %.1fms (prefetch %.1fms), cover %.1fms, "
+              "final assign %.1fms\n",
+              result.stats.matching_seconds * 1e3,
+              result.stats.prefetch_seconds * 1e3,
+              result.stats.cover_seconds * 1e3,
+              result.stats.final_assign_seconds * 1e3);
+  std::printf("  matcher: %lld edges materialized, %lld Theorem-1 prunes, "
+              "%lld rewirings, %lld G_b searches\n",
+              static_cast<long long>(result.stats.edges_materialized),
+              static_cast<long long>(result.stats.theorem1_prunes),
+              static_cast<long long>(result.stats.rewirings),
+              static_cast<long long>(result.stats.dijkstra_runs));
+  const obs::MetricsSnapshot metrics = obs::SnapshotMetrics();
+  for (const char* key :
+       {"stream/nodes_settled", "stream/edges_relaxed",
+        "exec/stream/prefetch_hits", "exec/stream/prefetch_misses",
+        "cover/candidates_scanned"}) {
+    const auto it = metrics.counters.find(key);
+    if (it != metrics.counters.end()) {
+      std::printf("  %-28s %lld\n", key,
+                  static_cast<long long>(it->second));
+    }
   }
   return 0;
 }

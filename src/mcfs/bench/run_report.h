@@ -1,0 +1,59 @@
+#ifndef MCFS_BENCH_RUN_REPORT_H_
+#define MCFS_BENCH_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "mcfs/bench/runner.h"
+
+namespace mcfs {
+
+// Structured machine-readable record of one benchmark run: one entry
+// per (instance, algorithm) cell with the headline numbers the paper's
+// tables print (objective, runtime, status), the WMA phase/iteration
+// breakdown, and the cell's counter snapshot from the obs registry.
+// The bench harness writes it next to the human-readable table
+// (--report-out=<path>, default run_report.json when metrics are on),
+// so sweeps can be diffed, plotted, and asserted on in CI without
+// scraping stdout.
+class RunReport {
+ public:
+  explicit RunReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Records one suite cell under the given instance label (e.g.
+  // "m=1000 l=100 k=10").
+  void AddCell(const std::string& instance_label,
+               const AlgoOutcome& outcome);
+
+  // Convenience: records every outcome of one RunSuite call.
+  void AddSuite(const std::string& instance_label,
+                const std::vector<AlgoOutcome>& outcomes);
+
+  int NumCells() const { return static_cast<int>(cells_.size()); }
+
+  // The whole report as a JSON document:
+  //   {"bench": "...", "cells": [{"instance": ..., "algorithm": ...,
+  //    "objective": ..., "seconds": ..., "feasible": ..., "failed": ...,
+  //    "wma": {...phase seconds, iterations, per_iteration...},
+  //    "metrics": {"counters": {...}, "distributions": {...}}}, ...]}
+  // The "wma" and "metrics" keys appear only when populated.
+  std::string Json() const;
+
+  // Writes Json() to `path`; returns false (and leaves no partial file
+  // behind) when the file cannot be opened.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  struct Cell {
+    std::string instance_label;
+    AlgoOutcome outcome;
+  };
+
+  std::string bench_name_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_BENCH_RUN_REPORT_H_

@@ -9,11 +9,13 @@
 #include "mcfs/common/timer.h"
 #include "mcfs/core/local_search.h"
 #include "mcfs/core/wma.h"
+#include "mcfs/obs/trace.h"
 
 namespace mcfs {
 
 AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
                          const McfsInstance& instance) {
+  obs::TraceSpan span(("run/" + name).c_str());
   WallTimer timer;
   const McfsSolution solution = fn(instance);
   AlgoOutcome outcome;
@@ -37,8 +39,32 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
   WmaOptions wma_options;
   wma_options.seed = suite.seed;
   wma_options.threads = suite.threads;
+  // Iteration rows are cheap (a handful of scalars per iteration), and
+  // the suite exists to produce reports — always collect them.
+  wma_options.collect_iteration_stats = true;
+  wma_options.metrics = suite.metrics;
+  if (suite.metrics) obs::EnableMetrics(true);
   WmaOptions naive_options = wma_options;
   naive_options.naive = true;
+
+  // Captures a WMA-variant cell: runs it through RunAlgorithm (timer +
+  // validation) and attaches the phase/iteration breakdown.
+  auto wma_cell = [&instance](const std::string& name, auto run) {
+    return [&instance, name, run] {
+      WmaStats stats;
+      AlgoOutcome outcome = RunAlgorithm(
+          name,
+          [&](const McfsInstance& inst) {
+            WmaResult result = run(inst);
+            stats = std::move(result.stats);
+            return std::move(result.solution);
+          },
+          instance);
+      outcome.has_wma_stats = true;
+      outcome.wma_stats = std::move(stats);
+      return outcome;
+    };
+  };
 
   std::vector<std::function<AlgoOutcome()>> cells;
   if (suite.with_brnn) {
@@ -58,34 +84,19 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
     });
   }
   if (suite.with_wma_naive) {
-    cells.push_back([&] {
-      return RunAlgorithm(
-          "WMA Naive",
-          [&](const McfsInstance& inst) {
-            return RunWma(inst, naive_options).solution;
-          },
-          instance);
-    });
+    cells.push_back(wma_cell("WMA Naive", [&](const McfsInstance& inst) {
+      return RunWma(inst, naive_options);
+    }));
   }
   if (suite.with_wma) {
-    cells.push_back([&] {
-      return RunAlgorithm(
-          "WMA",
-          [&](const McfsInstance& inst) {
-            return RunWma(inst, wma_options).solution;
-          },
-          instance);
-    });
+    cells.push_back(wma_cell("WMA", [&](const McfsInstance& inst) {
+      return RunWma(inst, wma_options);
+    }));
   }
   if (suite.with_uf_wma) {
-    cells.push_back([&] {
-      return RunAlgorithm(
-          "UF WMA",
-          [&](const McfsInstance& inst) {
-            return RunUniformFirstWma(inst, wma_options).solution;
-          },
-          instance);
-    });
+    cells.push_back(wma_cell("UF WMA", [&](const McfsInstance& inst) {
+      return RunUniformFirstWma(inst, wma_options);
+    }));
   }
   if (suite.with_wma_ls) {
     cells.push_back([&] {
@@ -100,6 +111,7 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
   }
   if (suite.with_exact) {
     cells.push_back([&] {
+      obs::TraceSpan span("run/Exact (B&B)");
       WallTimer timer;
       const ExactResult exact = SolveExact(instance, suite.exact_options);
       AlgoOutcome outcome;
@@ -113,9 +125,21 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
   }
 
   std::vector<AlgoOutcome> outcomes(cells.size());
-  ParallelFor(
-      0, static_cast<int64_t>(cells.size()), /*grain=*/1,
-      [&](int64_t c) { outcomes[c] = cells[c](); }, suite.threads);
+  if (suite.metrics) {
+    // Serial cells with a registry reset between them: every counter in
+    // a cell's snapshot was incremented by that cell alone. The cells
+    // run inline (not on the pool), so the WMA variants' nested
+    // prefetch still fans out across suite.threads.
+    for (size_t c = 0; c < cells.size(); ++c) {
+      obs::ResetMetrics();
+      outcomes[c] = cells[c]();
+      outcomes[c].metrics = obs::SnapshotMetrics();
+    }
+  } else {
+    ParallelFor(
+        0, static_cast<int64_t>(cells.size()), /*grain=*/1,
+        [&](int64_t c) { outcomes[c] = cells[c](); }, suite.threads);
+  }
   return outcomes;
 }
 

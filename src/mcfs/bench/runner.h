@@ -6,18 +6,32 @@
 #include <vector>
 
 #include "mcfs/core/instance.h"
+#include "mcfs/core/wma.h"
 #include "mcfs/exact/bb_solver.h"
+#include "mcfs/obs/metrics.h"
 
 namespace mcfs {
 
 // Outcome of running one algorithm on one instance: the two quantities
-// every figure in the paper reports (objective, runtime) plus status.
+// every figure in the paper reports (objective, runtime) plus status,
+// phase breakdowns, and (when AlgorithmSuite::metrics is on) the cell's
+// slice of the process-wide counter registry.
 struct AlgoOutcome {
   std::string algorithm;
   double objective = 0.0;
   double seconds = 0.0;
   bool feasible = false;
   bool failed = false;  // exact solver exceeded its budget ("Gurobi fails")
+  // WMA-variant cells carry the full phase/iteration breakdown
+  // (iterations, matching/cover/prefetch/final-assign seconds,
+  // per-iteration rows); other algorithms leave it default.
+  bool has_wma_stats = false;
+  WmaStats wma_stats;
+  // Counters and distributions attributed to exactly this cell: with
+  // metrics on, RunSuite runs cells serially and resets the registry
+  // between them, so the snapshot is the cell's own work (the nested
+  // WMA prefetch still parallelizes). Empty with metrics off.
+  obs::MetricsSnapshot metrics;
 };
 
 using AlgorithmFn = std::function<McfsSolution(const McfsInstance&)>;
@@ -50,6 +64,12 @@ struct AlgorithmSuite {
   // fidelity for wall-clock. Objectives and solutions are identical for
   // every value.
   int threads = 1;
+  // Per-cell observability (on by default — the suite exists to produce
+  // reports): enables the obs MetricsRegistry, runs cells serially with
+  // a registry reset between them, and stores each cell's counter
+  // snapshot in its AlgoOutcome. Turn off to run cells concurrently on
+  // the pool (suite.threads > 1) without attribution.
+  bool metrics = true;
 };
 
 // Runs the configured suite on one instance and returns one outcome per

@@ -1,9 +1,22 @@
 #include "mcfs/common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
 
 namespace mcfs {
+
+namespace {
+
+// Flag names treat '-' and '_' as the same character, so --trace-out
+// and --trace_out both reach the "trace_out" key.
+std::string NormalizeName(std::string_view name) {
+  std::string normalized(name);
+  std::replace(normalized.begin(), normalized.end(), '-', '_');
+  return normalized;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -12,10 +25,10 @@ Flags::Flags(int argc, char** argv) {
     arg.remove_prefix(2);
     const size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      values_[std::string(arg.substr(0, eq))] =
+      values_[NormalizeName(arg.substr(0, eq))] =
           std::string(arg.substr(eq + 1));
     } else {
-      values_[std::string(arg)] = "true";  // bare flag = boolean true
+      values_[NormalizeName(arg)] = "true";  // bare flag = boolean true
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "mcfs/obs/metrics.h"
+
 namespace mcfs {
 
 namespace {
@@ -56,10 +58,12 @@ ThreadPool& ThreadPool::Default() {
 }
 
 void ThreadPool::RunChunks(const Job& job, int participant) {
+  int64_t chunks_run = 0;
   for (int64_t chunk = participant; chunk < job.num_chunks;
        chunk += job.participants) {
     const int64_t chunk_begin = job.begin + chunk * job.grain;
     const int64_t chunk_end = std::min(job.end, chunk_begin + job.grain);
+    ++chunks_run;
     for (int64_t i = chunk_begin; i < chunk_end; ++i) {
       try {
         (*job.fn)(i);
@@ -68,6 +72,13 @@ void ThreadPool::RunChunks(const Job& job, int participant) {
       }
     }
   }
+  // Everything the pool measures is physical execution (how work was
+  // dispatched, not what was computed), so it all lives under exec/ and
+  // is exempt from the cross-thread-count determinism contract; the
+  // per-participant chunk distribution is the load-balance signal.
+  MCFS_COUNT("exec/pool/chunks", chunks_run);
+  MCFS_OBSERVE("exec/pool/chunks_per_participant",
+               static_cast<double>(chunks_run));
 }
 
 void ThreadPool::CaptureException() {
@@ -115,10 +126,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   participants =
       static_cast<int>(std::min<int64_t>(participants, num_chunks));
 
+  MCFS_COUNT("exec/pool/parallel_fors", 1);
+  MCFS_COUNT("exec/pool/indices", end - begin);
+
   // Serial fast path: one effective participant, or a nested call from
   // inside a running parallel region (blocking on the pool that is
   // executing us would deadlock).
   if (participants <= 1 || t_inside_parallel_region) {
+    MCFS_COUNT("exec/pool/inline_sections", 1);
     for (int64_t i = begin; i < end; ++i) fn(i);
     return;
   }

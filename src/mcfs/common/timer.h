@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "mcfs/obs/metrics.h"
+
 namespace mcfs {
 
 // Simple monotonic wall-clock timer used by the benchmark harness and by
@@ -23,6 +25,49 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// RAII timer that, on destruction, adds the elapsed seconds to a plain
+// accumulator and/or observes them into a named metrics distribution
+// (count = calls, sum = total seconds). Replaces the ad-hoc
+// WallTimer-start/stop pairs in the bench harness, the WMA phase
+// timers, and the examples:
+//
+//   { ScopedTimer timer(&stats.matching_seconds, "wma/matching_seconds");
+//     ... }  // both sinks updated here
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator, const char* metric_name = nullptr)
+      : accumulator_(accumulator), metric_name_(metric_name) {}
+  explicit ScopedTimer(const char* metric_name)
+      : metric_name_(metric_name) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  // Flushes the elapsed time into the sinks early; the destructor then
+  // becomes a no-op. Returns the elapsed seconds.
+  double Stop() {
+    if (stopped_) return last_seconds_;
+    stopped_ = true;
+    last_seconds_ = timer_.Seconds();
+    if (accumulator_ != nullptr) *accumulator_ += last_seconds_;
+    if (metric_name_ != nullptr && obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Get()
+          .GetDistribution(metric_name_)
+          ->Observe(last_seconds_);
+    }
+    return last_seconds_;
+  }
+
+ private:
+  WallTimer timer_;
+  double* accumulator_ = nullptr;
+  const char* metric_name_ = nullptr;
+  bool stopped_ = false;
+  double last_seconds_ = 0.0;
 };
 
 }  // namespace mcfs

@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "mcfs/common/check.h"
+#include "mcfs/obs/metrics.h"
 
 namespace mcfs {
 
@@ -53,10 +54,14 @@ CoverResult CheckCover(const CoverInput& input,
     }
   }
 
+  int64_t candidates_scanned = 0;
+  int64_t stale_reinserts = 0;
+  int64_t recency_tiebreaks = 0;
   while (static_cast<int>(result.selected.size()) < input.k &&
          !heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
+    ++candidates_scanned;
     int gain = 0;
     for (const int customer : sigma[top.facility]) {
       if (!result.covered[customer]) ++gain;
@@ -67,15 +72,29 @@ CoverResult CheckCover(const CoverInput& input,
       // re-evaluation is sound.
       if (gain > 0) {
         heap.push({gain, top.cost, top.last_selected, top.facility});
+        ++stale_reinserts;
       }
       continue;
     }
     if (gain == 0) break;  // nothing more to cover
+    // Did the recency rule (least-recently-selected wins) decide this
+    // pick? True when the next-best entry matches on both gain and the
+    // cost tie-break — the diversification the paper leans on to rotate
+    // the selection between iterations.
+    if (!heap.empty() && heap.top().gain == top.gain &&
+        heap.top().cost == top.cost) {
+      ++recency_tiebreaks;
+    }
     result.selected.push_back(top.facility);
     for (const int customer : sigma[top.facility]) {
       result.covered[customer] = 1;
     }
   }
+  MCFS_COUNT("cover/candidates_scanned", candidates_scanned);
+  MCFS_COUNT("cover/stale_reinserts", stale_reinserts);
+  MCFS_COUNT("cover/recency_tiebreaks", recency_tiebreaks);
+  MCFS_COUNT("cover/selections",
+             static_cast<int64_t>(result.selected.size()));
 
   for (const int j : result.selected) last_selected[j] = iteration;
 

@@ -11,6 +11,8 @@
 #include "mcfs/core/set_cover.h"
 #include "mcfs/flow/matcher.h"
 #include "mcfs/graph/facility_stream.h"
+#include "mcfs/obs/metrics.h"
+#include "mcfs/obs/trace.h"
 
 namespace mcfs {
 
@@ -160,6 +162,8 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   MCFS_CHECK_GT(instance.l(), 0);
   MCFS_CHECK_GT(instance.k, 0);
 
+  if (options.metrics) obs::EnableMetrics(true);
+  MCFS_SPAN("wma/run");
   WallTimer total_timer;
   WmaResult result;
   const int m = instance.m();
@@ -202,65 +206,101 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   std::vector<int> prefetch_counts;
   CoverResult cover;
   for (int64_t iteration = 0; iteration < max_iterations; ++iteration) {
-    WallTimer phase_timer;
-    if (options.naive) {
-      if (threads > 1) greedy->Prefetch(demand, threads);
-      greedy->AssignDemands(demand, rng, &sigma, &matched_cost, &saturated);
-    } else {
-      if (threads > 1) {
-        prefetch_counts.assign(m, 0);
+    MCFS_SPAN("wma/iteration");
+    MCFS_COUNT("wma/iterations", 1);
+    const int64_t dijkstra_runs_before =
+        matcher != nullptr ? matcher->num_dijkstra_runs() : 0;
+    const int64_t edges_before =
+        matcher != nullptr ? matcher->num_edges_materialized() : 0;
+
+    double matching_seconds = 0.0;
+    {
+      MCFS_SPAN("wma/matching");
+      ScopedTimer matching_timer(&matching_seconds, "wma/matching_seconds");
+      if (options.naive) {
+        if (threads > 1) {
+          MCFS_SPAN("wma/prefetch");
+          ScopedTimer prefetch_timer(&result.stats.prefetch_seconds,
+                                     "wma/prefetch_seconds");
+          greedy->Prefetch(demand, threads);
+        }
+        greedy->AssignDemands(demand, rng, &sigma, &matched_cost,
+                              &saturated);
+      } else {
+        if (threads > 1) {
+          MCFS_SPAN("wma/prefetch");
+          ScopedTimer prefetch_timer(&result.stats.prefetch_seconds,
+                                     "wma/prefetch_seconds");
+          prefetch_counts.assign(m, 0);
+          for (int i = 0; i < m; ++i) {
+            if (saturated[i]) continue;
+            const int deficit = demand[i] - matcher->CustomerMatchCount(i);
+            // +1 buffers the lookahead entry FindPair peeks for the
+            // Theorem-1 threshold.
+            if (deficit > 0) prefetch_counts[i] = deficit + 1;
+          }
+          matcher->PrefetchCandidates(prefetch_counts, threads);
+        }
         for (int i = 0; i < m; ++i) {
-          if (saturated[i]) continue;
-          const int deficit = demand[i] - matcher->CustomerMatchCount(i);
-          // +1 buffers the lookahead entry FindPair peeks for the
-          // Theorem-1 threshold.
-          if (deficit > 0) prefetch_counts[i] = deficit + 1;
+          while (!saturated[i] &&
+                 matcher->CustomerMatchCount(i) < demand[i]) {
+            if (!matcher->FindPair(i)) saturated[i] = 1;
+          }
         }
-        matcher->PrefetchCandidates(prefetch_counts, threads);
-      }
-      for (int i = 0; i < m; ++i) {
-        while (!saturated[i] &&
-               matcher->CustomerMatchCount(i) < demand[i]) {
-          if (!matcher->FindPair(i)) saturated[i] = 1;
+        for (int j = 0; j < l; ++j) {
+          sigma[j].clear();
+          matched_cost[j] = 0.0;
         }
-      }
-      for (int j = 0; j < l; ++j) {
-        sigma[j].clear();
-        matched_cost[j] = 0.0;
-      }
-      for (const MatchedPair& pair : matcher->MatchedPairs()) {
-        sigma[pair.facility].push_back(pair.customer);
-        matched_cost[pair.facility] += pair.distance;
+        for (const MatchedPair& pair : matcher->MatchedPairs()) {
+          sigma[pair.facility].push_back(pair.customer);
+          matched_cost[pair.facility] += pair.distance;
+        }
       }
     }
-    const double matching_seconds = phase_timer.Seconds();
     result.stats.matching_seconds += matching_seconds;
 
-    phase_timer.Restart();
-    CoverInput input;
-    input.num_customers = m;
-    input.k = instance.k;
-    input.customers_of_facility = &sigma;
-    input.demand = &demand;
-    input.demand_cap = l;
-    input.saturated = &saturated;
-    if (options.cost_tie_break) input.matched_cost = &matched_cost;
-    cover = CheckCover(input, last_selected, iteration);
-    const double cover_seconds = phase_timer.Seconds();
+    double cover_seconds = 0.0;
+    {
+      MCFS_SPAN("wma/cover");
+      ScopedTimer cover_timer(&cover_seconds, "wma/cover_seconds");
+      CoverInput input;
+      input.num_customers = m;
+      input.k = instance.k;
+      input.customers_of_facility = &sigma;
+      input.demand = &demand;
+      input.demand_cap = l;
+      input.saturated = &saturated;
+      if (options.cost_tie_break) input.matched_cost = &matched_cost;
+      cover = CheckCover(input, last_selected, iteration);
+    }
     result.stats.cover_seconds += cover_seconds;
     result.stats.iterations = static_cast<int>(iteration) + 1;
 
     if (options.collect_iteration_stats) {
       const int covered = static_cast<int>(
           std::count(cover.covered.begin(), cover.covered.end(), 1));
-      result.stats.per_iteration.push_back(
-          {static_cast<int>(iteration) + 1, covered, matching_seconds,
-           cover_seconds});
+      WmaIterationStats iter_stats;
+      iter_stats.iteration = static_cast<int>(iteration) + 1;
+      iter_stats.covered_customers = covered;
+      iter_stats.matching_seconds = matching_seconds;
+      iter_stats.cover_seconds = cover_seconds;
+      if (matcher != nullptr) {
+        iter_stats.dijkstra_runs =
+            matcher->num_dijkstra_runs() - dijkstra_runs_before;
+        iter_stats.edges_materialized =
+            matcher->num_edges_materialized() - edges_before;
+      }
+      result.stats.per_iteration.push_back(iter_stats);
     }
     if (cover.all_delta_zero) break;
+    int64_t demand_increments = 0;
     for (int i = 0; i < m; ++i) {
-      if (cover.delta_demand[i]) demand[i]++;
+      if (cover.delta_demand[i]) {
+        demand[i]++;
+        ++demand_increments;
+      }
     }
+    MCFS_COUNT("wma/demand_increments", demand_increments);
   }
 
   std::vector<int> selected = cover.selected;
@@ -271,26 +311,40 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
     CoverComponents(instance, selected);
   }
 
-  if (options.naive) {
-    result.solution = greedy->AssignFinal(selected, rng);
-    if (!result.solution.feasible) {
-      // Greedy assignment can dead-end on feasible instances (capacity
-      // grabbed by the wrong customers); fall back to one matching.
+  {
+    MCFS_SPAN("wma/final_assign");
+    ScopedTimer final_timer(&result.stats.final_assign_seconds,
+                            "wma/final_assign_seconds");
+    if (options.naive) {
+      result.solution = greedy->AssignFinal(selected, rng);
+      if (!result.solution.feasible) {
+        // Greedy assignment can dead-end on feasible instances (capacity
+        // grabbed by the wrong customers); fall back to one matching.
+        result.solution =
+            AssignOptimally(instance, selected, options.threads);
+      }
+    } else {
       result.solution = AssignOptimally(instance, selected, options.threads);
     }
-  } else {
-    result.solution = AssignOptimally(instance, selected, options.threads);
   }
   if (matcher != nullptr) {
     result.stats.dijkstra_runs = matcher->num_dijkstra_runs();
     result.stats.edges_materialized = matcher->num_edges_materialized();
+    result.stats.theorem1_prunes = matcher->num_theorem1_prunes();
+    result.stats.rewirings = matcher->num_rewirings();
+    result.stats.label_correcting_runs =
+        matcher->num_label_correcting_runs();
   }
+  MCFS_COUNT("wma/saturated_customers",
+             std::count(saturated.begin(), saturated.end(), 1));
   result.stats.total_seconds = total_timer.Seconds();
   return result;
 }
 
 WmaResult RunUniformFirstWma(const McfsInstance& instance,
                              const WmaOptions& options) {
+  if (options.metrics) obs::EnableMetrics(true);
+  MCFS_SPAN("wma/uniform_first");
   WallTimer total_timer;
   // Phase 1: pretend capacities are uniform at the average value.
   const double mean_capacity =

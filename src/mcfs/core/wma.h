@@ -33,6 +33,13 @@ struct WmaOptions {
   // only moves when distances are computed, never which entry the
   // matcher consumes next (see DESIGN.md "Parallel execution layer").
   int threads = 0;
+  // Turn on the process-wide obs MetricsRegistry for this run (same as
+  // exporting MCFS_METRICS=1): hot-path counters and phase-time
+  // distributions accumulate under wma/, matcher/, stream/, dijkstra/,
+  // cover/, ch/ and exec/* names. Off by default — the guarded macros
+  // then cost one relaxed atomic load per site (see DESIGN.md
+  // "Observability").
+  bool metrics = false;
 };
 
 // Per-iteration instrumentation (covered customers after CheckCover,
@@ -42,14 +49,31 @@ struct WmaIterationStats {
   int covered_customers = 0;
   double matching_seconds = 0.0;
   double cover_seconds = 0.0;
+  // Work done within this iteration (deltas of the matcher's cumulative
+  // counts; zero for the naive variant).
+  int64_t dijkstra_runs = 0;
+  int64_t edges_materialized = 0;
 };
 
 struct WmaStats {
   int iterations = 0;
   int64_t dijkstra_runs = 0;         // on G_b (exact variant only)
   int64_t edges_materialized = 0;    // bipartite edges added on demand
+  // Exact-variant matcher detail (zero for naive): augmentations
+  // accepted early by the Theorem-1 threshold, matched edges flipped
+  // back while augmenting, and searches that ran in label-correcting
+  // mode because of temporarily negative reduced costs.
+  int64_t theorem1_prunes = 0;
+  int64_t rewirings = 0;
+  int64_t label_correcting_runs = 0;
   double matching_seconds = 0.0;
   double cover_seconds = 0.0;
+  // Subset of matching_seconds spent in the batched parallel stream
+  // prefetch (zero when running with one thread).
+  double prefetch_seconds = 0.0;
+  // The single assignment of every customer to the selected facilities
+  // that closes the algorithm.
+  double final_assign_seconds = 0.0;
   double total_seconds = 0.0;
   std::vector<WmaIterationStats> per_iteration;
 };

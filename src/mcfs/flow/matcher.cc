@@ -6,6 +6,7 @@
 #include "mcfs/common/dary_heap.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
+#include "mcfs/obs/metrics.h"
 
 namespace mcfs {
 
@@ -68,6 +69,7 @@ bool IncrementalMatcher::MaterializeNextEdge(int customer) {
   if (!next.has_value()) return false;
   edges_[customer].push_back({next->facility, next->distance, false});
   ++num_edges_materialized_;
+  MCFS_COUNT("matcher/edges_materialized", 1);
   const MatchEdge& edge = edges_[customer].back();
   if (ReducedCost(customer, edge) < -kEps) {
     negative_arcs_.emplace_back(
@@ -99,7 +101,14 @@ IncrementalMatcher::SearchResult IncrementalMatcher::Search(
   result.sink_facility = -1;
   result.sink_distance = kInfDistance;
 
+  // Counted in locals and flushed once per search: this loop is the G_b
+  // hot path and runs on the (serial) matcher thread.
+  int64_t gb_settled = 0;
+  int64_t gb_relaxed = 0;
+  int64_t gb_heap_pushes = 0;
+
   auto relax = [&](int from, int to, double reduced_weight) {
+    ++gb_relaxed;
     const double candidate = dist_[from] + reduced_weight;
     if (candidate < dist_[to] - kEps) {
       if (dist_[to] == kInfDistance) touched_.push_back(to);
@@ -107,6 +116,7 @@ IncrementalMatcher::SearchResult IncrementalMatcher::Search(
       parent_[to] = from;
       settled_[to] = 0;  // label-correcting: allow re-settling
       heap.push({candidate, to});
+      ++gb_heap_pushes;
     }
   };
 
@@ -115,6 +125,7 @@ IncrementalMatcher::SearchResult IncrementalMatcher::Search(
     heap.pop();
     if (settled_[top.node] || top.dist > dist_[top.node] + kEps) continue;
     settled_[top.node] = 1;
+    ++gb_settled;
     if (top.node >= m_) {
       // Facility node.
       const int j = top.node - m_;
@@ -159,29 +170,48 @@ IncrementalMatcher::SearchResult IncrementalMatcher::Search(
   // valid lower bound for v.dist.
   result.threshold = kInfDistance;
   result.threshold_customer = -1;
+  // The naive (SIA-style) bound replaces the per-customer potential with
+  // a single global one, so it is never tighter than Theorem 1:
+  //   naive = min_v (v.dist + nnDist(v)) - max_v potential[v].
+  double naive_min_reach = kInfDistance;
+  double naive_max_potential = 0.0;
   for (const int v : touched_) {
     if (v >= m_) continue;
+    naive_max_potential = std::max(naive_max_potential, potential_[v]);
     const double nn_dist = StreamFor(v).PeekDistance();
     if (nn_dist == kInfDistance) continue;
     double v_dist = dist_[v];
     if (!settled_[v] && result.sink_facility != -1) {
       v_dist = std::min(v_dist, result.sink_distance);
     }
+    naive_min_reach = std::min(naive_min_reach, v_dist + nn_dist);
     const double value = v_dist + nn_dist - potential_[v];
     if (value < result.threshold) {
       result.threshold = value;
       result.threshold_customer = v;
     }
   }
+  result.naive_threshold = naive_min_reach == kInfDistance
+                               ? kInfDistance
+                               : naive_min_reach - naive_max_potential;
+
+  MCFS_COUNT("matcher/searches", 1);
+  if (!exact) MCFS_COUNT("matcher/label_correcting_searches", 1);
+  MCFS_COUNT("matcher/gb_nodes_settled", gb_settled);
+  MCFS_COUNT("matcher/gb_edges_relaxed", gb_relaxed);
+  MCFS_COUNT("matcher/gb_heap_pushes", gb_heap_pushes);
   return result;
 }
 
 void IncrementalMatcher::Augment(int source_customer,
                                  const SearchResult& found) {
+  int64_t path_edges = 0;
+  int64_t rewirings = 0;
   int current = GbFacilityNode(found.sink_facility);
   while (current != source_customer) {
     const int prev = parent_[current];
     MCFS_CHECK_GE(prev, 0);
+    ++path_edges;
     if (current >= m_) {
       // prev is a customer: match edge (prev -> current).
       const int facility = current - m_;
@@ -198,6 +228,7 @@ void IncrementalMatcher::Augment(int source_customer,
     } else {
       // prev is a facility: unmatch edge (current -> prev).
       const int facility = prev - m_;
+      ++rewirings;
       bool flipped = false;
       for (MatchEdge& edge : edges_[current]) {
         if (edge.facility == facility && edge.matched) {
@@ -220,6 +251,11 @@ void IncrementalMatcher::Augment(int source_customer,
   }
   assigned_count_[found.sink_facility]++;
   customer_match_count_[source_customer]++;
+  num_rewirings_ += rewirings;
+  MCFS_COUNT("matcher/augmentations", 1);
+  MCFS_COUNT("matcher/rewirings", rewirings);
+  MCFS_OBSERVE("matcher/augmenting_path_edges",
+               static_cast<double>(path_edges));
 }
 
 void IncrementalMatcher::UpdatePotentials(double sink_distance) {
@@ -247,6 +283,16 @@ bool IncrementalMatcher::FindPair(int customer) {
     const SearchResult found = Search(customer);
     const bool have_sink = found.sink_facility != -1;
     if (have_sink && found.sink_distance <= found.threshold + kEps) {
+      if (found.threshold != kInfDistance) {
+        // The streams still held undiscovered facilities, yet Theorem 1
+        // proved none of them can shorten this path: one prune.
+        ++num_theorem1_prunes_;
+        MCFS_COUNT("matcher/theorem1_prunes", 1);
+        if (found.sink_distance > found.naive_threshold + kEps) {
+          // The looser SIA-style bound would have kept materializing.
+          MCFS_COUNT("matcher/theorem1_savings_vs_naive", 1);
+        }
+      }
       Augment(customer, found);
       UpdatePotentials(found.sink_distance);
       RecheckNegativeArcs();
@@ -262,6 +308,8 @@ bool IncrementalMatcher::FindPair(int customer) {
       }
       return false;  // customer is saturated
     }
+    ++num_forced_materializations_;
+    MCFS_COUNT("matcher/forced_materializations", 1);
     const bool added = MaterializeNextEdge(found.threshold_customer);
     MCFS_CHECK(added);  // threshold was finite, so the stream had a peek
   }

@@ -90,11 +90,24 @@ class IncrementalMatcher {
   bool VerifyDualFeasibility() const;
 
   // --- instrumentation ---
+  // (Mirrored into the obs MetricsRegistry under matcher/*; these
+  // accessors keep the counts reachable without enabling metrics.)
   int64_t num_dijkstra_runs() const { return num_dijkstra_runs_; }
   int64_t num_edges_materialized() const { return num_edges_materialized_; }
   int64_t num_label_correcting_runs() const {
     return num_label_correcting_runs_;
   }
+  // Augmentations accepted by the Theorem-1 threshold test while the
+  // candidate streams still had undiscovered facilities — each one cut
+  // the lazy edge materialization short (the paper's pruning claim).
+  int64_t num_theorem1_prunes() const { return num_theorem1_prunes_; }
+  // Edge materializations forced because the threshold test failed.
+  int64_t num_forced_materializations() const {
+    return num_forced_materializations_;
+  }
+  // Matched edges unmatched again while augmenting (the rewiring that
+  // distinguishes the exact matcher from WMA Naive).
+  int64_t num_rewirings() const { return num_rewirings_; }
 
  private:
   struct MatchEdge {
@@ -112,6 +125,11 @@ class IncrementalMatcher {
     double sink_distance = 0.0;   // reduced path length to the sink
     double threshold = 0.0;       // Theorem-1 bound; kInfDistance if none
     int threshold_customer = -1;  // argmin customer for materialization
+    // SIA-style looser lower bound computed alongside the Theorem-1
+    // threshold (min over customers of dist + nnDist, potentials bounded
+    // globally instead of per node); used only for the
+    // matcher/theorem1_savings_vs_naive counter.
+    double naive_threshold = 0.0;
   };
 
   int GbFacilityNode(int facility) const { return m_ + facility; }
@@ -153,6 +171,9 @@ class IncrementalMatcher {
   int64_t num_dijkstra_runs_ = 0;
   int64_t num_edges_materialized_ = 0;
   int64_t num_label_correcting_runs_ = 0;
+  int64_t num_theorem1_prunes_ = 0;
+  int64_t num_forced_materializations_ = 0;
+  int64_t num_rewirings_ = 0;
 };
 
 }  // namespace mcfs

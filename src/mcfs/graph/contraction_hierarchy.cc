@@ -8,6 +8,7 @@
 #include "mcfs/common/dary_heap.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
+#include "mcfs/obs/metrics.h"
 
 namespace mcfs {
 
@@ -179,6 +180,8 @@ void ContractionHierarchy::UpwardSearch(
     }
   }
   last_settled_.fetch_add(settled_count, std::memory_order_relaxed);
+  MCFS_COUNT("ch/upward_searches", 1);
+  MCFS_COUNT("ch/upward_settles", settled_count);
 }
 
 double ContractionHierarchy::Distance(NodeId s, NodeId t) const {
@@ -234,16 +237,23 @@ std::vector<double> ContractionHierarchy::DistanceTable(
       [&](int64_t s) {
         std::vector<std::pair<NodeId, double>> settled;
         UpwardSearch(sources[s], &settled);
+        int64_t bucket_scans = 0, bucket_entries = 0;
         for (const auto& [node, dist] : settled) {
           auto it = buckets.find(node);
           if (it == buckets.end()) continue;
+          ++bucket_scans;
+          bucket_entries += static_cast<int64_t>(it->second.size());
           for (const auto& [t, target_dist] : it->second) {
             double& cell = table[static_cast<size_t>(s) * cols + t];
             cell = std::min(cell, dist + target_dist);
           }
         }
+        MCFS_COUNT("ch/bucket_scans", bucket_scans);
+        MCFS_COUNT("ch/bucket_entries_scanned", bucket_entries);
       },
       threads);
+  MCFS_COUNT("ch/table_cells",
+             static_cast<int64_t>(rows) * static_cast<int64_t>(cols));
   return table;
 }
 

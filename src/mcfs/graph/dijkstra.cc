@@ -1,6 +1,7 @@
 #include "mcfs/graph/dijkstra.h"
 
 #include "mcfs/common/dary_heap.h"
+#include "mcfs/obs/metrics.h"
 
 namespace mcfs {
 
@@ -23,6 +24,9 @@ using MinHeap = DaryHeap<HeapEntry, 4, HeapEntryLess>;
 
 std::vector<double> ShortestPathsFrom(const Graph& graph, NodeId source) {
   std::vector<double> dist(graph.NumNodes(), kInfDistance);
+  // Work counters accumulate in locals (free registers) and flush once
+  // per call, so the disabled-metrics fast path is unchanged.
+  int64_t settled = 0, relaxed = 0, heap_pushes = 1;
   MinHeap heap;
   dist[source] = 0.0;
   heap.push({0.0, source});
@@ -30,14 +34,21 @@ std::vector<double> ShortestPathsFrom(const Graph& graph, NodeId source) {
     const HeapEntry top = heap.top();
     heap.pop();
     if (top.dist > dist[top.node]) continue;  // stale entry
+    ++settled;
     for (const AdjEntry& e : graph.Neighbors(top.node)) {
+      ++relaxed;
       const double candidate = top.dist + e.weight;
       if (candidate < dist[e.to]) {
         dist[e.to] = candidate;
         heap.push({candidate, e.to});
+        ++heap_pushes;
       }
     }
   }
+  MCFS_COUNT("dijkstra/full_runs", 1);
+  MCFS_COUNT("dijkstra/nodes_settled", settled);
+  MCFS_COUNT("dijkstra/edges_relaxed", relaxed);
+  MCFS_COUNT("dijkstra/heap_pushes", heap_pushes);
   return dist;
 }
 
@@ -45,6 +56,7 @@ std::vector<SettledNode> DijkstraWithinRadius(const Graph& graph,
                                               NodeId source, double radius) {
   std::vector<double> dist(graph.NumNodes(), kInfDistance);
   std::vector<SettledNode> settled;
+  int64_t relaxed = 0;
   MinHeap heap;
   dist[source] = 0.0;
   heap.push({0.0, source});
@@ -55,6 +67,7 @@ std::vector<SettledNode> DijkstraWithinRadius(const Graph& graph,
     if (top.dist > radius) break;
     settled.push_back({top.node, top.dist});
     for (const AdjEntry& e : graph.Neighbors(top.node)) {
+      ++relaxed;
       const double candidate = top.dist + e.weight;
       if (candidate < dist[e.to]) {
         dist[e.to] = candidate;
@@ -62,6 +75,9 @@ std::vector<SettledNode> DijkstraWithinRadius(const Graph& graph,
       }
     }
   }
+  MCFS_COUNT("dijkstra/bounded_runs", 1);
+  MCFS_COUNT("dijkstra/nodes_settled", static_cast<int64_t>(settled.size()));
+  MCFS_COUNT("dijkstra/edges_relaxed", relaxed);
   return settled;
 }
 
@@ -79,11 +95,14 @@ MultiSourceResult MultiSourceDijkstra(const Graph& graph,
       heap.push({0.0, s});
     }
   }
+  int64_t settled = 0, relaxed = 0;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
     if (top.dist > result.distance[top.node]) continue;
+    ++settled;
     for (const AdjEntry& e : graph.Neighbors(top.node)) {
+      ++relaxed;
       const double candidate = top.dist + e.weight;
       if (candidate < result.distance[e.to]) {
         result.distance[e.to] = candidate;
@@ -92,6 +111,9 @@ MultiSourceResult MultiSourceDijkstra(const Graph& graph,
       }
     }
   }
+  MCFS_COUNT("dijkstra/multi_source_runs", 1);
+  MCFS_COUNT("dijkstra/nodes_settled", settled);
+  MCFS_COUNT("dijkstra/edges_relaxed", relaxed);
   return result;
 }
 
@@ -125,6 +147,7 @@ std::optional<SettledNode> IncrementalDijkstra::NextSettled() {
   queue_.pop();
   settled_dist_[top.node] = top.dist;
   for (const AdjEntry& e : graph_->Neighbors(top.node)) {
+    ++num_relaxed_;
     if (settled_dist_.count(e.to) != 0) continue;
     const double candidate = top.dist + e.weight;
     if (candidate < TentativeDistance(e.to)) {

@@ -72,6 +72,11 @@ class IncrementalDijkstra {
 
   size_t num_settled() const { return settled_dist_.size(); }
 
+  // Edge relaxations attempted so far (one per neighbor of every
+  // settled node). Cumulative like num_settled(); NearestFacilityStream
+  // uses both to attribute stream work to consumed candidates.
+  int64_t num_relaxed() const { return num_relaxed_; }
+
  private:
   struct QueueEntry {
     double dist;
@@ -92,6 +97,7 @@ class IncrementalDijkstra {
 
   const Graph* graph_;
   NodeId source_;
+  int64_t num_relaxed_ = 0;
   std::unordered_map<NodeId, double> tentative_;
   std::unordered_map<NodeId, double> settled_dist_;
   DaryHeap<QueueEntry, 4, QueueEntryLess> queue_;

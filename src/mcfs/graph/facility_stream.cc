@@ -1,5 +1,9 @@
 #include "mcfs/graph/facility_stream.h"
 
+#include <algorithm>
+
+#include "mcfs/obs/metrics.h"
+
 namespace mcfs {
 
 NearestFacilityStream::NearestFacilityStream(
@@ -18,29 +22,61 @@ bool NearestFacilityStream::AdvanceOne() {
     }
     const int facility = (*facility_index_of_node_)[settled->node];
     if (facility >= 0) {
-      buffer_.push_back(FacilityAtDistance{facility, settled->distance});
+      buffer_.push_back(
+          BufferedCandidate{FacilityAtDistance{facility, settled->distance},
+                            static_cast<int64_t>(dijkstra_.num_settled()),
+                            dijkstra_.num_relaxed()});
+      // Physical discovery work, counted when it happens (possibly on a
+      // prefetch worker thread) — thread-count dependent by design.
+      MCFS_COUNT("exec/stream/candidates_discovered", 1);
       return true;
     }
   }
 }
 
 void NearestFacilityStream::Prefetch(int count) {
+  const int64_t before = dijkstra_.num_settled();
   while (static_cast<int>(buffer_.size()) < count) {
-    if (!AdvanceOne()) return;
+    if (!AdvanceOne()) break;
   }
+  MCFS_COUNT("exec/stream/prefetch_settles",
+             static_cast<int64_t>(dijkstra_.num_settled()) - before);
+  prefetched_watermark_ =
+      std::max(prefetched_watermark_,
+               num_popped_ + static_cast<int64_t>(buffer_.size()));
 }
 
 double NearestFacilityStream::PeekDistance() {
   if (buffer_.empty() && !AdvanceOne()) return kInfDistance;
-  return buffer_.front().distance;
+  return buffer_.front().candidate.distance;
 }
 
 std::optional<FacilityAtDistance> NearestFacilityStream::Pop() {
+  const bool was_buffered = !buffer_.empty();
   if (buffer_.empty() && !AdvanceOne()) return std::nullopt;
-  FacilityAtDistance result = buffer_.front();
+  const BufferedCandidate entry = buffer_.front();
   buffer_.pop_front();
+
+  // Logical consumed-work attribution: the Dijkstra effort needed to
+  // discover this candidate is a pure function of (graph, source, pop
+  // index), so these counters are bit-identical for any thread count
+  // even though prefetching may have done the work earlier (or further
+  // ahead) on another thread.
+  MCFS_COUNT("stream/candidates_popped", 1);
+  MCFS_COUNT("stream/nodes_settled", entry.settled_at - attributed_settled_);
+  MCFS_COUNT("stream/edges_relaxed", entry.relaxed_at - attributed_relaxed_);
+  attributed_settled_ = entry.settled_at;
+  attributed_relaxed_ = entry.relaxed_at;
+
+  // Physical buffer behaviour: did an earlier Prefetch() pay for this
+  // candidate, or did the consumer stall on an inline advance? Both
+  // counters fire (one with 0) so the hit rate is always derivable.
+  const bool prefetch_hit =
+      num_popped_ < prefetched_watermark_ && was_buffered;
+  MCFS_COUNT("exec/stream/prefetch_hits", prefetch_hit ? 1 : 0);
+  MCFS_COUNT("exec/stream/prefetch_misses", prefetch_hit ? 0 : 1);
   ++num_popped_;
-  return result;
+  return entry.candidate;
 }
 
 }  // namespace mcfs

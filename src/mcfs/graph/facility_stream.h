@@ -33,6 +33,17 @@ struct FacilityAtDistance {
 // parallel prefetch deterministic: worker threads each advance disjoint
 // streams ahead of time, and the serial matcher then consumes cached
 // entries in the exact order it always would have.
+//
+// Instrumentation (see DESIGN.md "Observability"): the underlying
+// Dijkstra work is attributed to two counter families. The logical
+// family (`stream/candidates_popped`, `stream/nodes_settled`,
+// `stream/edges_relaxed`) charges, at Pop() time, exactly the settles
+// and relaxations needed to discover the popped candidate — a pure
+// function of (graph, source, pop index), hence bit-identical for any
+// thread count. The physical family (`exec/stream/*`) counts the work
+// when it actually happens (including speculative prefetch lookahead
+// and buffer hits/misses) and legitimately varies with the thread
+// count.
 class NearestFacilityStream {
  public:
   // `facility_index_of_node` has one entry per graph node: the candidate
@@ -64,15 +75,29 @@ class NearestFacilityStream {
   int num_popped() const { return num_popped_; }
 
  private:
+  // A discovered candidate plus the cumulative Dijkstra work at its
+  // discovery (for consumed-work attribution at Pop time).
+  struct BufferedCandidate {
+    FacilityAtDistance candidate;
+    int64_t settled_at = 0;
+    int64_t relaxed_at = 0;
+  };
+
   // Appends the next candidate facility to the buffer; false when the
   // component has no more candidates.
   bool AdvanceOne();
 
   IncrementalDijkstra dijkstra_;
   const std::vector<int>* facility_index_of_node_;
-  std::deque<FacilityAtDistance> buffer_;
+  std::deque<BufferedCandidate> buffer_;
   bool exhausted_ = false;
   int num_popped_ = 0;
+  // Discovery index below which candidates were buffered by Prefetch()
+  // (drives the exec/stream/prefetch_hit|miss split at Pop time).
+  int64_t prefetched_watermark_ = 0;
+  // Cumulative Dijkstra work already charged to popped candidates.
+  int64_t attributed_settled_ = 0;
+  int64_t attributed_relaxed_ = 0;
 };
 
 }  // namespace mcfs

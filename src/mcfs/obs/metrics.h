@@ -1,0 +1,182 @@
+#ifndef MCFS_OBS_METRICS_H_
+#define MCFS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace mcfs {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Process-wide metrics: named monotonic counters and distribution stats
+// (count/sum/min/max), registered once in a MetricsRegistry and updated
+// through per-thread shards so hot paths never contend on a lock.
+//
+// Determinism contract (see DESIGN.md "Observability"): a counter value
+// is the sum of the logical Add() calls made by the algorithm, and every
+// instrumented site performs the same logical adds regardless of the
+// thread count (work may *move* between threads, but integer addition is
+// associative, so the aggregate is bit-identical). The only exception is
+// the "exec/" name prefix, reserved for counters that measure *physical*
+// execution effects — speculative prefetch advances, prefetch-buffer
+// hits, inline-vs-pooled dispatch — which legitimately vary with the
+// thread count and are excluded from the determinism tests.
+//
+// Enabling: metrics are off by default; the guarded MCFS_COUNT /
+// MCFS_OBSERVE macros then cost one relaxed atomic load and a predicted
+// branch. Turn them on with EnableMetrics(true), the MCFS_METRICS=1
+// environment variable, WmaOptions::metrics, or the bench binaries'
+// --metrics flag.
+// ---------------------------------------------------------------------------
+
+// Number of per-thread slots per metric. Threads hash onto slots by a
+// stable per-thread index, so two threads share a slot only beyond
+// kMetricShards concurrent threads (still correct: slots are atomic).
+inline constexpr int kMetricShards = 16;
+
+// Global enable flag. Constant-initialized to false so instrumented
+// code is safe to run during static initialization.
+extern std::atomic<bool> g_metrics_enabled;
+
+inline bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableMetrics(bool enabled);
+
+// Stable small index for the calling thread (assigned on first use).
+int MetricShardIndex();
+
+// Monotonic counter with cache-line-padded per-thread shards.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(int64_t n) {
+    slots_[MetricShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Aggregates the shards in slot order (deterministic: integer sum).
+  int64_t Value() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> value{0};
+  };
+  std::string name_;
+  Slot slots_[kMetricShards];
+};
+
+// Aggregated view of a Distribution.
+struct DistSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+// Distribution statistic (count/sum/min/max) with per-thread shards.
+// min/max use CAS loops; sum uses a CAS add so the library does not
+// depend on std::atomic<double>::fetch_add support.
+class Distribution {
+ public:
+  explicit Distribution(std::string name) : name_(std::move(name)) {}
+
+  void Observe(double value);
+
+  // Merges the shards in slot order.
+  DistSnapshot Snapshot() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::string name_;
+  Slot slots_[kMetricShards];
+};
+
+// Full aggregated view of the registry at one point in time.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, DistSnapshot> distributions;
+
+  bool empty() const { return counters.empty() && distributions.empty(); }
+};
+
+// Process-wide registry. Metric objects are created on first lookup and
+// live for the whole process (stable pointers — call sites cache them in
+// a function-local static), so lookups pay the mutex only once per site.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter* GetCounter(const std::string& name);
+  Distribution* GetDistribution(const std::string& name);
+
+  // Aggregated values of every registered metric, in name order.
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every metric (registration survives). Used by the bench
+  // runner for exact per-cell attribution and by tests.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Distribution>> distributions_;
+};
+
+// Convenience wrappers.
+inline MetricsSnapshot SnapshotMetrics() {
+  return MetricsRegistry::Get().Snapshot();
+}
+inline void ResetMetrics() { MetricsRegistry::Get().Reset(); }
+
+// Renders a snapshot as a JSON object:
+//   {"counters": {...}, "distributions": {"name": {"count":..,...}}}
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+// JSON string escaping shared by the metrics/trace/report writers.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace obs
+}  // namespace mcfs
+
+// Adds `n` to the named counter when metrics are enabled. `name` must be
+// a string literal (the pointer is looked up once per call site).
+#define MCFS_COUNT(name, n)                                           \
+  do {                                                                \
+    if (::mcfs::obs::MetricsEnabled()) {                              \
+      static ::mcfs::obs::Counter* mcfs_obs_counter =                 \
+          ::mcfs::obs::MetricsRegistry::Get().GetCounter(name);       \
+      mcfs_obs_counter->Add(n);                                       \
+    }                                                                 \
+  } while (0)
+
+// Records one observation into the named distribution when metrics are
+// enabled. `name` must be a string literal.
+#define MCFS_OBSERVE(name, value)                                     \
+  do {                                                                \
+    if (::mcfs::obs::MetricsEnabled()) {                              \
+      static ::mcfs::obs::Distribution* mcfs_obs_dist =               \
+          ::mcfs::obs::MetricsRegistry::Get().GetDistribution(name);  \
+      mcfs_obs_dist->Observe(value);                                  \
+    }                                                                 \
+  } while (0)
+
+#endif  // MCFS_OBS_METRICS_H_

@@ -1,0 +1,160 @@
+#include "mcfs/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+namespace obs {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point TraceEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Per-thread span buffer. Owned jointly by the writing thread (via a
+// thread_local shared_ptr) and the global registry, so events survive
+// thread exit until exported.
+struct ThreadTraceBuffer {
+  int tid = 0;
+  int depth = 0;  // current nesting level, touched only by the owner
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  int next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local const std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadTraceBuffer>();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    created->tid = registry.next_tid++;
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+// MCFS_TRACE=<path>: enable tracing now, write the file at exit. Done
+// in a dynamic initializer so every binary honors the variable without
+// code changes.
+const bool g_env_init = [] {
+  const char* env = std::getenv("MCFS_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    g_tracing_enabled.store(true, std::memory_order_relaxed);
+    static std::string path = env;
+    std::atexit([] { WriteChromeTrace(path); });
+  }
+  return true;
+}();
+
+}  // namespace
+
+void EnableTracing(bool enabled) {
+  (void)g_env_init;
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               TraceEpoch())
+      .count();
+}
+
+void TraceSpan::Begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  ++buffer.depth;
+  start_us_ = TraceNowUs();
+}
+
+void TraceSpan::End() {
+  const int64_t end_us = TraceNowUs();
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  const int depth = --buffer.depth;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      {std::move(name_), buffer.tid, depth, start_us_, end_us - start_us_});
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> all;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              // Parents before children: lower depth first, then longer
+              // duration (spans shorter than 1 us share start and dur).
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.dur_us > b.dur_us;
+            });
+  return all;
+}
+
+void ClearTrace() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n{\"name\": \"" + JsonEscape(event.name) +
+            "\", \"cat\": \"mcfs\", \"ph\": \"X\", \"ts\": " +
+            std::to_string(event.start_us) +
+            ", \"dur\": " + std::to_string(event.dur_us) +
+            ", \"pid\": 1, \"tid\": " + std::to_string(event.tid) +
+            ", \"args\": {\"depth\": " + std::to_string(event.depth) + "}}";
+  }
+  json += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return json;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok && written != json.size()) std::fclose(file);
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace mcfs

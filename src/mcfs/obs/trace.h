@@ -1,0 +1,102 @@
+#ifndef MCFS_OBS_TRACE_H_
+#define MCFS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfs {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Scoped trace spans. MCFS_SPAN("wma/iteration") records a begin/end
+// pair on a per-thread buffer; ChromeTraceJson()/WriteChromeTrace()
+// export the collected spans as Chrome trace_event "complete" (ph:"X")
+// events, loadable in chrome://tracing and https://ui.perfetto.dev.
+//
+// Tracing is off by default: a disabled span costs one relaxed atomic
+// load. Enable with EnableTracing(true), the MCFS_TRACE=<path>
+// environment variable (which also writes the file at process exit), or
+// the bench binaries' --trace-out=PATH flag.
+//
+// Span buffers are per-thread (no lock on the hot path is contended;
+// each buffer has a private mutex so collection is safe) and survive
+// thread exit, so pool workers' spans are always exported. Collect only
+// while no instrumented parallel section is running (ParallelFor joins
+// before returning, so after it returns the pool is quiescent).
+// ---------------------------------------------------------------------------
+
+extern std::atomic<bool> g_tracing_enabled;
+
+inline bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool enabled);
+
+// One completed span. Timestamps are steady-clock microseconds relative
+// to the process trace epoch; depth is the span nesting level on its
+// thread (0 = outermost), exported as an event argument.
+struct TraceEvent {
+  std::string name;
+  int tid = 0;
+  int depth = 0;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+};
+
+// RAII span. The name is copied at construction, so temporaries are
+// fine; when tracing is disabled construction and destruction are
+// branch-only.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) Begin(name);
+  }
+  explicit TraceSpan(const std::string& name) {
+    if (TracingEnabled()) Begin(name.c_str());
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  std::string name_;
+  int64_t start_us_ = 0;
+};
+
+// Steady-clock microseconds since the process trace epoch.
+int64_t TraceNowUs();
+
+// All completed spans from every thread, sorted by (start, tid).
+std::vector<TraceEvent> CollectTraceEvents();
+
+// Drops every recorded span (buffers stay registered).
+void ClearTrace();
+
+// Chrome trace_event JSON: {"traceEvents": [{"name", "cat", "ph": "X",
+// "ts", "dur", "pid", "tid", "args": {"depth"}} ...]}.
+std::string ChromeTraceJson();
+
+// Writes ChromeTraceJson() to `path`; false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace obs
+}  // namespace mcfs
+
+#define MCFS_OBS_CONCAT_INNER(a, b) a##b
+#define MCFS_OBS_CONCAT(a, b) MCFS_OBS_CONCAT_INNER(a, b)
+
+// Scoped trace span covering the rest of the enclosing block.
+#define MCFS_SPAN(name) \
+  ::mcfs::obs::TraceSpan MCFS_OBS_CONCAT(mcfs_obs_span_, __LINE__)(name)
+
+#endif  // MCFS_OBS_TRACE_H_

@@ -1,0 +1,192 @@
+// Tests for the observability layer: sharded counter/distribution
+// aggregation across threads, snapshot/reset semantics, macro gating,
+// span nesting, and the Chrome trace_event JSON export.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcfs/obs/metrics.h"
+#include "mcfs/obs/trace.h"
+
+namespace mcfs {
+namespace obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EnableMetrics(true);
+    ResetMetrics();
+    ClearTrace();
+  }
+  void TearDown() override {
+    EnableMetrics(false);
+    EnableTracing(false);
+    ResetMetrics();
+    ClearTrace();
+  }
+};
+
+TEST_F(ObsTest, CounterMergesAcrossThreads) {
+  Counter* counter =
+      MetricsRegistry::Get().GetCounter("obs_test/threaded_counter");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<int64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, DistributionMergesAcrossThreads) {
+  Distribution* dist =
+      MetricsRegistry::Get().GetDistribution("obs_test/threaded_dist");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([dist, t] {
+      for (int i = 0; i < 100; ++i) {
+        dist->Observe(static_cast<double>(t * 100 + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const DistSnapshot snapshot = dist->Snapshot();
+  EXPECT_EQ(snapshot.count, 400);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 399.0);
+  // Sum of 0..399.
+  EXPECT_DOUBLE_EQ(snapshot.sum, 399.0 * 400.0 / 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), snapshot.sum / 400.0);
+}
+
+TEST_F(ObsTest, SnapshotAndReset) {
+  MCFS_COUNT("obs_test/snap_counter", 7);
+  MCFS_OBSERVE("obs_test/snap_dist", 2.5);
+  MetricsSnapshot snapshot = SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("obs_test/snap_counter"), 7);
+  EXPECT_EQ(snapshot.distributions.at("obs_test/snap_dist").count, 1);
+  EXPECT_DOUBLE_EQ(snapshot.distributions.at("obs_test/snap_dist").sum,
+                   2.5);
+
+  ResetMetrics();
+  snapshot = SnapshotMetrics();
+  // Registration survives a reset; values are zeroed.
+  EXPECT_EQ(snapshot.counters.at("obs_test/snap_counter"), 0);
+  EXPECT_EQ(snapshot.distributions.at("obs_test/snap_dist").count, 0);
+}
+
+TEST_F(ObsTest, DisabledMacrosDoNotRecord) {
+  EnableMetrics(false);
+  MCFS_COUNT("obs_test/disabled_counter", 5);
+  MCFS_OBSERVE("obs_test/disabled_dist", 1.0);
+  EnableMetrics(true);
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.count("obs_test/disabled_counter"), 0u);
+  EXPECT_EQ(snapshot.distributions.count("obs_test/disabled_dist"), 0u);
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed) {
+  MCFS_COUNT("obs_test/json_counter", 3);
+  MCFS_OBSERVE("obs_test/json_dist", 1.5);
+  const std::string json = MetricsJson(SnapshotMetrics());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"distributions\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanNestingDepthsAndContainment) {
+  EnableTracing(true);
+  {
+    MCFS_SPAN("obs_test/outer");
+    {
+      MCFS_SPAN("obs_test/inner");
+      { MCFS_SPAN("obs_test/leaf"); }
+    }
+  }
+  EnableTracing(false);
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by start time: outer begins first.
+  EXPECT_EQ(events[0].name, "obs_test/outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "obs_test/inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "obs_test/leaf");
+  EXPECT_EQ(events[2].depth, 2);
+  // Containment: each child starts and ends within its parent.
+  for (int child = 1; child < 3; ++child) {
+    EXPECT_GE(events[child].start_us, events[child - 1].start_us);
+    EXPECT_LE(events[child].start_us + events[child].dur_us,
+              events[child - 1].start_us + events[child - 1].dur_us);
+  }
+}
+
+TEST_F(ObsTest, SpansFromExitedThreadsAreCollected) {
+  EnableTracing(true);
+  int main_tid = -1;
+  {
+    MCFS_SPAN("obs_test/main_thread");
+  }
+  std::thread worker([] { MCFS_SPAN("obs_test/worker_thread"); });
+  worker.join();
+  EnableTracing(false);
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& event : events) {
+    if (event.name == "obs_test/main_thread") main_tid = event.tid;
+  }
+  bool found_worker = false;
+  for (const TraceEvent& event : events) {
+    if (event.name == "obs_test/worker_thread") {
+      found_worker = true;
+      EXPECT_NE(event.tid, main_tid);
+    }
+  }
+  EXPECT_TRUE(found_worker);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonHasCompleteEvents) {
+  EnableTracing(true);
+  {
+    MCFS_SPAN("obs_test/json_span");
+  }
+  EnableTracing(false);
+  const std::string json = ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"obs_test/json_span\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"mcfs\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": "), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": "), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  EnableTracing(false);
+  {
+    MCFS_SPAN("obs_test/never_recorded");
+  }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(ObsTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mcfs

@@ -58,6 +58,17 @@ TEST(RunnerTest, SuiteProducesOneOutcomePerEnabledAlgorithm) {
   }
   // WMA+LS never loses to WMA.
   EXPECT_LE(outcomes[6].objective, outcomes[4].objective + 1e-9);
+
+  // The suite collects the phase/iteration breakdown and per-cell
+  // metrics snapshots by default.
+  EXPECT_FALSE(outcomes[1].has_wma_stats);  // Hilbert: no WMA phases
+  EXPECT_TRUE(outcomes[4].has_wma_stats);
+  EXPECT_GT(outcomes[4].wma_stats.iterations, 0);
+  EXPECT_FALSE(outcomes[4].wma_stats.per_iteration.empty());
+  EXPECT_GT(outcomes[4].wma_stats.edges_materialized, 0);
+  EXPECT_FALSE(outcomes[4].metrics.counters.empty());
+  EXPECT_GT(outcomes[4].metrics.counters.at("matcher/edges_materialized"),
+            0);
 }
 
 TEST(RunnerTest, FormatOutcomeVariants) {

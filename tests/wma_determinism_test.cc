@@ -2,8 +2,13 @@
 // (and RunUniformFirstWma) must return bit-identical solutions for any
 // thread count, because prefetching only changes *when* candidate
 // distances are computed, never *which* entry the matcher consumes.
+// The same contract extends to the obs layer's logical counters
+// (everything outside the exec/ prefix): identical values for any
+// thread count.
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +16,7 @@
 #include "mcfs/common/random.h"
 #include "mcfs/core/wma.h"
 #include "mcfs/graph/generators.h"
+#include "mcfs/obs/metrics.h"
 #include "mcfs/workload/workload.h"
 #include "tests/test_util.h"
 
@@ -130,6 +136,82 @@ TEST(WmaDeterminismTest, UniformFirstVariant) {
                           /*max_capacity=*/7, rng);
   ExpectIdenticalAcrossThreadCounts(instance, /*naive=*/false,
                                     /*uniform_first=*/true);
+}
+
+// Runs WMA with metrics on and returns the logical counter map (the
+// exec/ family measures physical execution — prefetch hits, pool
+// dispatch — and is exempt from the determinism contract by design).
+std::map<std::string, int64_t> LogicalCounters(const McfsInstance& instance,
+                                               const WmaOptions& base,
+                                               int threads) {
+  obs::ResetMetrics();
+  WmaOptions options = base;
+  options.metrics = true;
+  options.threads = threads;
+  RunWma(instance, options);
+  const obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  std::map<std::string, int64_t> logical;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("exec/", 0) != 0) logical[name] = value;
+  }
+  return logical;
+}
+
+TEST(WmaDeterminismTest, LogicalCountersIdenticalAcrossThreadCounts) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 600;
+  network.alpha = 2.0;
+  network.seed = 11;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(21);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/80, /*l=*/120, /*k=*/15,
+                          /*max_capacity=*/8, rng);
+
+  WmaOptions base;
+  const std::map<std::string, int64_t> reference =
+      LogicalCounters(instance, base, /*threads=*/1);
+
+  // The instrumented hot paths actually fired.
+  EXPECT_GT(reference.at("stream/nodes_settled"), 0);
+  EXPECT_GT(reference.at("stream/edges_relaxed"), 0);
+  EXPECT_GT(reference.at("matcher/edges_materialized"), 0);
+  EXPECT_GT(reference.at("matcher/theorem1_prunes"), 0);
+  EXPECT_GT(reference.at("cover/candidates_scanned"), 0);
+  EXPECT_GT(reference.at("wma/iterations"), 0);
+
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::map<std::string, int64_t> counters =
+        LogicalCounters(instance, base, threads);
+    EXPECT_EQ(counters, reference);
+  }
+  obs::EnableMetrics(false);
+}
+
+TEST(WmaDeterminismTest, NaiveLogicalCountersIdenticalAcrossThreadCounts) {
+  SyntheticNetworkOptions network;
+  network.num_nodes = 600;
+  network.alpha = 2.0;
+  network.seed = 11;
+  const Graph graph = GenerateSyntheticNetwork(network);
+  Rng rng(21);
+  const McfsInstance instance =
+      MakeInstanceOnGraph(graph, /*m=*/80, /*l=*/120, /*k=*/15,
+                          /*max_capacity=*/8, rng);
+
+  WmaOptions base;
+  base.naive = true;
+  const std::map<std::string, int64_t> reference =
+      LogicalCounters(instance, base, /*threads=*/1);
+  EXPECT_GT(reference.at("stream/nodes_settled"), 0);
+  EXPECT_GT(reference.at("stream/candidates_popped"), 0);
+
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(LogicalCounters(instance, base, threads), reference);
+  }
+  obs::EnableMetrics(false);
 }
 
 TEST(WmaDeterminismTest, RandomSparseInstancesSweep) {
