@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <queue>
+#include <unordered_map>
 
 #include "mcfs/common/dary_heap.h"
+#include "mcfs/common/flat_map.h"
 #include "mcfs/common/random.h"
 #include "mcfs/core/set_cover.h"
 #include "mcfs/flow/matcher.h"
@@ -200,6 +202,134 @@ void BM_DaryHeap4(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_DaryHeap4)->Arg(10000)->Arg(100000);
+
+// --- Sparse-search kernel benches (committed as BENCH_kernels.json) ---
+//
+// Run with
+//   --benchmark_filter='BM_FlatMap|BM_StampedMap|BM_StdUnorderedMap|BM_IncrementalDijkstra|BM_StreamAdvance'
+//   --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+// to record the kernel numbers (see DESIGN.md "Sparse-search kernels").
+
+// Uniform synthetic network in the Fig.-6 workload shape (alpha = 2.0,
+// no clusters) — the instance family whose WMA cost the stream/matcher
+// counters attribute to these kernels.
+const Graph& UniformGraph20k() {
+  static const Graph* graph = [] {
+    SyntheticNetworkOptions options;
+    options.num_nodes = 20000;
+    options.alpha = 2.0;
+    options.num_clusters = 0;
+    options.seed = 42;
+    return new Graph(GenerateSyntheticNetwork(options));
+  }();
+  return *graph;
+}
+
+// Dijkstra-label workload shared by the map benches: a stream of mixed
+// lookup/insert/update operations over `key_universe` int keys, the
+// access pattern a relaxation loop produces (lookup the neighbor's
+// label, write it back when improved).
+std::vector<std::pair<int32_t, double>> LabelOps(int key_universe, int ops) {
+  Rng rng(11);
+  std::vector<std::pair<int32_t, double>> sequence;
+  sequence.reserve(ops);
+  for (int i = 0; i < ops; ++i) {
+    sequence.push_back({static_cast<int32_t>(rng.UniformInt(0, key_universe - 1)),
+                        rng.Uniform(0.0, 1000.0)});
+  }
+  return sequence;
+}
+
+template <typename Map>
+double RunLabelOps(Map& map,
+                   const std::vector<std::pair<int32_t, double>>& ops) {
+  double sink = 0.0;
+  for (const auto& [key, dist] : ops) {
+    double& label = map[key];
+    if (label == 0.0 || dist < label) label = dist;
+    sink += label;
+  }
+  return sink;
+}
+
+void BM_FlatMap(benchmark::State& state) {
+  const auto ops = LabelOps(static_cast<int>(state.range(0)),
+                            4 * static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    FlatMap<int32_t, double> map;
+    benchmark::DoNotOptimize(RunLabelOps(map, ops));
+  }
+  state.SetItemsProcessed(state.iterations() * ops.size());
+}
+BENCHMARK(BM_FlatMap)->Arg(1024)->Arg(65536);
+
+void BM_StampedMap(benchmark::State& state) {
+  const auto ops = LabelOps(static_cast<int>(state.range(0)),
+                            4 * static_cast<int>(state.range(0)));
+  StampedMap<int32_t, double> map;  // reused across iterations: O(1) Clear
+  for (auto _ : state) {
+    map.Clear();
+    benchmark::DoNotOptimize(RunLabelOps(map, ops));
+  }
+  state.SetItemsProcessed(state.iterations() * ops.size());
+}
+BENCHMARK(BM_StampedMap)->Arg(1024)->Arg(65536);
+
+void BM_StdUnorderedMap(benchmark::State& state) {
+  const auto ops = LabelOps(static_cast<int>(state.range(0)),
+                            4 * static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::unordered_map<int32_t, double> map;
+    benchmark::DoNotOptimize(RunLabelOps(map, ops));
+  }
+  state.SetItemsProcessed(state.iterations() * ops.size());
+}
+BENCHMARK(BM_StdUnorderedMap)->Arg(1024)->Arg(65536);
+
+// The per-customer resumable Dijkstra: settle `range(0)` nodes from a
+// random source. items/s counts edge relaxations, so the reported rate
+// is relaxations per second (the ns/relaxation of the WMA hot loop).
+void BM_IncrementalDijkstra(benchmark::State& state) {
+  const Graph& graph = UniformGraph20k();
+  const int settles = static_cast<int>(state.range(0));
+  Rng rng(12);
+  int64_t relaxed = 0;
+  for (auto _ : state) {
+    IncrementalDijkstra dijkstra(
+        &graph, static_cast<NodeId>(rng.UniformInt(0, graph.NumNodes() - 1)));
+    for (int i = 0; i < settles; ++i) {
+      if (!dijkstra.NextSettled().has_value()) break;
+    }
+    relaxed += dijkstra.num_relaxed();
+  }
+  state.SetItemsProcessed(relaxed);
+}
+BENCHMARK(BM_IncrementalDijkstra)->Arg(1000)->Arg(10000);
+
+// Prefetch burst + consume on the nearest-facility stream (the matcher
+// front end): 32 candidates buffered ahead, then popped.
+void BM_StreamAdvance(benchmark::State& state) {
+  const Graph& graph = UniformGraph20k();
+  const int facilities = static_cast<int>(state.range(0));
+  Rng rng(13);
+  std::vector<int> facility_index_of_node(graph.NumNodes(), -1);
+  const std::vector<NodeId> nodes =
+      SampleDistinctNodes(graph, facilities, rng);
+  for (int j = 0; j < facilities; ++j) facility_index_of_node[nodes[j]] = j;
+  int64_t popped = 0;
+  for (auto _ : state) {
+    NearestFacilityStream stream(
+        &graph, static_cast<NodeId>(rng.UniformInt(0, graph.NumNodes() - 1)),
+        &facility_index_of_node);
+    stream.Prefetch(32);
+    for (int pops = 0; pops < 32; ++pops) {
+      if (!stream.Pop().has_value()) break;
+      ++popped;
+    }
+  }
+  state.SetItemsProcessed(popped);
+}
+BENCHMARK(BM_StreamAdvance)->Arg(256);
 
 void BM_HilbertIndex(benchmark::State& state) {
   Rng rng(6);

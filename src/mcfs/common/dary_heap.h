@@ -26,6 +26,9 @@ class DaryHeap {
 
   bool empty() const { return data_.empty(); }
   size_t size() const { return data_.size(); }
+  // Retained backing storage; clear() keeps it, so a hoisted heap can
+  // be reused allocation-free across searches.
+  size_t capacity() const { return data_.capacity(); }
   void clear() { data_.clear(); }
   void reserve(size_t n) { data_.reserve(n); }
 

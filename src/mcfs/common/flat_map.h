@@ -1,0 +1,291 @@
+#ifndef MCFS_COMMON_FLAT_MAP_H_
+#define MCFS_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mcfs/common/check.h"
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+
+// Flat open-addressing hash maps for the sparse-search hot loops
+// (resumable Dijkstra labels, CH query cones, witness searches). Both
+// containers use a power-of-two slot array with linear probing and a
+// multiplicative hash, so a relaxation pays one mixed multiply plus a
+// short contiguous probe instead of std::unordered_map's bucket chase —
+// and, crucially, never allocates per insert: memory is touched only
+// when the whole table grows (counted under exec/alloc/*).
+//
+// Determinism contract: the hot paths use these maps for point lookups
+// and inserts only. ForEach exists for tests and cold paths; its order
+// depends on the hash layout and must not feed any order-sensitive
+// logic (see DESIGN.md "Sparse-search kernels").
+
+namespace flat_internal {
+
+// Multiplicative (Fibonacci) mix. The table index is taken from the low
+// bits, so fold the well-mixed high half down before masking.
+inline size_t MixHash(uint64_t key) {
+  uint64_t x = key * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  return static_cast<size_t>(x);
+}
+
+inline size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+inline constexpr size_t kMinCapacity = 16;
+
+}  // namespace flat_internal
+
+// FlatMap<Key, V>: open-addressing map keyed by a non-negative integer
+// id (NodeId, customer index, ...). One slot holds {key, value}; the
+// reserved `kEmptyKey` (default -1, never a valid id) marks free slots,
+// keeping the slot 16 bytes for the NodeId->double workhorse case.
+// Grows at 2/3 load by doubling and rehashing. No erase: the search
+// kernels only ever add labels, and dropping tombstone support keeps
+// probes branch-light.
+template <typename Key, typename V, Key kEmptyKey = static_cast<Key>(-1)>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  explicit FlatMap(size_t expected) { Reserve(expected); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  // Ensures `expected` entries fit without a growth rehash.
+  void Reserve(size_t expected) {
+    const size_t needed = expected + expected / 2 + 1;  // keep load <= 2/3
+    if (needed <= slots_.size()) return;
+    Rehash(flat_internal::NextPowerOfTwo(
+        std::max(needed, flat_internal::kMinCapacity)));
+  }
+
+  // Wipes the contents but keeps the slot array (O(capacity)). For O(1)
+  // reuse between searches, use StampedMap instead.
+  void Clear() {
+    for (Slot& slot : slots_) slot.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  const V* Find(Key key) const {
+    if (slots_.empty()) return nullptr;
+    size_t i = IndexFor(key);
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  V* Find(Key key) {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->Find(key));
+  }
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  // Returns the value for `key`, value-initializing it on first use.
+  V& operator[](Key key) {
+    MCFS_DCHECK(key != kEmptyKey);
+    if (!slots_.empty()) {
+      size_t i = IndexFor(key);
+      while (true) {
+        Slot& slot = slots_[i];
+        if (slot.key == key) return slot.value;
+        if (slot.key == kEmptyKey) {
+          if ((size_ + 1) * 3 <= slots_.size() * 2) {
+            slot.key = key;
+            ++size_;
+            return slot.value;
+          }
+          break;  // at the load limit: grow, then insert below
+        }
+        i = (i + 1) & mask_;
+      }
+    }
+    Rehash(slots_.empty() ? flat_internal::kMinCapacity : slots_.size() * 2);
+    size_t i = IndexFor(key);
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+    slots_[i].key = key;
+    ++size_;
+    return slots_[i].value;
+  }
+
+  // Unspecified (hash-layout) order; tests and cold paths only.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key = kEmptyKey;
+    V value{};
+  };
+
+  size_t IndexFor(Key key) const {
+    return flat_internal::MixHash(static_cast<uint64_t>(key)) & mask_;
+  }
+
+  void Rehash(size_t new_capacity) {
+    MCFS_COUNT("exec/alloc/flatmap_grows", 1);
+    MCFS_COUNT("exec/alloc/flatmap_slots_rehashed",
+               static_cast<int64_t>(size_));
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    for (Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      size_t i = IndexFor(slot.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = std::move(slot);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+// StampedMap<Key, V>: reusable scratch map whose Clear() is O(1) — each
+// slot carries the epoch stamp of its last write, and bumping the map's
+// epoch invalidates every entry at once. This is the classic timestamp
+// trick for Dijkstra scratch (Flowlessly-style reusable search state):
+// a per-call `dist` map becomes a long-lived member / thread_local that
+// is cleared thousands of times without touching its memory. When the
+// stamp type wraps (after 2^32 Clears for the default uint32_t) the
+// slots are wiped once and the epoch restarts, so stale stamps can
+// never alias a live epoch. Works for any key: occupancy is decided by
+// the stamp, not a sentinel key.
+template <typename Key, typename V, typename Stamp = uint32_t>
+class StampedMap {
+ public:
+  StampedMap() = default;
+  explicit StampedMap(size_t expected) { Reserve(expected); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  void Reserve(size_t expected) {
+    const size_t needed = expected + expected / 2 + 1;  // keep load <= 2/3
+    if (needed <= slots_.size()) return;
+    Rehash(flat_internal::NextPowerOfTwo(
+        std::max(needed, flat_internal::kMinCapacity)));
+  }
+
+  // O(1) reset: previous entries become invisible under the new epoch.
+  void Clear() {
+    if (!slots_.empty()) MCFS_COUNT("exec/alloc/scratch_reuses", 1);
+    size_ = 0;
+    if (++epoch_ == 0) {  // stamp wrapped: wipe once and restart
+      for (Slot& slot : slots_) slot.stamp = 0;
+      epoch_ = 1;
+    }
+  }
+
+  const V* Find(Key key) const {
+    if (slots_.empty()) return nullptr;
+    size_t i = IndexFor(key);
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.stamp != epoch_) return nullptr;  // free (or stale) slot
+      if (slot.key == key) return &slot.value;
+      i = (i + 1) & mask_;
+    }
+  }
+  V* Find(Key key) {
+    return const_cast<V*>(static_cast<const StampedMap*>(this)->Find(key));
+  }
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  // Returns the value for `key`, value-initializing it on first use in
+  // the current epoch (a stale slot's old value is overwritten).
+  V& operator[](Key key) {
+    if (!slots_.empty()) {
+      size_t i = IndexFor(key);
+      while (true) {
+        Slot& slot = slots_[i];
+        if (slot.stamp == epoch_) {
+          if (slot.key == key) return slot.value;
+          i = (i + 1) & mask_;
+          continue;
+        }
+        if ((size_ + 1) * 3 <= slots_.size() * 2) {
+          slot.key = key;
+          slot.value = V{};
+          slot.stamp = epoch_;
+          ++size_;
+          return slot.value;
+        }
+        break;  // at the load limit: grow, then insert below
+      }
+    }
+    Rehash(slots_.empty() ? flat_internal::kMinCapacity : slots_.size() * 2);
+    size_t i = IndexFor(key);
+    while (slots_[i].stamp == epoch_) i = (i + 1) & mask_;
+    Slot& slot = slots_[i];
+    slot.key = key;
+    slot.value = V{};
+    slot.stamp = epoch_;
+    ++size_;
+    return slot.value;
+  }
+
+  // Unspecified (hash-layout) order; tests and cold paths only.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.stamp == epoch_) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    V value{};
+    Stamp stamp = 0;
+  };
+
+  size_t IndexFor(Key key) const {
+    return flat_internal::MixHash(static_cast<uint64_t>(key)) & mask_;
+  }
+
+  void Rehash(size_t new_capacity) {
+    MCFS_COUNT("exec/alloc/flatmap_grows", 1);
+    MCFS_COUNT("exec/alloc/flatmap_slots_rehashed",
+               static_cast<int64_t>(size_));
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    const Stamp old_epoch = epoch_;
+    epoch_ = 1;
+    for (Slot& slot : old) {
+      if (slot.stamp != old_epoch) continue;
+      size_t i = IndexFor(slot.key);
+      while (slots_[i].stamp == epoch_) i = (i + 1) & mask_;
+      slots_[i].key = slot.key;
+      slots_[i].value = std::move(slot.value);
+      slots_[i].stamp = epoch_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  Stamp epoch_ = 1;  // slots default to stamp 0 == free
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_FLAT_MAP_H_

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "mcfs/common/check.h"
-#include "mcfs/common/dary_heap.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
 #include "mcfs/obs/metrics.h"
@@ -12,17 +11,6 @@ namespace mcfs {
 
 namespace {
 constexpr double kEps = 1e-9;
-
-struct HeapEntry {
-  double dist;
-  int node;
-};
-struct HeapEntryLess {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    return a.dist < b.dist;
-  }
-};
-using MinHeap = DaryHeap<HeapEntry, 4, HeapEntryLess>;
 }  // namespace
 
 IncrementalMatcher::IncrementalMatcher(const Graph* graph,
@@ -58,8 +46,17 @@ IncrementalMatcher::IncrementalMatcher(const Graph* graph,
 
 NearestFacilityStream& IncrementalMatcher::StreamFor(int customer) {
   if (streams_[customer] == nullptr) {
+    // Reserve hint from the instance shape: with l_ candidates spread
+    // over the network a customer settles ~NumNodes/l_ nodes per
+    // discovered facility, and FindPair rarely needs more than a few
+    // candidates per customer.
+    const size_t expected_nodes = std::min<size_t>(
+        static_cast<size_t>(graph_->NumNodes()),
+        8 + 4 * static_cast<size_t>(graph_->NumNodes()) /
+                static_cast<size_t>(std::max(1, l_)));
     streams_[customer] = std::make_unique<NearestFacilityStream>(
-        graph_, customer_nodes_[customer], &facility_index_of_node_);
+        graph_, customer_nodes_[customer], &facility_index_of_node_,
+        expected_nodes);
   }
   return *streams_[customer];
 }
@@ -92,10 +89,15 @@ IncrementalMatcher::SearchResult IncrementalMatcher::Search(
   }
   touched_.clear();
 
-  MinHeap heap;
+  // Reuse the member heap's backing storage across searches (the
+  // allocation-free hot loop; see DESIGN.md "Sparse-search kernels").
+  if (search_heap_.capacity() > 0) {
+    MCFS_COUNT("exec/alloc/matcher_heap_reuses", 1);
+  }
+  search_heap_.clear();
   dist_[source_customer] = 0.0;
   touched_.push_back(source_customer);
-  heap.push({0.0, source_customer});
+  search_heap_.push({0.0, source_customer});
 
   SearchResult result;
   result.sink_facility = -1;
@@ -115,14 +117,14 @@ IncrementalMatcher::SearchResult IncrementalMatcher::Search(
       dist_[to] = candidate;
       parent_[to] = from;
       settled_[to] = 0;  // label-correcting: allow re-settling
-      heap.push({candidate, to});
+      search_heap_.push({candidate, to});
       ++gb_heap_pushes;
     }
   };
 
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
+  while (!search_heap_.empty()) {
+    const GbHeapEntry top = search_heap_.top();
+    search_heap_.pop();
     if (settled_[top.node] || top.dist > dist_[top.node] + kEps) continue;
     settled_[top.node] = 1;
     ++gb_settled;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "mcfs/common/dary_heap.h"
 #include "mcfs/graph/facility_stream.h"
 #include "mcfs/graph/graph.h"
 
@@ -162,11 +163,24 @@ class IncrementalMatcher {
   std::vector<std::unique_ptr<NearestFacilityStream>> streams_;
   std::vector<std::pair<int, int>> negative_arcs_;  // (customer, edge idx)
 
+  struct GbHeapEntry {
+    double dist;
+    int node;
+  };
+  struct GbHeapEntryLess {
+    bool operator()(const GbHeapEntry& a, const GbHeapEntry& b) const {
+      return a.dist < b.dist;
+    }
+  };
+
   // Search scratch (size m_ + l_), reset via touched_ between searches.
   std::vector<double> dist_;
   std::vector<int> parent_;  // predecessor encoding, see Search()
   std::vector<uint8_t> settled_;
   std::vector<int> touched_;
+  // Hoisted G_b search heap: cleared (capacity kept) at the start of
+  // every Search, so FindPair pays no heap allocation per call.
+  DaryHeap<GbHeapEntry, 4, GbHeapEntryLess> search_heap_;
 
   int64_t num_dijkstra_runs_ = 0;
   int64_t num_edges_materialized_ = 0;

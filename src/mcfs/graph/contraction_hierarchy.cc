@@ -6,6 +6,7 @@
 
 #include "mcfs/common/check.h"
 #include "mcfs/common/dary_heap.h"
+#include "mcfs/common/flat_map.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
 #include "mcfs/obs/metrics.h"
@@ -25,34 +26,49 @@ struct HeapEntryLess {
 };
 using MinHeap = DaryHeap<HeapEntry, 4, HeapEntryLess>;
 
-// Remaining-graph adjacency during contraction.
+// Remaining-graph adjacency during contraction. (Needs erase, which the
+// flat kernels deliberately drop — construction-only, not a query path.)
 using DynamicAdjacency = std::vector<std::unordered_map<NodeId, double>>;
+
+// Reusable witness-search scratch: the label map and heap persist
+// across the O(n^2) WitnessDistance probes of one contraction run, so
+// each call costs an O(1) epoch bump instead of fresh allocations.
+struct WitnessScratch {
+  StampedMap<NodeId, double> dist;
+  MinHeap heap;
+};
 
 // Bounded witness search: shortest distance from `from` to `to` in the
 // remaining graph avoiding `excluded`, giving up (returns kInfDistance)
 // beyond `threshold` or after `max_settled` settles. Exact when it
 // returns a finite value <= threshold.
 double WitnessDistance(const DynamicAdjacency& adj, NodeId from, NodeId to,
-                       NodeId excluded, double threshold, int max_settled) {
-  std::unordered_map<NodeId, double> dist;
-  MinHeap heap;
+                       NodeId excluded, double threshold, int max_settled,
+                       WitnessScratch& scratch) {
+  StampedMap<NodeId, double>& dist = scratch.dist;
+  MinHeap& heap = scratch.heap;
+  dist.Clear();
+  heap.clear();
   dist[from] = 0.0;
   heap.push({0.0, from});
   int settled = 0;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
-    auto it = dist.find(top.node);
-    if (it == dist.end() || top.key > it->second) continue;
+    const double* label = dist.Find(top.node);
+    if (label == nullptr || top.key > *label) continue;
     if (top.key > threshold) return kInfDistance;  // witness too long
     if (top.node == to) return top.key;
     if (++settled > max_settled) return kInfDistance;  // budget hit
     for (const auto& [next, weight] : adj[top.node]) {
       if (next == excluded) continue;
       const double candidate = top.key + weight;
-      auto next_it = dist.find(next);
-      if (next_it == dist.end() || candidate < next_it->second) {
+      double* next_label = dist.Find(next);
+      if (next_label == nullptr) {
         dist[next] = candidate;
+        heap.push({candidate, next});
+      } else if (candidate < *next_label) {
+        *next_label = candidate;
         heap.push({candidate, next});
       }
     }
@@ -82,6 +98,7 @@ ContractionHierarchy::ContractionHierarchy(const Graph* graph)
   }
 
   std::vector<int> deleted_neighbors(n, 0);
+  WitnessScratch witness_scratch;
 
   // Number of shortcut pairs a contraction of v would insert, probed
   // with a small witness budget (cheap, may overestimate).
@@ -91,8 +108,9 @@ ContractionHierarchy::ContractionHierarchy(const Graph* graph)
       auto w_it = u_it;
       for (++w_it; w_it != adj[v].end(); ++w_it) {
         const double via_v = u_it->second + w_it->second;
-        const double witness = WitnessDistance(
-            adj, u_it->first, w_it->first, v, via_v, witness_budget);
+        const double witness =
+            WitnessDistance(adj, u_it->first, w_it->first, v, via_v,
+                            witness_budget, witness_scratch);
         if (witness > via_v) ++needed;
       }
     }
@@ -134,7 +152,8 @@ ContractionHierarchy::ContractionHierarchy(const Graph* graph)
         const NodeId u = u_it->first;
         const NodeId w = w_it->first;
         const double via_v = u_it->second + w_it->second;
-        const double witness = WitnessDistance(adj, u, w, v, via_v, 300);
+        const double witness =
+            WitnessDistance(adj, u, w, v, via_v, 300, witness_scratch);
         if (witness <= via_v) continue;  // real path is no worse
         auto existing = adj[u].find(w);
         if (existing == adj[u].end() || via_v < existing->second) {
@@ -157,24 +176,31 @@ ContractionHierarchy::ContractionHierarchy(const Graph* graph)
 
 void ContractionHierarchy::UpwardSearch(
     NodeId source, std::vector<std::pair<NodeId, double>>* settled) const {
-  std::unordered_map<NodeId, double> dist;
-  MinHeap heap;
+  // Per-thread scratch pool: DistanceTable fans searches out across the
+  // thread pool, and each worker reuses its own label map (O(1) epoch
+  // reset) and heap across every cone it explores.
+  static thread_local StampedMap<NodeId, double> dist;
+  static thread_local MinHeap heap;
+  dist.Clear();
+  heap.clear();
   dist[source] = 0.0;
   heap.push({0.0, source});
   int64_t settled_count = 0;
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
-    auto it = dist.find(top.node);
-    if (it == dist.end() || top.key > it->second) continue;
-    if (it->second < top.key) continue;
+    const double* label = dist.Find(top.node);
+    if (label == nullptr || top.key > *label) continue;
     settled->push_back({top.node, top.key});
     ++settled_count;
     for (const UpArc& arc : up_[top.node]) {
       const double candidate = top.key + arc.weight;
-      auto next_it = dist.find(arc.to);
-      if (next_it == dist.end() || candidate < next_it->second) {
+      double* next_label = dist.Find(arc.to);
+      if (next_label == nullptr) {
         dist[arc.to] = candidate;
+        heap.push({candidate, arc.to});
+      } else if (candidate < *next_label) {
+        *next_label = candidate;
         heap.push({candidate, arc.to});
       }
     }
@@ -192,14 +218,12 @@ double ContractionHierarchy::Distance(NodeId s, NodeId t) const {
   std::vector<std::pair<NodeId, double>> backward;
   UpwardSearch(s, &forward);
   UpwardSearch(t, &backward);
-  std::unordered_map<NodeId, double> forward_dist(forward.begin(),
-                                                  forward.end());
+  FlatMap<NodeId, double> forward_dist(forward.size());
+  for (const auto& [node, dist] : forward) forward_dist[node] = dist;
   double best = kInfDistance;
   for (const auto& [node, dist] : backward) {
-    auto it = forward_dist.find(node);
-    if (it != forward_dist.end()) {
-      best = std::min(best, it->second + dist);
-    }
+    const double* fwd = forward_dist.Find(node);
+    if (fwd != nullptr) best = std::min(best, *fwd + dist);
   }
   return best;
 }
@@ -221,7 +245,11 @@ std::vector<double> ContractionHierarchy::DistanceTable(
 
   // Bucket merge stays serial and in target order, so bucket contents
   // (and therefore the min-scan below) are thread-count independent.
-  std::unordered_map<NodeId, std::vector<std::pair<int, double>>> buckets;
+  // The settled-list sizes bound the distinct bucket keys, so the flat
+  // map is sized once up front and never rehashes during the merge.
+  size_t total_settled = 0;
+  for (const auto& settled : target_settled) total_settled += settled.size();
+  FlatMap<NodeId, std::vector<std::pair<int, double>>> buckets(total_settled);
   for (size_t t = 0; t < cols; ++t) {
     for (const auto& [node, dist] : target_settled[t]) {
       buckets[node].push_back({static_cast<int>(t), dist});
@@ -239,11 +267,11 @@ std::vector<double> ContractionHierarchy::DistanceTable(
         UpwardSearch(sources[s], &settled);
         int64_t bucket_scans = 0, bucket_entries = 0;
         for (const auto& [node, dist] : settled) {
-          auto it = buckets.find(node);
-          if (it == buckets.end()) continue;
+          const auto* bucket = buckets.Find(node);
+          if (bucket == nullptr) continue;
           ++bucket_scans;
-          bucket_entries += static_cast<int64_t>(it->second.size());
-          for (const auto& [t, target_dist] : it->second) {
+          bucket_entries += static_cast<int64_t>(bucket->size());
+          for (const auto& [t, target_dist] : *bucket) {
             double& cell = table[static_cast<size_t>(s) * cols + t];
             cell = std::min(cell, dist + target_dist);
           }

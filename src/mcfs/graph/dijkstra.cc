@@ -117,8 +117,13 @@ MultiSourceResult MultiSourceDijkstra(const Graph& graph,
   return result;
 }
 
-IncrementalDijkstra::IncrementalDijkstra(const Graph* graph, NodeId source)
+IncrementalDijkstra::IncrementalDijkstra(const Graph* graph, NodeId source,
+                                         size_t expected_nodes)
     : graph_(graph), source_(source) {
+  if (expected_nodes > 0) {
+    tentative_.Reserve(expected_nodes);
+    settled_dist_.Reserve(expected_nodes);
+  }
   tentative_[source] = 0.0;
   queue_.push({0.0, source});
 }
@@ -126,7 +131,7 @@ IncrementalDijkstra::IncrementalDijkstra(const Graph* graph, NodeId source)
 void IncrementalDijkstra::AdvanceToUnsettled() {
   while (!queue_.empty()) {
     const QueueEntry top = queue_.top();
-    if (settled_dist_.count(top.node) != 0 ||
+    if (settled_dist_.Contains(top.node) ||
         top.dist > TentativeDistance(top.node)) {
       queue_.pop();  // stale or already settled
       continue;
@@ -148,10 +153,16 @@ std::optional<SettledNode> IncrementalDijkstra::NextSettled() {
   settled_dist_[top.node] = top.dist;
   for (const AdjEntry& e : graph_->Neighbors(top.node)) {
     ++num_relaxed_;
-    if (settled_dist_.count(e.to) != 0) continue;
+    if (settled_dist_.Contains(e.to)) continue;
     const double candidate = top.dist + e.weight;
-    if (candidate < TentativeDistance(e.to)) {
+    // Single probe: an existing label is updated in place, a missing
+    // one is inserted (absent == kInfDistance, so always an improvement).
+    double* label = tentative_.Find(e.to);
+    if (label == nullptr) {
       tentative_[e.to] = candidate;
+      queue_.push({candidate, e.to});
+    } else if (candidate < *label) {
+      *label = candidate;
       queue_.push({candidate, e.to});
     }
   }

@@ -3,11 +3,11 @@
 
 #include <limits>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "mcfs/common/dary_heap.h"
+#include "mcfs/common/flat_map.h"
 #include "mcfs/graph/graph.h"
 
 namespace mcfs {
@@ -45,13 +45,20 @@ MultiSourceResult MultiSourceDijkstra(const Graph& graph,
 // FindPair calls so that candidate-facility edges can be materialized in
 // sorted order on demand.
 //
-// Storage is sparse (hash maps), so memory is proportional to the
-// explored neighborhood, not to |V|: WMA keeps one instance per customer
-// (the paper's "heaps for these executions per customer persist" note),
-// and customers typically explore only a few facilities.
+// Storage is sparse (flat open-addressing maps, see common/flat_map.h),
+// so memory is proportional to the explored neighborhood, not to |V|:
+// WMA keeps one instance per customer (the paper's "heaps for these
+// executions per customer persist" note), and customers typically
+// explore only a few facilities. The maps are used for point lookups
+// and inserts only — the settle order is entirely heap-driven — so
+// results are bit-identical to the former std::unordered_map storage.
 class IncrementalDijkstra {
  public:
-  IncrementalDijkstra(const Graph* graph, NodeId source);
+  // `expected_nodes` is a reserve hint for the label maps (e.g. the
+  // neighborhood size a caller expects to explore); 0 starts minimal
+  // and grows by doubling.
+  IncrementalDijkstra(const Graph* graph, NodeId source,
+                      size_t expected_nodes = 0);
 
   // Settles and returns the next nearest node, or nullopt when the
   // source's component is exhausted.
@@ -66,8 +73,8 @@ class IncrementalDijkstra {
   // Distance to a node that has already been settled; kInfDistance if it
   // has not been settled yet.
   double SettledDistance(NodeId v) const {
-    auto it = settled_dist_.find(v);
-    return it == settled_dist_.end() ? kInfDistance : it->second;
+    const double* dist = settled_dist_.Find(v);
+    return dist == nullptr ? kInfDistance : *dist;
   }
 
   size_t num_settled() const { return settled_dist_.size(); }
@@ -91,15 +98,15 @@ class IncrementalDijkstra {
   void AdvanceToUnsettled();
 
   double TentativeDistance(NodeId v) const {
-    auto it = tentative_.find(v);
-    return it == tentative_.end() ? kInfDistance : it->second;
+    const double* dist = tentative_.Find(v);
+    return dist == nullptr ? kInfDistance : *dist;
   }
 
   const Graph* graph_;
   NodeId source_;
   int64_t num_relaxed_ = 0;
-  std::unordered_map<NodeId, double> tentative_;
-  std::unordered_map<NodeId, double> settled_dist_;
+  FlatMap<NodeId, double> tentative_;
+  FlatMap<NodeId, double> settled_dist_;
   DaryHeap<QueueEntry, 4, QueueEntryLess> queue_;
 };
 

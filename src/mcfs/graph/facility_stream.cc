@@ -8,8 +8,8 @@ namespace mcfs {
 
 NearestFacilityStream::NearestFacilityStream(
     const Graph* graph, NodeId customer,
-    const std::vector<int>* facility_index_of_node)
-    : dijkstra_(graph, customer),
+    const std::vector<int>* facility_index_of_node, size_t expected_nodes)
+    : dijkstra_(graph, customer, expected_nodes),
       facility_index_of_node_(facility_index_of_node) {}
 
 bool NearestFacilityStream::AdvanceOne() {
@@ -36,26 +36,38 @@ bool NearestFacilityStream::AdvanceOne() {
 
 void NearestFacilityStream::Prefetch(int count) {
   const int64_t before = dijkstra_.num_settled();
-  while (static_cast<int>(buffer_.size()) < count) {
+  while (BufferedCount() < count) {
     if (!AdvanceOne()) break;
   }
   MCFS_COUNT("exec/stream/prefetch_settles",
              static_cast<int64_t>(dijkstra_.num_settled()) - before);
   prefetched_watermark_ =
       std::max(prefetched_watermark_,
-               num_popped_ + static_cast<int64_t>(buffer_.size()));
+               num_popped_ + static_cast<int64_t>(BufferedCount()));
 }
 
 double NearestFacilityStream::PeekDistance() {
-  if (buffer_.empty() && !AdvanceOne()) return kInfDistance;
-  return buffer_.front().candidate.distance;
+  if (BufferedCount() == 0 && !AdvanceOne()) return kInfDistance;
+  return buffer_[buffer_head_].candidate.distance;
 }
 
 std::optional<FacilityAtDistance> NearestFacilityStream::Pop() {
-  const bool was_buffered = !buffer_.empty();
-  if (buffer_.empty() && !AdvanceOne()) return std::nullopt;
-  const BufferedCandidate entry = buffer_.front();
-  buffer_.pop_front();
+  const bool was_buffered = BufferedCount() > 0;
+  if (!was_buffered && !AdvanceOne()) return std::nullopt;
+  const BufferedCandidate entry = buffer_[buffer_head_];
+  ++buffer_head_;
+  if (buffer_head_ == buffer_.size()) {
+    // Drained: rewind so the retained capacity is reused in place.
+    buffer_.clear();
+    buffer_head_ = 0;
+  } else if (buffer_head_ >= 64 && buffer_head_ * 2 >= buffer_.size()) {
+    // The consumed prefix dominates the buffer: compact it away so a
+    // never-fully-drained stream cannot grow without bound.
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<int64_t>(buffer_head_));
+    buffer_head_ = 0;
+    MCFS_COUNT("exec/alloc/stream_ring_compactions", 1);
+  }
 
   // Logical consumed-work attribution: the Dijkstra effort needed to
   // discover this candidate is a pure function of (graph, source, pop

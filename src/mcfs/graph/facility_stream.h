@@ -1,7 +1,6 @@
 #ifndef MCFS_GRAPH_FACILITY_STREAM_H_
 #define MCFS_GRAPH_FACILITY_STREAM_H_
 
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -48,9 +47,13 @@ class NearestFacilityStream {
  public:
   // `facility_index_of_node` has one entry per graph node: the candidate
   // facility index located at that node, or -1. Owned by the caller and
-  // must outlive the stream.
+  // must outlive the stream. `expected_nodes` is a reserve hint for the
+  // underlying Dijkstra's label maps (how many nodes the caller expects
+  // this customer to settle, e.g. derived from the facility density);
+  // 0 starts minimal.
   NearestFacilityStream(const Graph* graph, NodeId customer,
-                        const std::vector<int>* facility_index_of_node);
+                        const std::vector<int>* facility_index_of_node,
+                        size_t expected_nodes = 0);
 
   // Exact network distance of the next not-yet-popped candidate
   // facility, or kInfDistance when the customer's component has no more
@@ -67,7 +70,9 @@ class NearestFacilityStream {
   void Prefetch(int count);
 
   // Candidates discovered but not yet popped.
-  int BufferedCount() const { return static_cast<int>(buffer_.size()); }
+  int BufferedCount() const {
+    return static_cast<int>(buffer_.size() - buffer_head_);
+  }
 
   bool Exhausted() { return PeekDistance() == kInfDistance; }
 
@@ -89,7 +94,13 @@ class NearestFacilityStream {
 
   IncrementalDijkstra dijkstra_;
   const std::vector<int>* facility_index_of_node_;
-  std::deque<BufferedCandidate> buffer_;
+  // Head-index ring: prefetch bursts append to the vector (one
+  // amortized reallocation instead of a deque block allocation per
+  // chunk) and Pop advances buffer_head_. Draining resets both so the
+  // capacity is reused; a long-lived consumed prefix is compacted away
+  // (exec/alloc/stream_ring_compactions).
+  std::vector<BufferedCandidate> buffer_;
+  size_t buffer_head_ = 0;
   bool exhausted_ = false;
   int num_popped_ = 0;
   // Discovery index below which candidates were buffered by Prefetch()

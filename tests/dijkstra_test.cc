@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "mcfs/graph/generators.h"
 #include "tests/test_util.h"
 
 namespace mcfs {
@@ -131,6 +132,50 @@ TEST_P(IncrementalDijkstraTest, SettlesAllNodesInSortedOrder) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSweep, IncrementalDijkstraTest,
                          ::testing::Range(0, 20));
+
+// Flat-map kernel equivalence: a fully drained IncrementalDijkstra must
+// reproduce ShortestPathsFrom exactly on random clustered graphs
+// (including unreachable nodes staying unsettled and the sparse maps
+// surviving growth past their initial capacity).
+class IncrementalDijkstraClusteredTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(IncrementalDijkstraClusteredTest, FullyDrainedMatchesShortestPaths) {
+  SyntheticNetworkOptions options;
+  options.num_nodes = 300 + 40 * GetParam();
+  options.alpha = 1.4;
+  options.num_clusters = 2 + GetParam() % 5;
+  options.seed = 900 + GetParam();
+  const Graph graph = GenerateSyntheticNetwork(options);
+  Rng rng(300 + GetParam());
+  const NodeId source =
+      static_cast<NodeId>(rng.UniformInt(0, graph.NumNodes() - 1));
+  const std::vector<double> full = ShortestPathsFrom(graph, source);
+
+  IncrementalDijkstra inc(&graph, source);
+  std::vector<bool> settled(graph.NumNodes(), false);
+  double prev = 0.0;
+  while (std::optional<SettledNode> s = inc.NextSettled()) {
+    ASSERT_FALSE(settled[s->node]) << "node settled twice: " << s->node;
+    settled[s->node] = true;
+    EXPECT_LE(prev, s->distance + 1e-12);
+    EXPECT_NEAR(s->distance, full[s->node], 1e-9);
+    EXPECT_NEAR(inc.SettledDistance(s->node), s->distance, 1e-12);
+    prev = s->distance;
+  }
+  // Exactly the reachable nodes were settled; the rest report infinity.
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    EXPECT_EQ(settled[v], full[v] != kInfDistance) << v;
+    if (!settled[v]) EXPECT_EQ(inc.SettledDistance(v), kInfDistance);
+  }
+  EXPECT_EQ(inc.num_settled(),
+            static_cast<size_t>(std::count_if(
+                full.begin(), full.end(),
+                [](double d) { return d != kInfDistance; })));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClusteredSweep, IncrementalDijkstraClusteredTest,
+                         ::testing::Range(0, 10));
 
 TEST(IncrementalDijkstraTest, InterleavedInstancesAreIndependent) {
   Rng rng(5);

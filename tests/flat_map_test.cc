@@ -1,0 +1,197 @@
+#include "mcfs/common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mcfs/common/random.h"
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+namespace {
+
+TEST(FlatMapTest, InsertLookupUpdate) {
+  FlatMap<int32_t, double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  map[7] = 1.5;
+  map[9] = 2.5;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(7), 1.5);
+  map[7] = 3.0;  // update in place
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(*map.Find(7), 3.0);
+  EXPECT_TRUE(map.Contains(9));
+  EXPECT_FALSE(map.Contains(8));
+}
+
+TEST(FlatMapTest, ValueInitializesOnFirstUse) {
+  FlatMap<int32_t, double> map;
+  EXPECT_DOUBLE_EQ(map[42], 0.0);
+  map[42] += 1.0;
+  EXPECT_DOUBLE_EQ(map[42], 1.0);
+}
+
+TEST(FlatMapTest, GrowsThroughManyInsertsAndKeepsEntries) {
+  FlatMap<int32_t, double> map;
+  for (int32_t key = 0; key < 10000; ++key) {
+    map[key * 7 + 1] = static_cast<double>(key);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (int32_t key = 0; key < 10000; ++key) {
+    const double* value = map.Find(key * 7 + 1);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_DOUBLE_EQ(*value, static_cast<double>(key));
+  }
+  EXPECT_FALSE(map.Contains(10000 * 7 + 1));
+}
+
+TEST(FlatMapTest, ReservePreventsGrowthBelowHint) {
+  FlatMap<int32_t, double> map;
+  map.Reserve(1000);
+  const size_t capacity = map.capacity();
+  for (int32_t key = 0; key < 1000; ++key) map[key] = 1.0;
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndDropsEntries) {
+  FlatMap<int32_t, double> map(64);
+  for (int32_t key = 0; key < 64; ++key) map[key] = 2.0;
+  const size_t capacity = map.capacity();
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_FALSE(map.Contains(5));
+  map[5] = 9.0;
+  EXPECT_DOUBLE_EQ(*map.Find(5), 9.0);
+}
+
+TEST(StampedMapTest, ClearIsLogicalReset) {
+  StampedMap<int32_t, double> map;
+  map[1] = 1.0;
+  map[2] = 2.0;
+  EXPECT_EQ(map.size(), 2u);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_EQ(map.Find(2), nullptr);
+  // A stale slot with the same key is re-initialized, not resurrected.
+  EXPECT_DOUBLE_EQ(map[1], 0.0);
+  map[1] = 5.0;
+  EXPECT_DOUBLE_EQ(*map.Find(1), 5.0);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(StampedMapTest, StampWrapIsHandled) {
+  // uint8_t stamps wrap after 255 Clears; entries must stay correct
+  // straight through several wraps.
+  StampedMap<int32_t, double, uint8_t> map;
+  for (int round = 0; round < 1000; ++round) {
+    map.Clear();
+    EXPECT_TRUE(map.empty()) << round;
+    EXPECT_FALSE(map.Contains(round)) << round;
+    map[round] = static_cast<double>(round);
+    map[round + 1] = static_cast<double>(round + 1);
+    ASSERT_NE(map.Find(round), nullptr) << round;
+    EXPECT_DOUBLE_EQ(*map.Find(round), static_cast<double>(round));
+    EXPECT_DOUBLE_EQ(*map.Find(round + 1), static_cast<double>(round + 1));
+    EXPECT_EQ(map.size(), 2u);
+  }
+}
+
+// Randomized property sweep: FlatMap and StampedMap must behave exactly
+// like a std::unordered_map reference under mixed insert / update /
+// lookup (and, for StampedMap, epoch-reset) sequences.
+template <typename Map>
+void CheckAgainstReference(const Map& map,
+                           const std::unordered_map<int32_t, double>& ref) {
+  ASSERT_EQ(map.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    const double* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_DOUBLE_EQ(*found, value);
+  }
+  size_t seen = 0;
+  map.ForEach([&](int32_t key, double value) {
+    ++seen;
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end()) << key;
+    EXPECT_DOUBLE_EQ(it->second, value);
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+class FlatMapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatMapPropertyTest, MatchesUnorderedMapReference) {
+  Rng rng(1000 + GetParam());
+  // Small key universe forces collisions, overwrites, and growth.
+  const int universe = 1 + static_cast<int>(rng.UniformInt(8, 500));
+  FlatMap<int32_t, double> map;
+  std::unordered_map<int32_t, double> ref;
+  for (int op = 0; op < 3000; ++op) {
+    const int32_t key = static_cast<int32_t>(rng.UniformInt(0, universe - 1));
+    const int kind = static_cast<int>(rng.UniformInt(0, 3));
+    if (kind == 0) {
+      EXPECT_EQ(map.Contains(key), ref.count(key) != 0) << key;
+    } else {
+      const double value = rng.Uniform(0.0, 100.0);
+      map[key] = value;
+      ref[key] = value;
+    }
+  }
+  CheckAgainstReference(map, ref);
+}
+
+TEST_P(FlatMapPropertyTest, StampedMatchesReferenceAcrossEpochResets) {
+  Rng rng(2000 + GetParam());
+  const int universe = 1 + static_cast<int>(rng.UniformInt(8, 500));
+  StampedMap<int32_t, double> map;
+  std::unordered_map<int32_t, double> ref;
+  for (int op = 0; op < 3000; ++op) {
+    if (rng.UniformInt(0, 99) == 0) {  // O(1) epoch reset
+      map.Clear();
+      ref.clear();
+      continue;
+    }
+    const int32_t key = static_cast<int32_t>(rng.UniformInt(0, universe - 1));
+    const int kind = static_cast<int>(rng.UniformInt(0, 3));
+    if (kind == 0) {
+      EXPECT_EQ(map.Contains(key), ref.count(key) != 0) << key;
+    } else {
+      const double value = rng.Uniform(0.0, 100.0);
+      map[key] = value;
+      ref[key] = value;
+    }
+  }
+  CheckAgainstReference(map, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, FlatMapPropertyTest,
+                         ::testing::Range(0, 20));
+
+// The exec/alloc counter family must fire on growth and scratch reuse,
+// so allocation regressions stay visible in run reports.
+TEST(FlatMapTest, AllocCountersFireWhenMetricsEnabled) {
+  obs::EnableMetrics(true);
+  obs::ResetMetrics();
+  FlatMap<int32_t, double> map;
+  for (int32_t key = 0; key < 1000; ++key) map[key] = 1.0;  // forces growth
+  StampedMap<int32_t, double> scratch;
+  scratch[1] = 1.0;
+  scratch.Clear();  // reuses retained capacity
+  scratch[2] = 2.0;
+  const obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  obs::EnableMetrics(false);
+  obs::ResetMetrics();
+  EXPECT_GT(snapshot.counters.at("exec/alloc/flatmap_grows"), 0);
+  EXPECT_GT(snapshot.counters.at("exec/alloc/flatmap_slots_rehashed"), 0);
+  EXPECT_GT(snapshot.counters.at("exec/alloc/scratch_reuses"), 0);
+}
+
+}  // namespace
+}  // namespace mcfs
