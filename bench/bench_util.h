@@ -32,12 +32,20 @@ namespace bench_util {
 //   --trace-out=PATH  Chrome trace_event JSON of the run's spans, load
 //               it in Perfetto / chrome://tracing (default off; the
 //               MCFS_TRACE env var does the same thing)
+//   --deadline-ms=N  per-cell wall-clock budget: WMA variants degrade
+//               anytime (best-so-far, status "deadline"), the exact
+//               solver's budget is capped to it (default 0 = unlimited)
+//   --verify=BOOL  re-check every cell's solution with the independent
+//               verifier (fresh Dijkstras); verdicts go to the table
+//               status, the run report, and the verify/* counters
 struct BenchConfig {
   double scale = 1.0;
   uint64_t seed = 42;
   double exact_seconds = 20.0;
   int threads = 1;
   bool metrics = true;
+  int64_t deadline_ms = 0;
+  bool verify = false;
   std::string report_out;
   std::string trace_out;
 
@@ -48,6 +56,10 @@ struct BenchConfig {
     config.exact_seconds = flags.GetDouble("exact_seconds", 20.0);
     config.threads = static_cast<int>(flags.GetInt("threads", 1));
     config.metrics = flags.GetBool("metrics", true);
+    // Both spellings are accepted, matching the repo's flag style.
+    config.deadline_ms =
+        flags.GetInt("deadline-ms", flags.GetInt("deadline_ms", 0));
+    config.verify = flags.GetBool("verify", false);
     config.report_out = flags.GetString(
         "report_out", config.metrics ? "run_report.json" : "");
     config.trace_out = flags.GetString("trace_out", "");
@@ -90,6 +102,8 @@ inline AlgorithmSuite MakeSuite(const BenchConfig& config) {
   suite.exact_options.time_limit_seconds = config.exact_seconds;
   suite.threads = config.threads;
   suite.metrics = config.metrics;
+  suite.cell_timeout_ms = config.deadline_ms;
+  suite.verify = config.verify;
   return suite;
 }
 
@@ -144,10 +158,16 @@ class SweepTable {
   void Add(const std::string& x, const std::vector<AlgoOutcome>& outcomes) {
     for (const AlgoOutcome& o : outcomes) {
       std::string status = "ok";
-      if (o.failed) {
+      if (o.verify_ran && !o.verify_ok) {
+        status = "VERIFY FAIL";
+      } else if (o.failed) {
         status = "fail";
       } else if (!o.feasible) {
         status = "infeasible";
+      } else if (o.termination == Termination::kDeadline) {
+        status = "deadline";
+      } else if (o.verify_ran) {
+        status = "verified";
       }
       const bool wma = o.has_wma_stats;
       table_.AddRow({x, o.algorithm,

@@ -73,7 +73,12 @@ std::string RunReport::Json() const {
         << "\", \"objective\": " << JsonNumber(outcome.objective)
         << ", \"seconds\": " << JsonNumber(outcome.seconds)
         << ", \"feasible\": " << (outcome.feasible ? "true" : "false")
-        << ", \"failed\": " << (outcome.failed ? "true" : "false");
+        << ", \"failed\": " << (outcome.failed ? "true" : "false")
+        << ", \"termination\": \"" << TerminationName(outcome.termination)
+        << "\"";
+    if (outcome.verify_ran) {
+      out << ", \"verified\": " << (outcome.verify_ok ? "true" : "false");
+    }
     if (outcome.has_wma_stats) {
       out << ", \"wma\": ";
       AppendWmaStats(outcome.wma_stats, out);

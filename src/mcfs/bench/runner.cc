@@ -1,5 +1,7 @@
 #include "mcfs/bench/runner.h"
 
+#include <algorithm>
+
 #include "mcfs/baselines/brnn.h"
 #include "mcfs/baselines/greedy_kmedian.h"
 #include "mcfs/baselines/hilbert_baseline.h"
@@ -8,13 +10,14 @@
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/common/timer.h"
 #include "mcfs/core/local_search.h"
+#include "mcfs/core/verifier.h"
 #include "mcfs/core/wma.h"
 #include "mcfs/obs/trace.h"
 
 namespace mcfs {
 
 AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
-                         const McfsInstance& instance) {
+                         const McfsInstance& instance, bool verify) {
   obs::TraceSpan span(("run/" + name).c_str());
   WallTimer timer;
   const McfsSolution solution = fn(instance);
@@ -23,8 +26,13 @@ AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
   outcome.seconds = timer.Seconds();
   outcome.objective = solution.objective;
   outcome.feasible = solution.feasible;
+  outcome.termination = solution.termination;
   const ValidationResult validation = ValidateSolution(instance, solution);
   MCFS_CHECK(validation.ok) << name << ": " << validation.message;
+  if (verify) {
+    outcome.verify_ran = true;
+    outcome.verify_ok = VerifySolution(instance, solution).ok;
+  }
   return outcome;
 }
 
@@ -43,14 +51,22 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
   // the suite exists to produce reports — always collect them.
   wma_options.collect_iteration_stats = true;
   wma_options.metrics = suite.metrics;
+  wma_options.deadline_ms = suite.cell_timeout_ms;
   if (suite.metrics) obs::EnableMetrics(true);
   WmaOptions naive_options = wma_options;
   naive_options.naive = true;
+  ExactOptions exact_options = suite.exact_options;
+  if (suite.cell_timeout_ms > 0) {
+    exact_options.time_limit_seconds =
+        std::min(exact_options.time_limit_seconds,
+                 static_cast<double>(suite.cell_timeout_ms) / 1000.0);
+  }
+  const bool verify = suite.verify;
 
   // Captures a WMA-variant cell: runs it through RunAlgorithm (timer +
   // validation) and attaches the phase/iteration breakdown.
-  auto wma_cell = [&instance](const std::string& name, auto run) {
-    return [&instance, name, run] {
+  auto wma_cell = [&instance, verify](const std::string& name, auto run) {
+    return [&instance, verify, name, run] {
       WmaStats stats;
       AlgoOutcome outcome = RunAlgorithm(
           name,
@@ -59,7 +75,7 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
             stats = std::move(result.stats);
             return std::move(result.solution);
           },
-          instance);
+          instance, verify);
       outcome.has_wma_stats = true;
       outcome.wma_stats = std::move(stats);
       return outcome;
@@ -68,19 +84,21 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
 
   std::vector<std::function<AlgoOutcome()>> cells;
   if (suite.with_brnn) {
-    cells.push_back(
-        [&] { return RunAlgorithm("BRNN", RunBrnnBaseline, instance); });
+    cells.push_back([&] {
+      return RunAlgorithm("BRNN", RunBrnnBaseline, instance, verify);
+    });
   }
   if (suite.with_hilbert) {
-    cells.push_back(
-        [&] { return RunAlgorithm("Hilbert", RunHilbertBaseline, instance); });
+    cells.push_back([&] {
+      return RunAlgorithm("Hilbert", RunHilbertBaseline, instance, verify);
+    });
   }
   if (suite.with_greedy_kmedian) {
     cells.push_back([&] {
       return RunAlgorithm(
           "Greedy k-med",
           [](const McfsInstance& inst) { return RunGreedyKMedian(inst); },
-          instance);
+          instance, verify);
     });
   }
   if (suite.with_wma_naive) {
@@ -106,20 +124,24 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
             const McfsSolution wma = RunWma(inst, wma_options).solution;
             return ImproveByLocalSearch(inst, wma).solution;
           },
-          instance);
+          instance, verify);
     });
   }
   if (suite.with_exact) {
-    cells.push_back([&] {
+    cells.push_back([&, exact_options] {
       obs::TraceSpan span("run/Exact (B&B)");
       WallTimer timer;
-      const ExactResult exact = SolveExact(instance, suite.exact_options);
+      const ExactResult exact = SolveExact(instance, exact_options);
       AlgoOutcome outcome;
       outcome.algorithm = "Exact (B&B)";
       outcome.seconds = timer.Seconds();
       outcome.objective = exact.solution.objective;
       outcome.feasible = exact.solution.feasible;
       outcome.failed = exact.failed || !exact.optimal;
+      if (verify && !outcome.failed) {
+        outcome.verify_ran = true;
+        outcome.verify_ok = VerifySolution(instance, exact.solution).ok;
+      }
       return outcome;
     });
   }
@@ -146,8 +168,11 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
 std::string FormatOutcome(const AlgoOutcome& outcome) {
   if (outcome.failed) return "fail (" + FmtSeconds(outcome.seconds) + ")";
   if (!outcome.feasible) return "infeasible";
-  return FmtDouble(outcome.objective, 0) + " / " +
-         FmtSeconds(outcome.seconds);
+  std::string text = FmtDouble(outcome.objective, 0) + " / " +
+                     FmtSeconds(outcome.seconds);
+  if (outcome.termination == Termination::kDeadline) text += " [deadline]";
+  if (outcome.verify_ran && !outcome.verify_ok) text += " [VERIFY FAIL]";
+  return text;
 }
 
 }  // namespace mcfs

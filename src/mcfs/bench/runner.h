@@ -22,6 +22,13 @@ struct AlgoOutcome {
   double seconds = 0.0;
   bool feasible = false;
   bool failed = false;  // exact solver exceeded its budget ("Gurobi fails")
+  // How the solver ended: kDeadline marks an anytime result cut short
+  // by AlgorithmSuite::cell_timeout_ms (still feasible, best-so-far).
+  Termination termination = Termination::kConverged;
+  // Verdict of the independent verifier (core/verifier.h); verify_ran
+  // is false unless the suite/caller asked for verification.
+  bool verify_ran = false;
+  bool verify_ok = false;
   // WMA-variant cells carry the full phase/iteration breakdown
   // (iterations, matching/cover/prefetch/final-assign seconds,
   // per-iteration rows); other algorithms leave it default.
@@ -37,9 +44,12 @@ struct AlgoOutcome {
 using AlgorithmFn = std::function<McfsSolution(const McfsInstance&)>;
 
 // Runs `fn` on the instance under a wall timer, validates the solution
-// structurally, and records objective/runtime.
+// structurally, and records objective/runtime. With verify, also runs
+// the independent verifier (fresh Dijkstras; core/verifier.h) on the
+// result and records the verdict in verify_ran/verify_ok — outside the
+// timed window, so cell runtimes stay comparable.
 AlgoOutcome RunAlgorithm(const std::string& name, const AlgorithmFn& fn,
-                         const McfsInstance& instance);
+                         const McfsInstance& instance, bool verify = false);
 
 // Standard algorithm set used across the experiment suite. `exact`
 // carries its own budget so large points fail gracefully.
@@ -70,6 +80,15 @@ struct AlgorithmSuite {
   // snapshot in its AlgoOutcome. Turn off to run cells concurrently on
   // the pool (suite.threads > 1) without attribution.
   bool metrics = true;
+  // Per-cell wall-clock budget in milliseconds; 0 = unlimited. The WMA
+  // variants take it as their cooperative deadline and degrade anytime
+  // (best-so-far solution, termination == kDeadline); the exact
+  // solver's own time budget is capped to it.
+  int64_t cell_timeout_ms = 0;
+  // Run the independent verifier on every cell's solution (bench
+  // binaries: --verify). Verdicts land in AlgoOutcome::verify_ok and
+  // the verify/* counters in the cell's metrics snapshot.
+  bool verify = false;
 };
 
 // Runs the configured suite on one instance and returns one outcome per

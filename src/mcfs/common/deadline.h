@@ -1,0 +1,105 @@
+#ifndef MCFS_COMMON_DEADLINE_H_
+#define MCFS_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace mcfs {
+
+// Cooperative wall-clock budget for the solvers, built on the monotonic
+// steady clock (immune to wall-clock adjustments). Solver hot loops
+// poll Expired() at phase boundaries — WMA iterations, SET-COVER scans,
+// matcher augmentations — and wind down gracefully when it fires
+// (anytime behavior; see DESIGN.md §4.8).
+//
+// Two modes:
+//   * time mode (AfterMillis): expires once steady_clock passes the
+//     armed instant — production path;
+//   * poll mode (AfterPolls): expires on the n-th Expired() call —
+//     a deterministic fault-injection hook so tests can fire the
+//     deadline at exact, seed-reproducible points mid-solve.
+// A default-constructed Deadline never expires and polls cost one
+// branch.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `ms` milliseconds from now (clamped to >= 0).
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.has_time_ = true;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       ms < 0.0 ? 0.0 : ms));
+    return d;
+  }
+
+  // Fault-injection mode: the deadline reports expired from the
+  // `polls`-th Expired() call onward (polls <= 0 fires immediately).
+  static Deadline AfterPolls(int64_t polls) {
+    Deadline d;
+    d.polls_remaining_ = polls > 0 ? polls : 0;
+    return d;
+  }
+
+  bool never_expires() const { return !has_time_ && polls_remaining_ < 0; }
+
+  // Polls the deadline. In poll mode each call consumes one poll, so
+  // keep a single Deadline instance per solve and poll only that one.
+  bool Expired() const {
+    if (polls_remaining_ >= 0) {
+      if (polls_remaining_ == 0) return true;
+      --polls_remaining_;
+      return polls_remaining_ == 0;
+    }
+    if (!has_time_) return false;
+    return Clock::now() >= expiry_;
+  }
+
+  // Seconds until expiry: +infinity when the deadline never expires,
+  // 0 when already expired. Poll mode reports +infinity (it has no
+  // clock) until it fires.
+  double RemainingSeconds() const {
+    if (polls_remaining_ >= 0) {
+      return polls_remaining_ == 0
+                 ? 0.0
+                 : std::numeric_limits<double>::infinity();
+    }
+    if (!has_time_) return std::numeric_limits<double>::infinity();
+    const double remaining =
+        std::chrono::duration<double>(expiry_ - Clock::now()).count();
+    return remaining < 0.0 ? 0.0 : remaining;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool has_time_ = false;
+  Clock::time_point expiry_{};
+  // Poll mode when >= 0; mutable because Expired() is the natural const
+  // query yet must count down. Deadlines are polled from the (serial)
+  // solver thread only.
+  mutable int64_t polls_remaining_ = -1;
+};
+
+// Thread-safe cooperative cancellation flag: any thread calls Cancel(),
+// the solver polls Cancelled() at the same boundaries as the deadline
+// and returns its best-so-far solution with termination == kDeadline.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_DEADLINE_H_

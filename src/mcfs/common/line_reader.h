@@ -1,0 +1,92 @@
+#ifndef MCFS_COMMON_LINE_READER_H_
+#define MCFS_COMMON_LINE_READER_H_
+
+#include <istream>
+#include <sstream>
+#include <string>
+
+#include "mcfs/common/status.h"
+
+namespace mcfs {
+
+// Line-oriented reader for the plain-text persistence formats: tracks
+// the 1-based line number so loaders can return parse diagnostics like
+// "graph file: line 7: expected 3 fields". Used by graph_io and
+// instance_io (DESIGN.md §4.8); deliberately minimal — the formats are
+// strict, one record per line.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  // Reads the next line; false at end of file.
+  bool NextLine(std::string* line) {
+    if (!std::getline(in_, *line)) return false;
+    ++line_number_;
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    return true;
+  }
+
+  // 1-based number of the line NextLine returned last (0 before the
+  // first read).
+  int64_t line_number() const { return line_number_; }
+
+  // "line N: <what>" as a kInvalidInput status.
+  Status ParseError(const std::string& what) const {
+    std::ostringstream msg;
+    msg << "line " << line_number_ << ": " << what;
+    return InvalidInputError(msg.str());
+  }
+
+  // Premature end of file after `expected` records were promised.
+  Status TruncatedError(const std::string& expected) const {
+    std::ostringstream msg;
+    msg << "unexpected end of file after line " << line_number_
+        << " (expected " << expected << ")";
+    return InvalidInputError(msg.str());
+  }
+
+ private:
+  std::istream& in_;
+  int64_t line_number_ = 0;
+};
+
+namespace line_reader_internal {
+
+inline bool ReadOneField(std::istringstream& in, int* out) {
+  return static_cast<bool>(in >> *out);
+}
+inline bool ReadOneField(std::istringstream& in, int64_t* out) {
+  return static_cast<bool>(in >> *out);
+}
+inline bool ReadOneField(std::istringstream& in, size_t* out) {
+  // Parse through a signed temporary so "-3" fails instead of wrapping.
+  int64_t value = 0;
+  if (!(in >> value) || value < 0) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+inline bool ReadOneField(std::istringstream& in, double* out) {
+  return static_cast<bool>(in >> *out);
+}
+inline bool ReadOneField(std::istringstream& in, std::string* out) {
+  return static_cast<bool>(in >> *out);
+}
+
+}  // namespace line_reader_internal
+
+// Parses whitespace-separated fields out of one line. Trailing
+// whitespace is fine; trailing junk is a parse failure (strict formats
+// catch column drift early).
+template <typename... Fields>
+bool ParseFields(const std::string& line, Fields*... fields) {
+  std::istringstream in(line);
+  if (!(line_reader_internal::ReadOneField(in, fields) && ...)) {
+    return false;
+  }
+  std::string rest;
+  return !(in >> rest);
+}
+
+}  // namespace mcfs
+
+#endif  // MCFS_COMMON_LINE_READER_H_

@@ -1,0 +1,137 @@
+#ifndef MCFS_COMMON_STATUS_H_
+#define MCFS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mcfs/common/check.h"
+
+namespace mcfs {
+
+// Typed error codes for the hardened solve layer (DESIGN.md §4.8).
+// Every recoverable failure in the library maps onto one of these;
+// MCFS_CHECK stays reserved for programming errors (broken invariants),
+// never for bad input, I/O trouble, or resource budgets.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidInput = 1,       // malformed instance / file / argument
+  kInfeasible = 2,         // instance admits no feasible solution
+  kDeadlineExceeded = 3,   // cooperative time budget expired
+  kIoError = 4,            // filesystem-level failure (open/short write)
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidInput:
+      return "INVALID_INPUT";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+// Value-type status: an error code plus a human-readable message with
+// context (file, line number, component id, ...). Cheap to copy in the
+// OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "INVALID_INPUT: bad edge weight at line 7" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  // Prefixes additional context onto an error ("graph.txt: <old>");
+  // no-op on OK statuses. Returns *this for chaining.
+  Status& WithContext(const std::string& context) {
+    if (!ok()) message_ = context + ": " + message_;
+    return *this;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidInputError(std::string message) {
+  return Status(StatusCode::kInvalidInput, std::move(message));
+}
+inline Status InfeasibleError(std::string message) {
+  return Status(StatusCode::kInfeasible, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+
+// Either a value or an error status. Accessing value() on an error is a
+// programming bug and CHECK-fails with the carried status message.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MCFS_CHECK(!status_.ok())
+        << "StatusOr constructed from an OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MCFS_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MCFS_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MCFS_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mcfs
+
+// Early-returns the enclosing function with the error when `expr`
+// evaluates to a non-OK Status.
+#define MCFS_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::mcfs::Status mcfs_status_tmp_ = (expr);        \
+    if (!mcfs_status_tmp_.ok()) return mcfs_status_tmp_; \
+  } while (false)
+
+#endif  // MCFS_COMMON_STATUS_H_

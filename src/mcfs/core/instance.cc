@@ -12,6 +12,18 @@
 
 namespace mcfs {
 
+const char* TerminationName(Termination termination) {
+  switch (termination) {
+    case Termination::kConverged:
+      return "converged";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
 double McfsInstance::Occupancy() const {
   if (k <= 0 || capacities.empty()) return 0.0;
   const double mean_capacity =

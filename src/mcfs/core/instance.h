@@ -28,6 +28,18 @@ struct McfsInstance {
   double Occupancy() const;
 };
 
+// How a solver run ended. Solvers with anytime behavior (WMA under a
+// deadline) still return their best feasible solution on kDeadline —
+// the marker distinguishes "this is the converged answer" from "this is
+// what the time budget allowed".
+enum class Termination {
+  kConverged = 0,  // ran to completion
+  kDeadline,       // time budget / cancellation cut the search short
+  kInfeasible,     // the instance admits no full cover (Theorem 3)
+};
+
+const char* TerminationName(Termination termination);
+
 // A solution: the selected facilities and the customer assignment.
 struct McfsSolution {
   std::vector<int> selected;      // candidate-facility indices, size <= k
@@ -35,6 +47,7 @@ struct McfsSolution {
   std::vector<double> distances;  // size m; network distance, 0 if unassigned
   double objective = 0.0;         // sum of assigned distances
   bool feasible = false;          // every customer assigned
+  Termination termination = Termination::kConverged;
 };
 
 struct ValidationResult {

@@ -4,33 +4,63 @@
 #include <optional>
 #include <string>
 
+#include "mcfs/common/status.h"
 #include "mcfs/core/instance.h"
 
 namespace mcfs {
 
 // Plain-text persistence for instances and solutions, so repeated /
 // dynamic planning workflows (and the CLI example) can store and reload
-// problems. The graph itself is saved separately via SaveGraph.
+// problems. The graph itself is saved separately via WriteGraph.
+//
+// The Status API is primary (line-numbered parse diagnostics, typed
+// kIoError/kInvalidInput codes; DESIGN.md §4.8); the bool/optional
+// Save*/Load* signatures are thin deprecated shims.
 //
 // Instance format:
 //   "MCFS 1"
 //   "<m> <l> <k>"
 //   m lines: customer node id
 //   l lines: "<facility node id> <capacity>"
-bool SaveInstance(const McfsInstance& instance, const std::string& path);
+Status WriteInstance(const McfsInstance& instance, const std::string& path);
 
 // Loads an instance; `graph` must be the network it was built against
-// (node ids are validated against it). nullopt on failure.
-std::optional<McfsInstance> LoadInstance(const Graph* graph,
-                                         const std::string& path);
+// (node ids are validated against it). kIoError when the file cannot
+// be opened; kInvalidInput with the offending line number for bad
+// magic/version, negative counts, counts larger than the file could
+// hold, out-of-range node ids, and negative capacities.
+StatusOr<McfsInstance> ReadInstance(const Graph* graph,
+                                    const std::string& path);
 
 // Solution format:
 //   "MCFSSOL 1"
 //   "<num_selected> <m> <objective> <feasible>"
 //   selected facility indices (one line)
 //   m lines: "<assignment> <distance>"
+Status WriteSolution(const McfsSolution& solution, const std::string& path);
+
+StatusOr<McfsSolution> ReadSolution(const std::string& path);
+
+// Consistency of a (possibly reloaded) solution against the instance it
+// claims to solve: matching customer count, selected facility indices
+// in [0, l) and within the k budget, every assignment either -1 or a
+// selected facility, finite nonnegative distances. Structural only —
+// the independent verifier (core/verifier.h) re-derives distances and
+// capacities on top of this.
+Status CheckSolutionAgainstInstance(const McfsSolution& solution,
+                                    const McfsInstance& instance);
+
+// Deprecated: use WriteInstance. Returns false on any failure.
+bool SaveInstance(const McfsInstance& instance, const std::string& path);
+
+// Deprecated: use ReadInstance. Collapses the diagnostic to nullopt.
+std::optional<McfsInstance> LoadInstance(const Graph* graph,
+                                         const std::string& path);
+
+// Deprecated: use WriteSolution. Returns false on any failure.
 bool SaveSolution(const McfsSolution& solution, const std::string& path);
 
+// Deprecated: use ReadSolution. Collapses the diagnostic to nullopt.
 std::optional<McfsSolution> LoadSolution(const std::string& path);
 
 }  // namespace mcfs

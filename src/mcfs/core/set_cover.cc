@@ -59,6 +59,11 @@ CoverResult CheckCover(const CoverInput& input,
   int64_t recency_tiebreaks = 0;
   while (static_cast<int>(result.selected.size()) < input.k &&
          !heap.empty()) {
+    if (input.deadline != nullptr && (candidates_scanned & 63) == 0 &&
+        input.deadline->Expired()) {
+      result.deadline_expired = true;
+      break;
+    }
     const HeapEntry top = heap.top();
     heap.pop();
     ++candidates_scanned;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mcfs/common/deadline.h"
+
 namespace mcfs {
 
 // Input to the CheckCover routine (Algorithm 3): for every candidate
@@ -22,6 +24,10 @@ struct CoverInput {
   // customers are nearer (cost-aware tie-break; see WmaOptions), then
   // by recency.
   const std::vector<double>* matched_cost = nullptr;
+  // Optional cooperative deadline, polled every 64 candidate scans.
+  // On expiry the scan stops early: the partial selection so far is
+  // returned with deadline_expired set (still a valid greedy prefix).
+  const Deadline* deadline = nullptr;
 };
 
 struct CoverResult {
@@ -30,6 +36,7 @@ struct CoverResult {
   std::vector<uint8_t> delta_demand;  // exploration vector (0/1)
   bool all_delta_zero = false;        // WMA main-loop termination signal
   bool fully_covered = false;         // every customer truly covered
+  bool deadline_expired = false;      // scan cut short by input.deadline
 };
 
 // Greedy max-coverage selection of up to k facilities with lazy marginal

@@ -1,0 +1,151 @@
+#include "mcfs/core/validate.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+
+namespace mcfs {
+
+std::string ComponentDiagnosis::ToString() const {
+  std::ostringstream out;
+  out << "component " << component << ": " << customers << " customers, "
+      << num_facilities << " facilities with total capacity "
+      << capacity_sum;
+  if (min_facilities_needed < 0) {
+    out << " (short by " << customers - capacity_sum << ")";
+  } else {
+    out << " (needs " << min_facilities_needed << " facilities)";
+  }
+  return out.str();
+}
+
+std::string InstanceDiagnosis::ToString() const {
+  std::ostringstream out;
+  out << status.ToString();
+  for (const std::string& problem : problems) out << "\n  " << problem;
+  for (const ComponentDiagnosis& c : infeasible_components) {
+    out << "\n  " << c.ToString();
+  }
+  out << "\n  demand " << total_demand << ", capacity " << total_capacity
+      << ", facilities required " << required_facilities;
+  return out.str();
+}
+
+InstanceDiagnosis DiagnoseInstance(const McfsInstance& instance) {
+  InstanceDiagnosis diagnosis;
+  diagnosis.total_demand = instance.m();
+
+  // --- Structural checks (kInvalidInput). Collect every defect so a
+  // caller sees the full list, not just the first.
+  std::vector<std::string>& problems = diagnosis.problems;
+  if (instance.graph == nullptr) {
+    problems.push_back("instance has no graph attached");
+  }
+  if (instance.k < 0) {
+    problems.push_back("negative facility budget k = " +
+                       std::to_string(instance.k));
+  }
+  if (instance.capacities.size() != instance.facility_nodes.size()) {
+    problems.push_back(
+        std::to_string(instance.facility_nodes.size()) +
+        " facility nodes but " + std::to_string(instance.capacities.size()) +
+        " capacities");
+  }
+  const int num_nodes =
+      instance.graph == nullptr ? 0 : instance.graph->NumNodes();
+  for (int i = 0; i < instance.m(); ++i) {
+    const NodeId c = instance.customers[i];
+    if (c < 0 || c >= num_nodes) {
+      problems.push_back("customer " + std::to_string(i) + " at node " +
+                         std::to_string(c) + " out of range [0, " +
+                         std::to_string(num_nodes) + ")");
+    }
+  }
+  std::unordered_set<NodeId> seen_facility_nodes;
+  for (int j = 0; j < instance.l(); ++j) {
+    const NodeId node = instance.facility_nodes[j];
+    if (node < 0 || node >= num_nodes) {
+      problems.push_back("facility " + std::to_string(j) + " at node " +
+                         std::to_string(node) + " out of range [0, " +
+                         std::to_string(num_nodes) + ")");
+    } else if (!seen_facility_nodes.insert(node).second) {
+      problems.push_back("duplicate facility node " + std::to_string(node) +
+                         " (facility " + std::to_string(j) + ")");
+    }
+    if (j < static_cast<int>(instance.capacities.size()) &&
+        instance.capacities[j] < 0) {
+      problems.push_back("facility " + std::to_string(j) +
+                         " has negative capacity " +
+                         std::to_string(instance.capacities[j]));
+    }
+  }
+  if (!problems.empty()) {
+    diagnosis.status = InvalidInputError(
+        std::to_string(problems.size()) +
+        " structural problem(s); first: " + problems.front());
+    return diagnosis;
+  }
+  for (const int c : instance.capacities) diagnosis.total_capacity += c;
+
+  // --- Feasibility (kInfeasible): the Theorem-3 accounting from
+  // IsFeasible, kept in lockstep with it, but retaining the per-component
+  // evidence instead of a bare bool.
+  const ComponentLabeling components = ConnectedComponents(*instance.graph);
+  std::vector<int64_t> customers_in(components.num_components, 0);
+  for (const NodeId c : instance.customers) {
+    customers_in[components.component_of[c]]++;
+  }
+  std::vector<std::vector<int>> capacities_in(components.num_components);
+  for (int j = 0; j < instance.l(); ++j) {
+    capacities_in[components.component_of[instance.facility_nodes[j]]]
+        .push_back(instance.capacities[j]);
+  }
+  for (int g = 0; g < components.num_components; ++g) {
+    if (customers_in[g] == 0) continue;
+    std::vector<int>& caps = capacities_in[g];
+    std::sort(caps.begin(), caps.end(), std::greater<int>());
+    ComponentDiagnosis cd;
+    cd.component = g;
+    cd.customers = customers_in[g];
+    cd.num_facilities = static_cast<int>(caps.size());
+    int64_t remaining = cd.customers;
+    for (const int c : caps) {
+      cd.capacity_sum += c;
+      if (remaining > 0) {
+        remaining -= c;
+        ++cd.min_facilities_needed;
+      }
+    }
+    if (remaining > 0) {
+      cd.min_facilities_needed = -1;
+      diagnosis.infeasible_components.push_back(cd);
+    } else {
+      diagnosis.required_facilities += cd.min_facilities_needed;
+    }
+  }
+  if (!diagnosis.infeasible_components.empty()) {
+    std::ostringstream msg;
+    msg << diagnosis.infeasible_components.size()
+        << " component(s) lack capacity for their customers; first: "
+        << diagnosis.infeasible_components.front().ToString();
+    diagnosis.status = InfeasibleError(msg.str());
+    return diagnosis;
+  }
+  if (diagnosis.required_facilities > instance.k) {
+    std::ostringstream msg;
+    msg << "covering every component needs at least "
+        << diagnosis.required_facilities << " facilities, budget k = "
+        << instance.k;
+    diagnosis.status = InfeasibleError(msg.str());
+    return diagnosis;
+  }
+  diagnosis.status = OkStatus();
+  return diagnosis;
+}
+
+Status ValidateInstance(const McfsInstance& instance) {
+  return DiagnoseInstance(instance).status;
+}
+
+}  // namespace mcfs

@@ -1,0 +1,153 @@
+#include "mcfs/core/verifier.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+
+namespace {
+
+bool Close(double a, double b, double epsilon) {
+  return std::abs(a - b) <=
+         epsilon * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+Status VerifyReport::ToStatus() const {
+  if (ok) return OkStatus();
+  std::ostringstream msg;
+  msg << failures.size() << " verification failure(s); first: "
+      << failures.front();
+  return InvalidInputError(msg.str());
+}
+
+std::string VerifyReport::ToString() const {
+  std::ostringstream out;
+  out << (ok ? "VERIFIED" : "REJECTED") << ": " << customers_checked
+      << " customers, " << dijkstra_runs << " dijkstras, objective "
+      << recomputed_objective;
+  for (const std::string& failure : failures) out << "\n  " << failure;
+  return out.str();
+}
+
+VerifyReport VerifySolution(const McfsInstance& instance,
+                            const McfsSolution& solution,
+                            const VerifyOptions& options) {
+  VerifyReport report;
+  auto fail = [&report](const std::string& what) {
+    report.ok = false;
+    report.failures.push_back(what);
+  };
+  MCFS_COUNT("verify/solutions_checked", 1);
+
+  // --- Shape: a solution that is not even structurally sound is
+  // rejected before any distance work.
+  if (static_cast<int>(solution.assignment.size()) != instance.m() ||
+      solution.distances.size() != solution.assignment.size()) {
+    fail("assignment/distances sized " +
+         std::to_string(solution.assignment.size()) + "/" +
+         std::to_string(solution.distances.size()) + " for " +
+         std::to_string(instance.m()) + " customers");
+    MCFS_COUNT("verify/failures", 1);
+    return report;
+  }
+
+  // --- Selection: distinct in-range indices, within the k budget.
+  if (static_cast<int>(solution.selected.size()) > instance.k) {
+    fail(std::to_string(solution.selected.size()) +
+         " facilities selected, budget k = " + std::to_string(instance.k));
+  }
+  std::vector<int> selected_slot(instance.l(), -1);
+  bool selection_sound = true;
+  for (size_t s = 0; s < solution.selected.size(); ++s) {
+    const int j = solution.selected[s];
+    if (j < 0 || j >= instance.l()) {
+      fail("selected facility index " + std::to_string(j) +
+           " out of range [0, " + std::to_string(instance.l()) + ")");
+      selection_sound = false;
+    } else if (selected_slot[j] >= 0) {
+      fail("facility " + std::to_string(j) + " selected twice");
+      selection_sound = false;
+    } else {
+      selected_slot[j] = static_cast<int>(s);
+    }
+  }
+  if (!selection_sound) {
+    MCFS_COUNT("verify/failures", 1);
+    return report;
+  }
+
+  // --- Independent distances: one fresh full Dijkstra per selected
+  // facility. Undirected graphs, so dist(facility -> customer) ==
+  // dist(customer -> facility).
+  std::vector<std::vector<double>> dist_from(solution.selected.size());
+  for (size_t s = 0; s < solution.selected.size(); ++s) {
+    dist_from[s] = ShortestPathsFrom(
+        *instance.graph, instance.facility_nodes[solution.selected[s]]);
+    ++report.dijkstra_runs;
+  }
+  MCFS_COUNT("verify/dijkstra_runs", report.dijkstra_runs);
+
+  // --- Assignments: valid targets, true distances, load within
+  // capacity, and the objective as the re-derived sum.
+  std::vector<int64_t> load(solution.selected.size(), 0);
+  int unassigned = 0;
+  for (int i = 0; i < instance.m(); ++i) {
+    ++report.customers_checked;
+    const int j = solution.assignment[i];
+    if (j == -1) {
+      ++unassigned;
+      continue;
+    }
+    if (j < 0 || j >= instance.l() || selected_slot[j] < 0) {
+      fail("customer " + std::to_string(i) +
+           " assigned to unselected or invalid facility " +
+           std::to_string(j));
+      continue;
+    }
+    const int s = selected_slot[j];
+    ++load[s];
+    const double true_distance = dist_from[s][instance.customers[i]];
+    if (!std::isfinite(true_distance)) {
+      fail("customer " + std::to_string(i) +
+           " unreachable from its facility " + std::to_string(j));
+      continue;
+    }
+    if (!Close(solution.distances[i], true_distance, options.epsilon)) {
+      std::ostringstream msg;
+      msg << "customer " << i << " claims distance "
+          << solution.distances[i] << " but the network distance is "
+          << true_distance;
+      fail(msg.str());
+    }
+    report.recomputed_objective += true_distance;
+  }
+  MCFS_COUNT("verify/customers_checked", report.customers_checked);
+  for (size_t s = 0; s < load.size(); ++s) {
+    const int j = solution.selected[s];
+    if (load[s] > instance.capacities[j]) {
+      fail("facility " + std::to_string(j) + " serves " +
+           std::to_string(load[s]) + " customers, capacity " +
+           std::to_string(instance.capacities[j]));
+    }
+  }
+  if (unassigned > 0 && (solution.feasible || options.require_all_assigned)) {
+    fail(std::to_string(unassigned) + " customers unassigned" +
+         (solution.feasible ? " in a solution marked feasible" : ""));
+  }
+  if (!Close(solution.objective, report.recomputed_objective,
+             options.epsilon)) {
+    std::ostringstream msg;
+    msg << "objective claims " << solution.objective
+        << " but the assignments sum to " << report.recomputed_objective;
+    fail(msg.str());
+  }
+  if (!report.ok) MCFS_COUNT("verify/failures", 1);
+  return report;
+}
+
+}  // namespace mcfs

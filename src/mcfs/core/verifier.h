@@ -1,0 +1,51 @@
+#ifndef MCFS_CORE_VERIFIER_H_
+#define MCFS_CORE_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "mcfs/common/status.h"
+#include "mcfs/core/instance.h"
+
+namespace mcfs {
+
+// Independent solution verifier (DESIGN.md §4.8). Deliberately shares
+// no code with the solvers: distances are recomputed with one fresh
+// full Dijkstra per selected facility and every claim a solution makes
+// (selection within budget, assignment validity, capacities, per-
+// customer distances, the objective sum) is re-derived from scratch.
+// Used by the benches behind --verify and by the integration tests as
+// a cross-check on WMA, the baselines, and the exact solver.
+
+struct VerifyOptions {
+  // Tolerance for comparing distances/objectives: values a and b match
+  // when |a - b| <= epsilon * max(1, |a|, |b|).
+  double epsilon = 1e-6;
+  // When set, an unassigned customer (assignment == -1) is a failure
+  // even if the solution flags itself infeasible. Off by default so
+  // best-effort solutions on infeasible instances can still be checked.
+  bool require_all_assigned = false;
+};
+
+struct VerifyReport {
+  bool ok = true;
+  std::vector<std::string> failures;   // one line per violated claim
+  int customers_checked = 0;
+  int dijkstra_runs = 0;
+  double recomputed_objective = 0.0;   // sum of re-derived distances
+
+  // kOk, or kInvalidInput carrying the first failure.
+  Status ToStatus() const;
+  std::string ToString() const;
+};
+
+// Verifies `solution` against `instance` from first principles.
+// Maintains the verify/* counters (solutions_checked, failures,
+// dijkstra_runs, customers_checked) when metrics are enabled.
+VerifyReport VerifySolution(const McfsInstance& instance,
+                            const McfsSolution& solution,
+                            const VerifyOptions& options = {});
+
+}  // namespace mcfs
+
+#endif  // MCFS_CORE_VERIFIER_H_

@@ -9,6 +9,7 @@
 #include "mcfs/common/timer.h"
 #include "mcfs/core/repair.h"
 #include "mcfs/core/set_cover.h"
+#include "mcfs/core/validate.h"
 #include "mcfs/flow/matcher.h"
 #include "mcfs/graph/facility_stream.h"
 #include "mcfs/obs/metrics.h"
@@ -186,10 +187,27 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
         instance.capacities);
   }
 
+  // Cooperative deadline (DESIGN.md §4.8): polled at the iteration top,
+  // per-customer augmentation boundaries, and inside the CheckCover
+  // scan. When it fires the demand-growth loop stops, but the wrap-up
+  // (SelectGreedy / CoverComponents / final assignment) still runs, so
+  // the result is the best-so-far feasible solution — anytime behavior,
+  // never an abort. Without a deadline `expired` is one branch.
+  const Deadline deadline =
+      options.deadline_ms > 0
+          ? Deadline::AfterMillis(static_cast<double>(options.deadline_ms))
+          : options.deadline;
+  auto expired = [&deadline, &options]() {
+    return deadline.Expired() ||
+           (options.cancel != nullptr && options.cancel->Cancelled());
+  };
+  bool deadline_fired = false;
+
   int64_t max_iterations = options.max_iterations > 0
                                ? options.max_iterations
                                : DefaultIterationCap(instance);
-  if (!IsFeasible(instance)) {
+  const bool feasible_instance = IsFeasible(instance);
+  if (!feasible_instance) {
     // No selection of k facilities can cover every customer, so the
     // cover-driven demand growth would never terminate on its own
     // (customers explore all l candidates in vain). Run a handful of
@@ -206,6 +224,10 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   std::vector<int> prefetch_counts;
   CoverResult cover;
   for (int64_t iteration = 0; iteration < max_iterations; ++iteration) {
+    if (expired()) {
+      deadline_fired = true;
+      break;
+    }
     MCFS_SPAN("wma/iteration");
     MCFS_COUNT("wma/iterations", 1);
     const int64_t dijkstra_runs_before =
@@ -241,11 +263,15 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
           }
           matcher->PrefetchCandidates(prefetch_counts, threads);
         }
-        for (int i = 0; i < m; ++i) {
+        for (int i = 0; i < m && !deadline_fired; ++i) {
           while (!saturated[i] &&
                  matcher->CustomerMatchCount(i) < demand[i]) {
             if (!matcher->FindPair(i)) saturated[i] = 1;
           }
+          // Augmentation boundary: abandoning the remaining customers
+          // leaves the matching state consistent (every accepted
+          // augmentation is complete).
+          if (expired()) deadline_fired = true;
         }
         for (int j = 0; j < l; ++j) {
           sigma[j].clear();
@@ -258,6 +284,7 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
       }
     }
     result.stats.matching_seconds += matching_seconds;
+    if (deadline_fired) break;  // keep the previous iteration's cover
 
     double cover_seconds = 0.0;
     {
@@ -271,7 +298,9 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
       input.demand_cap = l;
       input.saturated = &saturated;
       if (options.cost_tie_break) input.matched_cost = &matched_cost;
+      if (!deadline.never_expires()) input.deadline = &deadline;
       cover = CheckCover(input, last_selected, iteration);
+      if (cover.deadline_expired) deadline_fired = true;
     }
     result.stats.cover_seconds += cover_seconds;
     result.stats.iterations = static_cast<int>(iteration) + 1;
@@ -292,6 +321,7 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
       }
       result.stats.per_iteration.push_back(iter_stats);
     }
+    if (deadline_fired) break;  // partial greedy prefix is still usable
     if (cover.all_delta_zero) break;
     int64_t demand_increments = 0;
     for (int i = 0; i < m; ++i) {
@@ -337,6 +367,15 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   }
   MCFS_COUNT("wma/saturated_customers",
              std::count(saturated.begin(), saturated.end(), 1));
+  Termination termination = Termination::kConverged;
+  if (!feasible_instance) {
+    termination = Termination::kInfeasible;
+  } else if (deadline_fired) {
+    termination = Termination::kDeadline;
+    MCFS_COUNT("wma/deadline_exits", 1);
+  }
+  result.solution.termination = termination;
+  result.stats.termination = termination;
   result.stats.total_seconds = total_timer.Seconds();
   return result;
 }
@@ -355,7 +394,15 @@ WmaResult RunUniformFirstWma(const McfsInstance& instance,
   uniform.capacities.assign(
       instance.l(),
       std::max(1, static_cast<int>(std::lround(mean_capacity))));
-  WmaResult phase1 = RunWma(uniform, options);
+  // Materialize deadline_ms here so both phases share one budget (the
+  // wrap-up below runs to completion regardless, as in RunWma).
+  WmaOptions phase_options = options;
+  if (options.deadline_ms > 0) {
+    phase_options.deadline =
+        Deadline::AfterMillis(static_cast<double>(options.deadline_ms));
+    phase_options.deadline_ms = 0;
+  }
+  WmaResult phase1 = RunWma(uniform, phase_options);
 
   // Phase 2: keep the selected locations, reassign under the true
   // nonuniform capacities (repairing component feasibility if the
@@ -371,8 +418,36 @@ WmaResult RunUniformFirstWma(const McfsInstance& instance,
     CoverComponents(instance, selected);
     result.solution = AssignOptimally(instance, selected, options.threads);
   }
+  // Phase 1 judged feasibility of the *uniform* pretense; re-derive the
+  // verdict for the true instance, keeping any deadline cut from it.
+  Termination termination = Termination::kConverged;
+  if (!IsFeasible(instance)) {
+    termination = Termination::kInfeasible;
+  } else if (phase1.stats.termination == Termination::kDeadline) {
+    termination = Termination::kDeadline;
+  }
+  result.solution.termination = termination;
+  result.stats.termination = termination;
   result.stats.total_seconds = total_timer.Seconds();
   return result;
+}
+
+StatusOr<WmaResult> SolveWma(const McfsInstance& instance,
+                             const WmaOptions& options) {
+  Status status = ValidateInstance(instance);
+  if (!status.ok()) return status;
+  if (instance.m() == 0) {
+    // Nothing to serve; RunWma requires m > 0, so short-circuit the
+    // trivial empty solution here.
+    WmaResult result;
+    result.solution.feasible = true;
+    return result;
+  }
+  // ValidateInstance passing with m > 0 implies l > 0 and k > 0 (a
+  // component with customers but no facilities, or a budget below the
+  // per-component minimum, is kInfeasible), so RunWma's preconditions
+  // hold.
+  return RunWma(instance, options);
 }
 
 }  // namespace mcfs

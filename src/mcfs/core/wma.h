@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mcfs/common/deadline.h"
+#include "mcfs/common/status.h"
 #include "mcfs/core/instance.h"
 
 namespace mcfs {
@@ -40,6 +42,21 @@ struct WmaOptions {
   // then cost one relaxed atomic load per site (see DESIGN.md
   // "Observability").
   bool metrics = false;
+  // Wall-clock budget in milliseconds; 0 = unlimited. On expiry the
+  // demand-growth loop stops at the next checkpoint (iteration top,
+  // per-customer augmentation boundary, every 64 CheckCover scans) and
+  // the run degrades to anytime mode: the wrap-up provisions and the
+  // final assignment still execute, so the returned solution is the
+  // best-so-far feasible one, marked Termination::kDeadline. Without a
+  // deadline the solver's behavior is bit-identical to before.
+  int64_t deadline_ms = 0;
+  // Direct deadline object; used when deadline_ms == 0. Lets callers
+  // share one budget across phases, and Deadline::AfterPolls(n) gives
+  // the fault-injection tests a deterministic mid-solve expiry point.
+  Deadline deadline = Deadline::Infinite();
+  // Optional external cancellation, polled at the same checkpoints as
+  // the deadline and reported as Termination::kDeadline.
+  const CancelToken* cancel = nullptr;
 };
 
 // Per-iteration instrumentation (covered customers after CheckCover,
@@ -75,6 +92,9 @@ struct WmaStats {
   // that closes the algorithm.
   double final_assign_seconds = 0.0;
   double total_seconds = 0.0;
+  // Mirrors solution.termination (kDeadline when the demand-growth loop
+  // was cut short; the solution is still the best-so-far feasible one).
+  Termination termination = Termination::kConverged;
   std::vector<WmaIterationStats> per_iteration;
 };
 
@@ -97,6 +117,14 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options = {});
 // under the true nonuniform capacities in one bipartite matching step
 // (repairing per-component feasibility first if needed).
 WmaResult RunUniformFirstWma(const McfsInstance& instance,
+                             const WmaOptions& options = {});
+
+// Checked entry point: preflight-validates the instance (core/validate)
+// and returns kInvalidInput / kInfeasible with a diagnosis instead of
+// tripping RunWma's MCFS_CHECKs or grinding on a hopeless instance.
+// Infeasible instances are rejected here; callers that want WMA's
+// best-effort partial cover on them should call RunWma directly.
+StatusOr<WmaResult> SolveWma(const McfsInstance& instance,
                              const WmaOptions& options = {});
 
 }  // namespace mcfs

@@ -86,11 +86,17 @@ class GraphBuilder {
     AddArc(v, u, weight);
   }
 
-  // Adds a single directed arc.
+  // Adds a single directed arc. The weight check is always on (not a
+  // DCHECK): every Dijkstra variant assumes positive weights, and a
+  // negative or NaN length would corrupt searches silently. File-based
+  // inputs are rejected earlier with a typed kInvalidInput status
+  // (ReadGraph); reaching this check is a programming error.
   void AddArc(NodeId u, NodeId v, double weight) {
     MCFS_DCHECK(u >= 0 && u < num_nodes_);
     MCFS_DCHECK(v >= 0 && v < num_nodes_);
-    MCFS_DCHECK(weight > 0.0);
+    MCFS_CHECK(weight > 0.0)
+        << "edge " << u << " -> " << v << " has non-positive weight "
+        << weight;
     arcs_.push_back({u, v, weight});
   }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "mcfs/common/status.h"
 #include "mcfs/graph/graph.h"
 
 namespace mcfs {
@@ -12,10 +13,27 @@ namespace mcfs {
 //   line 1: "<num_nodes> <num_undirected_edges> <has_coords:0|1>"
 //   if has_coords: num_nodes lines "x y"
 //   then num_edges lines "u v weight"
-// Returns false on I/O failure.
+//
+// The Status API below is the primary one (line-numbered parse
+// diagnostics, typed kIoError/kInvalidInput codes; DESIGN.md §4.8);
+// SaveGraph/LoadGraph are thin deprecated shims kept for callers of the
+// original bool/optional signatures.
+
+// Writes the graph; kIoError when the file cannot be opened or the
+// write is cut short.
+Status WriteGraph(const Graph& graph, const std::string& path);
+
+// Loads a graph saved by WriteGraph. kIoError when the file cannot be
+// opened; kInvalidInput (with the offending line number) for malformed
+// headers, out-of-range node ids, non-positive / non-finite edge
+// weights, truncated files, and node/edge counts larger than the file
+// could possibly hold.
+StatusOr<Graph> ReadGraph(const std::string& path);
+
+// Deprecated: use WriteGraph. Returns false on any failure.
 bool SaveGraph(const Graph& graph, const std::string& path);
 
-// Loads a graph saved by SaveGraph; nullopt on parse/I/O failure.
+// Deprecated: use ReadGraph. Collapses the diagnostic to nullopt.
 std::optional<Graph> LoadGraph(const std::string& path);
 
 }  // namespace mcfs

@@ -8,6 +8,8 @@
 #include "mcfs/core/instance_io.h"
 #include "mcfs/core/local_search.h"
 #include "mcfs/core/solution_stats.h"
+#include "mcfs/core/validate.h"
+#include "mcfs/core/verifier.h"
 #include "mcfs/core/wma.h"
 #include "mcfs/exact/bb_solver.h"
 #include "mcfs/graph/graph_io.h"
@@ -41,9 +43,11 @@ TEST_F(IntegrationTest, CoworkingPipeline) {
   instance.capacities = scenario.capacities;
   instance.k = 25;
   ASSERT_TRUE(IsFeasible(instance));
+  ASSERT_TRUE(ValidateInstance(instance).ok());
 
-  // Solve with every algorithm; all must validate, WMA must win or tie
-  // against Hilbert.
+  // Solve with every algorithm; all must validate (structural check
+  // plus the independent verifier's fresh-Dijkstra re-derivation), and
+  // WMA must win or tie against Hilbert.
   const McfsSolution wma = RunWma(instance).solution;
   const McfsSolution uf = RunUniformFirstWma(instance).solution;
   const McfsSolution hilbert = RunHilbertBaseline(instance);
@@ -52,6 +56,8 @@ TEST_F(IntegrationTest, CoworkingPipeline) {
         ValidateSolution(instance, *solution, true);
     EXPECT_TRUE(validation.ok) << validation.message;
     EXPECT_TRUE(solution->feasible);
+    const VerifyReport report = VerifySolution(instance, *solution);
+    EXPECT_TRUE(report.ok) << report.ToString();
   }
   EXPECT_LE(wma.objective, hilbert.objective * 1.1);
 
@@ -74,8 +80,11 @@ TEST_F(IntegrationTest, CoworkingPipeline) {
   const std::optional<McfsSolution> solution2 =
       LoadSolution(dir + "/it.solution");
   ASSERT_TRUE(solution2.has_value());
-  // The reloaded triple still validates, including network distances.
+  // The reloaded triple still validates, including network distances,
+  // and the reloaded solution is consistent with the reloaded instance.
   EXPECT_TRUE(ValidateSolution(*instance2, *solution2, true).ok);
+  EXPECT_TRUE(CheckSolutionAgainstInstance(*solution2, *instance2).ok());
+  EXPECT_TRUE(VerifySolution(*instance2, *solution2).ok);
 }
 
 TEST_F(IntegrationTest, BikePipelineMatchesExactOnSmallK) {
@@ -95,12 +104,16 @@ TEST_F(IntegrationTest, BikePipelineMatchesExactOnSmallK) {
 
   const McfsSolution wma = RunWma(instance).solution;
   ASSERT_TRUE(wma.feasible);
+  EXPECT_TRUE(VerifySolution(instance, wma).ok);
   ExactOptions options;
   options.time_limit_seconds = 30.0;
   const ExactResult exact = SolveExact(instance, options);
   if (exact.optimal && exact.solution.feasible) {
     EXPECT_GE(wma.objective, exact.solution.objective - 1e-6);
     EXPECT_LE(wma.objective, exact.solution.objective * 1.6);
+    const VerifyReport exact_report =
+        VerifySolution(instance, exact.solution);
+    EXPECT_TRUE(exact_report.ok) << exact_report.ToString();
   }
 }
 

@@ -1,0 +1,166 @@
+// Status / StatusOr / Deadline / CancelToken — the error-and-budget
+// vocabulary of the hardened solve layer (DESIGN.md §4.8).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "mcfs/common/deadline.h"
+#include "mcfs/common/line_reader.h"
+#include "mcfs/common/status.h"
+
+namespace mcfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, OkStatus());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidInputError("bad weight at line 7");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(status.message(), "bad weight at line 7");
+  EXPECT_EQ(status.ToString(), "INVALID_INPUT: bad weight at line 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidInput), "INVALID_INPUT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status status = IoError("cannot open");
+  status.WithContext("graph.txt");
+  EXPECT_EQ(status.ToString(), "IO_ERROR: graph.txt: cannot open");
+  Status ok = OkStatus();
+  ok.WithContext("ignored");
+  EXPECT_EQ(ok.ToString(), "OK");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [](bool fail) -> Status {
+    MCFS_RETURN_IF_ERROR(fail ? InfeasibleError("no capacity")
+                              : OkStatus());
+    return OkStatus();
+  };
+  EXPECT_TRUE(fails(false).ok());
+  EXPECT_EQ(fails(true).code(), StatusCode::kInfeasible);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<std::string> result(DeadlineExceededError("budget spent"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.never_expires());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(std::isinf(deadline.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, TimeModeExpires) {
+  const Deadline deadline = Deadline::AfterMillis(1.0);
+  EXPECT_FALSE(deadline.never_expires());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, FarFutureNotExpired) {
+  const Deadline deadline = Deadline::AfterMillis(60'000.0);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingSeconds(), 1.0);
+}
+
+TEST(DeadlineTest, PollModeFiresOnNthPoll) {
+  const Deadline deadline = Deadline::AfterPolls(3);
+  EXPECT_FALSE(deadline.never_expires());
+  EXPECT_FALSE(deadline.Expired());  // poll 1
+  EXPECT_FALSE(deadline.Expired());  // poll 2
+  EXPECT_TRUE(deadline.Expired());   // poll 3: fires
+  EXPECT_TRUE(deadline.Expired());   // stays expired
+}
+
+TEST(DeadlineTest, PollModeZeroFiresImmediately) {
+  const Deadline deadline = Deadline::AfterPolls(0);
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(CancelTokenTest, CancelsAcrossThreads) {
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(LineReaderTest, TracksLineNumbers) {
+  std::istringstream in("first\nsecond 2\r\nthird");
+  LineReader reader(in);
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "first");
+  EXPECT_EQ(reader.line_number(), 1);
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "second 2");  // \r stripped
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "third");
+  EXPECT_FALSE(reader.NextLine(&line));
+  EXPECT_EQ(reader.line_number(), 3);
+}
+
+TEST(LineReaderTest, ErrorsNameTheLine) {
+  std::istringstream in("header\n");
+  LineReader reader(in);
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(&line));
+  const Status parse = reader.ParseError("expected 3 fields");
+  EXPECT_EQ(parse.code(), StatusCode::kInvalidInput);
+  EXPECT_NE(parse.message().find("line 1"), std::string::npos);
+  const Status truncated = reader.TruncatedError("5 edge lines");
+  EXPECT_NE(truncated.message().find("end of file"), std::string::npos);
+}
+
+TEST(ParseFieldsTest, ParsesAndRejectsJunk) {
+  int a = 0;
+  double b = 0.0;
+  EXPECT_TRUE(ParseFields("3 4.5", &a, &b));
+  EXPECT_EQ(a, 3);
+  EXPECT_DOUBLE_EQ(b, 4.5);
+  EXPECT_FALSE(ParseFields("3", &a, &b));          // too few
+  EXPECT_FALSE(ParseFields("3 4.5 junk", &a, &b)); // trailing junk
+  EXPECT_FALSE(ParseFields("x 4.5", &a, &b));      // wrong type
+  size_t count = 0;
+  EXPECT_FALSE(ParseFields("-2", &count));         // negative size_t
+  EXPECT_TRUE(ParseFields("7", &count));
+  EXPECT_EQ(count, 7u);
+}
+
+}  // namespace
+}  // namespace mcfs

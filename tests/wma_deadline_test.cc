@@ -1,0 +1,215 @@
+// Deadline / anytime behavior of WMA: fault-injected expiries at
+// seeded mid-solve points always leave a verifier-clean best-so-far
+// solution marked kDeadline; runs without a deadline are bit-identical
+// to each other across thread counts; the checked SolveWma entry
+// rejects malformed and infeasible instances with typed errors.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mcfs/common/timer.h"
+#include "mcfs/core/verifier.h"
+#include "mcfs/core/wma.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+testing_util::RandomInstance MakeInstance(uint64_t seed) {
+  Rng rng(seed);
+  // k = 12 facilities with capacities up to 15 comfortably cover the
+  // 60 customers, so the instances are feasible for every seed.
+  return testing_util::MakeRandomInstance(200, 60, 30, 12, 15, rng);
+}
+
+bool SameSolution(const McfsSolution& a, const McfsSolution& b) {
+  return a.selected == b.selected && a.assignment == b.assignment &&
+         a.distances == b.distances && a.objective == b.objective &&
+         a.feasible == b.feasible && a.termination == b.termination;
+}
+
+TEST(WmaDeadlineTest, NoDeadlineIsBitIdenticalAcrossThreads) {
+  testing_util::RandomInstance ri = MakeInstance(3);
+  WmaOptions options;
+  options.threads = 1;
+  const WmaResult base = RunWma(ri.instance, options);
+  EXPECT_EQ(base.solution.termination, Termination::kConverged);
+  for (const int threads : {2, 8}) {
+    options.threads = threads;
+    const WmaResult run = RunWma(ri.instance, options);
+    EXPECT_TRUE(SameSolution(base.solution, run.solution)) << threads;
+    EXPECT_EQ(base.stats.iterations, run.stats.iterations);
+    EXPECT_EQ(base.stats.dijkstra_runs, run.stats.dijkstra_runs);
+    EXPECT_EQ(base.stats.edges_materialized, run.stats.edges_materialized);
+  }
+}
+
+// The core fault-injection sweep: fire the deadline on the p-th poll
+// for seeded values of p covering "immediately", "mid-matching", and
+// "deep into the run". Every cut must leave a feasible, verifier-clean
+// solution marked kDeadline; polls beyond convergence leave kConverged.
+TEST(WmaDeadlineTest, InjectedExpiryAlwaysLeavesVerifierCleanSolution) {
+  testing_util::RandomInstance ri = MakeInstance(4);
+  ASSERT_TRUE(IsFeasible(ri.instance));
+
+  Rng poll_rng(2026);
+  std::vector<int64_t> poll_points = {0, 1, 2, 3, 5, 8};
+  for (int draw = 0; draw < 10; ++draw) {
+    poll_points.push_back(poll_rng.UniformInt(10, 400));
+  }
+  int deadline_runs = 0;
+  int converged_runs = 0;
+  for (const int64_t polls : poll_points) {
+    WmaOptions options;
+    options.deadline = Deadline::AfterPolls(polls);
+    const WmaResult result = RunWma(ri.instance, options);
+    if (result.solution.termination == Termination::kDeadline) {
+      ++deadline_runs;
+    } else {
+      EXPECT_EQ(result.solution.termination, Termination::kConverged);
+      ++converged_runs;
+    }
+    // Anytime contract: the wrap-up always completes, so on a feasible
+    // instance the returned solution is feasible and passes the
+    // independent verifier regardless of where the cut landed.
+    EXPECT_TRUE(result.solution.feasible) << "polls = " << polls;
+    const VerifyReport report = VerifySolution(ri.instance, result.solution);
+    EXPECT_TRUE(report.ok) << "polls = " << polls << "\n"
+                           << report.ToString();
+  }
+  EXPECT_GT(deadline_runs, 0);  // the small poll counts must cut the run
+}
+
+TEST(WmaDeadlineTest, ImmediateExpiryStillSolves) {
+  testing_util::RandomInstance ri = MakeInstance(5);
+  WmaOptions options;
+  options.deadline = Deadline::AfterPolls(0);
+  const WmaResult result = RunWma(ri.instance, options);
+  EXPECT_EQ(result.solution.termination, Termination::kDeadline);
+  EXPECT_EQ(result.stats.termination, Termination::kDeadline);
+  EXPECT_EQ(result.stats.iterations, 0);
+  EXPECT_TRUE(result.solution.feasible);
+  EXPECT_TRUE(VerifySolution(ri.instance, result.solution).ok);
+}
+
+TEST(WmaDeadlineTest, InjectedExpiryIsDeterministicAcrossThreads) {
+  testing_util::RandomInstance ri = MakeInstance(6);
+  for (const int64_t polls : {0L, 7L, 40L}) {
+    WmaOptions options;
+    options.threads = 1;
+    options.deadline = Deadline::AfterPolls(polls);
+    const WmaResult base = RunWma(ri.instance, options);
+    for (const int threads : {2, 8}) {
+      options.threads = threads;
+      options.deadline = Deadline::AfterPolls(polls);
+      const WmaResult run = RunWma(ri.instance, options);
+      EXPECT_TRUE(SameSolution(base.solution, run.solution))
+          << "polls = " << polls << ", threads = " << threads;
+    }
+  }
+}
+
+TEST(WmaDeadlineTest, CancelTokenActsAsDeadline) {
+  testing_util::RandomInstance ri = MakeInstance(7);
+  CancelToken cancel;
+  cancel.Cancel();
+  WmaOptions options;
+  options.cancel = &cancel;
+  const WmaResult result = RunWma(ri.instance, options);
+  EXPECT_EQ(result.solution.termination, Termination::kDeadline);
+  EXPECT_TRUE(result.solution.feasible);
+}
+
+TEST(WmaDeadlineTest, InfeasibleOutranksDeadline) {
+  Rng rng(8);
+  // Demand 30 against total capacity <= 20: infeasible by Theorem 3.
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(60, 30, 10, 2, 2, rng);
+  ASSERT_FALSE(IsFeasible(ri.instance));
+  WmaOptions options;
+  options.deadline = Deadline::AfterPolls(1);
+  const WmaResult result = RunWma(ri.instance, options);
+  EXPECT_EQ(result.solution.termination, Termination::kInfeasible);
+  EXPECT_FALSE(result.solution.feasible);
+}
+
+TEST(WmaDeadlineTest, UniformFirstPropagatesDeadline) {
+  testing_util::RandomInstance ri = MakeInstance(9);
+  WmaOptions options;
+  options.deadline = Deadline::AfterPolls(0);
+  const WmaResult result = RunUniformFirstWma(ri.instance, options);
+  EXPECT_EQ(result.solution.termination, Termination::kDeadline);
+  EXPECT_TRUE(result.solution.feasible);
+  EXPECT_TRUE(VerifySolution(ri.instance, result.solution).ok);
+}
+
+TEST(WmaDeadlineTest, NaiveVariantHonorsDeadline) {
+  testing_util::RandomInstance ri = MakeInstance(10);
+  WmaOptions options;
+  options.naive = true;
+  options.deadline = Deadline::AfterPolls(1);
+  const WmaResult result = RunWma(ri.instance, options);
+  EXPECT_EQ(result.solution.termination, Termination::kDeadline);
+  EXPECT_TRUE(result.solution.feasible);
+}
+
+// Real-time budget: on an instance whose unbounded solve takes >= 10x
+// the budget, a wall-clock deadline must cut the run and still hand
+// back a verifier-clean feasible solution. Skipped when the machine
+// solves the instance too fast to sustain the 10x ratio.
+TEST(WmaDeadlineTest, WallClockBudgetDegradesGracefully) {
+  Rng rng(11);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(3000, 1200, 200, 40, 60, rng);
+  ASSERT_TRUE(IsFeasible(ri.instance));
+  WmaOptions options;
+  options.threads = 1;
+  WallTimer timer;
+  const WmaResult unbounded = RunWma(ri.instance, options);
+  const double unbounded_ms = timer.Seconds() * 1000.0;
+  ASSERT_EQ(unbounded.solution.termination, Termination::kConverged);
+  if (unbounded_ms < 50.0) {
+    GTEST_SKIP() << "unbounded solve took only " << unbounded_ms
+                 << " ms; cannot sustain a 10x budget gap";
+  }
+  options.deadline_ms =
+      std::max<int64_t>(1, static_cast<int64_t>(unbounded_ms / 10.0));
+  const WmaResult bounded = RunWma(ri.instance, options);
+  EXPECT_EQ(bounded.solution.termination, Termination::kDeadline);
+  EXPECT_TRUE(bounded.solution.feasible);
+  const VerifyReport report = VerifySolution(ri.instance, bounded.solution);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(WmaDeadlineTest, SolveWmaRejectsBadInstancesWithTypedErrors) {
+  testing_util::RandomInstance ri = MakeInstance(12);
+
+  McfsInstance invalid = ri.instance;
+  invalid.customers[0] = -5;
+  const StatusOr<WmaResult> invalid_result = SolveWma(invalid);
+  ASSERT_FALSE(invalid_result.ok());
+  EXPECT_EQ(invalid_result.status().code(), StatusCode::kInvalidInput);
+
+  McfsInstance infeasible = ri.instance;
+  infeasible.k = 0;
+  const StatusOr<WmaResult> infeasible_result = SolveWma(infeasible);
+  ASSERT_FALSE(infeasible_result.ok());
+  EXPECT_EQ(infeasible_result.status().code(), StatusCode::kInfeasible);
+
+  const StatusOr<WmaResult> good = SolveWma(ri.instance);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good->solution.feasible);
+  EXPECT_TRUE(VerifySolution(ri.instance, good->solution).ok);
+
+  McfsInstance empty;
+  Rng rng(13);
+  const Graph graph = testing_util::RandomGraph(5, 3, rng);
+  empty.graph = &graph;
+  const StatusOr<WmaResult> trivial = SolveWma(empty);
+  ASSERT_TRUE(trivial.ok());
+  EXPECT_TRUE(trivial->solution.feasible);
+}
+
+}  // namespace
+}  // namespace mcfs
