@@ -1,0 +1,167 @@
+// Serving bench: a closed-loop load generator against the long-lived
+// SolverService. Pre-generates a mix of solve requests on one city
+// network, then measures:
+//   * direct — every request as its own SolveWma call (cold path: each
+//     one re-pays instance validation's component scan);
+//   * service — the same requests through SolverService (`--clients`
+//     closed-loop threads, bounded queue, batching), reporting
+//     requests/sec and p50/p99 latency from the service report.
+// Every service response is cross-checked bit-identical to its direct
+// reference; the structured service report lands in
+// --service-report-out for the CI schema check.
+//
+// Knobs: --requests, --repeat (duplicates the mix to exercise the
+// epoch cache), --clients, --serve-threads, --queue-depth, --max-batch,
+// --deadline-ms, --verify, plus the standard --scale / --seed.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "mcfs/common/timer.h"
+#include "mcfs/graph/road_network.h"
+#include "mcfs/serve/solver_service.h"
+#include "mcfs/workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  const Flags flags(argc, argv);
+  const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.04);
+  bench_util::Banner("Serving: SolverService closed-loop load", bench);
+
+  const Graph city = GenerateCity(AalborgPreset(bench.scale, bench.seed));
+  Rng rng(bench.seed + 1);
+  const int l = std::min(city.NumNodes() / 8, 300);
+  const std::vector<NodeId> facilities = SampleDistinctNodes(city, l, rng);
+  const std::vector<int> capacities = UniformCapacities(l, 10);
+  const int k = l / 4;
+
+  const int unique_requests = static_cast<int>(flags.GetInt("requests", 24));
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 2));
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+
+  ServiceOptions options;
+  options.serve_threads =
+      static_cast<int>(flags.GetInt("serve-threads", bench.threads));
+  options.queue_depth = static_cast<int>(flags.GetInt("queue-depth", 64));
+  options.max_batch = static_cast<int>(flags.GetInt("max-batch", 8));
+  options.default_deadline_ms = bench.deadline_ms;
+  options.verify = bench.verify;
+
+  // The request mix: varying customer counts around an occupancy the
+  // instances stay feasible at, repeated `repeat` times so the service
+  // path also shows cache amortization.
+  std::vector<SolveRequest> mix;
+  for (int r = 0; r < unique_requests; ++r) {
+    const int m = 40 + 20 * (r % 5);
+    SolveRequest request;
+    request.customers = SampleNodesWithReplacement(city, m, rng);
+    request.k = k;
+    mix.push_back(std::move(request));
+  }
+  std::vector<SolveRequest> requests;
+  for (int rep = 0; rep < std::max(1, repeat); ++rep) {
+    requests.insert(requests.end(), mix.begin(), mix.end());
+  }
+  const int n = static_cast<int>(requests.size());
+  std::printf("city n=%d, l=%d candidates, k=%d; %d requests "
+              "(%d unique x %d), %d clients\n",
+              city.NumNodes(), l, k, n, unique_requests, repeat, clients);
+
+  // --- direct (cold) reference ---
+  std::vector<McfsSolution> reference(n);
+  WallTimer timer;
+  for (int r = 0; r < n; ++r) {
+    McfsInstance instance;
+    instance.graph = &city;
+    instance.customers = requests[r].customers;
+    instance.facility_nodes = facilities;
+    instance.capacities = capacities;
+    instance.k = requests[r].k;
+    StatusOr<WmaResult> direct = SolveWma(instance);
+    if (!direct.ok()) {
+      std::printf("direct solve %d failed: %s\n", r,
+                  direct.status().ToString().c_str());
+      return 1;
+    }
+    reference[r] = std::move(direct).value().solution;
+  }
+  const double direct_seconds = timer.Seconds();
+
+  // --- service (warm) path: closed-loop clients over a shared index ---
+  SolverService service(&city, facilities, capacities, options);
+  std::vector<SolveResponse> responses(n);
+  std::atomic<int> next{0};
+  timer.Restart();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < std::max(1, clients); ++c) {
+    workers.emplace_back([&] {
+      for (int r = next.fetch_add(1); r < n; r = next.fetch_add(1)) {
+        responses[r] = service.SolveSync(requests[r]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double service_seconds = timer.Seconds();
+
+  int mismatches = 0;
+  for (int r = 0; r < n; ++r) {
+    const SolveResponse& response = responses[r];
+    if (!response.status.ok() ||
+        response.solution.selected != reference[r].selected ||
+        response.solution.assignment != reference[r].assignment ||
+        response.solution.objective != reference[r].objective ||
+        (response.verify_ran && !response.verify_ok)) {
+      ++mismatches;
+      std::printf("MISMATCH on request %d: %s\n", r,
+                  response.status.ToString().c_str());
+    }
+  }
+
+  const ServiceReport report = service.Report();
+  Table table({"path", "requests", "total", "req/s", "p50", "p99"});
+  table.AddRow({"direct (cold)", FmtInt(n), FmtSeconds(direct_seconds),
+                FmtDouble(n / direct_seconds, 1), "-", "-"});
+  table.AddRow({"service (warm)", FmtInt(n), FmtSeconds(service_seconds),
+                FmtDouble(n / service_seconds, 1),
+                FmtSeconds(report.latency.p50),
+                FmtSeconds(report.latency.p99)});
+  table.Print();
+  std::printf(
+      "warm state: %lld build(s) in %s; per-request preprocess %s vs "
+      "cold %s; %lld cache hits, %lld batches (max %d)\n",
+      static_cast<long long>(report.epochs_built),
+      FmtSeconds(report.warm_build_seconds).c_str(),
+      FmtSeconds(report.requests_completed == 0
+                     ? 0.0
+                     : report.preprocess_seconds_total /
+                           report.requests_completed)
+          .c_str(),
+      FmtSeconds(report.epochs_built == 0
+                     ? 0.0
+                     : report.warm_build_seconds / report.epochs_built)
+          .c_str(),
+      static_cast<long long>(report.cache_hits),
+      static_cast<long long>(report.batches), report.max_batch_size);
+
+  const std::string service_report_out =
+      flags.GetString("service-report-out",
+                      flags.GetString("service_report_out",
+                                      "service_report.json"));
+  if (!service_report_out.empty() &&
+      report.WriteJson(service_report_out)) {
+    std::printf("(service report written to %s)\n",
+                service_report_out.c_str());
+  }
+  bench_util::FlushArtifacts(flags);
+
+  if (mismatches > 0) {
+    std::printf("%d response(s) diverged from the direct reference\n",
+                mismatches);
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,5 @@
 #include "mcfs/bench/run_report.h"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -11,13 +9,10 @@ namespace mcfs {
 
 namespace {
 
-// Finite numbers as-is, inf/NaN as null (JSON has no literals for them).
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
+// Doubles go through obs::JsonNumber so inf/NaN (e.g. an infeasible or
+// deadline-truncated cell's objective) serialize as null, never as the
+// invalid-JSON tokens "inf"/"nan".
+using obs::JsonNumber;
 
 void AppendWmaStats(const WmaStats& stats, std::ostringstream& out) {
   out << "{\"iterations\": " << stats.iterations

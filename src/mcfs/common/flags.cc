@@ -1,6 +1,10 @@
 #include "mcfs/common/flags.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -14,6 +18,17 @@ std::string NormalizeName(std::string_view name) {
   std::string normalized(name);
   std::replace(normalized.begin(), normalized.end(), '-', '_');
   return normalized;
+}
+
+Status BadValueError(const std::string& name, const std::string& value,
+                     const char* reason) {
+  return InvalidInputError("flag --" + name + "=" + value + ": " + reason);
+}
+
+[[noreturn]] void FatalFlagError(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  std::fflush(stderr);
+  std::exit(2);
 }
 
 }  // namespace
@@ -33,16 +48,60 @@ Flags::Flags(int argc, char** argv) {
   }
 }
 
-double Flags::GetDouble(const std::string& name, double default_value) const {
+StatusOr<double> Flags::TryGetDouble(const std::string& name,
+                                     double default_value) const {
   auto it = values_.find(name);
-  return it == values_.end() ? default_value : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return default_value;
+  const std::string& value = it->second;
+  if (value.empty()) return BadValueError(name, value, "empty value");
+  // strtod/strtoll skip leading whitespace; a padded value is still a
+  // malformed flag.
+  if (std::isspace(static_cast<unsigned char>(value.front()))) {
+    return BadValueError(name, value, "not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || end == value.c_str()) {
+    return BadValueError(name, value, "not a number");
+  }
+  if (errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL)) {
+    return BadValueError(name, value, "out of range for double");
+  }
+  return parsed;
+}
+
+StatusOr<int64_t> Flags::TryGetInt(const std::string& name,
+                                   int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& value = it->second;
+  if (value.empty()) return BadValueError(name, value, "empty value");
+  if (std::isspace(static_cast<unsigned char>(value.front()))) {
+    return BadValueError(name, value, "not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || end == value.c_str()) {
+    return BadValueError(name, value, "not an integer");
+  }
+  if (errno == ERANGE) {
+    return BadValueError(name, value, "out of range for int64");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  StatusOr<double> parsed = TryGetDouble(name, default_value);
+  if (!parsed.ok()) FatalFlagError(parsed.status());
+  return *parsed;
 }
 
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
-  auto it = values_.find(name);
-  return it == values_.end()
-             ? default_value
-             : std::strtoll(it->second.c_str(), nullptr, 10);
+  StatusOr<int64_t> parsed = TryGetInt(name, default_value);
+  if (!parsed.ok()) FatalFlagError(parsed.status());
+  return *parsed;
 }
 
 std::string Flags::GetString(const std::string& name,

@@ -5,11 +5,21 @@
 #include <map>
 #include <string>
 
+#include "mcfs/common/status.h"
+
 namespace mcfs {
 
 // Minimal command-line flag parser for the benchmark and example
 // binaries. Accepts --name=value and bare boolean --name flags;
 // positional arguments are ignored.
+//
+// Numeric values are parsed strictly: an empty value, trailing garbage
+// ("--deadline-ms=abc", "--seed=12x"), or an out-of-range number is a
+// typed kInvalidInput error naming the flag — never a silent 0. The
+// TryGet* accessors surface that error as a StatusOr; the plain Get*
+// convenience accessors print the diagnostic and exit(2), because a
+// mistyped flag on a bench/example command line should fail loudly, not
+// run the wrong experiment.
 class Flags {
  public:
   Flags(int argc, char** argv);
@@ -19,6 +29,13 @@ class Flags {
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
+
+  // Strict accessors: the default when the flag is absent, the parsed
+  // number when well-formed, kInvalidInput naming the flag otherwise.
+  StatusOr<double> TryGetDouble(const std::string& name,
+                                double default_value) const;
+  StatusOr<int64_t> TryGetInt(const std::string& name,
+                              int64_t default_value) const;
 
   bool Has(const std::string& name) const {
     return values_.count(name) != 0;

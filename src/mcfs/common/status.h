@@ -19,6 +19,7 @@ enum class StatusCode {
   kInfeasible = 2,         // instance admits no feasible solution
   kDeadlineExceeded = 3,   // cooperative time budget expired
   kIoError = 4,            // filesystem-level failure (open/short write)
+  kUnavailable = 5,        // resource at capacity (admission queue full)
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -33,6 +34,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -84,6 +87,9 @@ inline Status DeadlineExceededError(std::string message) {
 }
 inline Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 // Either a value or an error status. Accessing value() on an error is a

@@ -119,9 +119,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
                              const std::function<void(int64_t)>& fn,
                              int max_threads) {
   if (begin >= end) return;
-  grain = std::max<int64_t>(1, grain);
+  // Clamp the grain into [1, range]: a non-positive grain means "one
+  // index per chunk", and a grain beyond the range would overflow the
+  // chunk-count rounding below (int64 UB for e.g. grain == INT64_MAX).
+  grain = std::max<int64_t>(1, std::min(grain, end - begin));
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
-  int participants = num_threads();
+  // max_threads == 0 means "all participants"; a negative cap is
+  // nonsensical and degrades to serial (the conservative reading).
+  int participants = max_threads < 0 ? 1 : num_threads();
   if (max_threads > 0) participants = std::min(participants, max_threads);
   participants =
       static_cast<int>(std::min<int64_t>(participants, num_chunks));

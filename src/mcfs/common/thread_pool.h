@@ -54,7 +54,11 @@ class ThreadPool {
   // Runs fn(i) exactly once for every i in [begin, end), splitting the
   // range into chunks of `grain` indices and executing chunks on up to
   // min(num_threads(), max_threads) participants (max_threads == 0 means
-  // "all"). Blocks until every index is done. Exceptions thrown by fn
+  // "all"; a negative cap degrades to serial). Degenerate inputs are
+  // safe: begin >= end is a no-op, and the grain is clamped into
+  // [1, end - begin] so oversized or non-positive grains cannot
+  // overflow the chunk math. Blocks until every index is done.
+  // Exceptions thrown by fn
   // are captured and the first one is rethrown on the calling thread
   // after the loop quiesces. Runs inline (serially, in index order) when
   // the effective participant count is 1, the range fits in one chunk,

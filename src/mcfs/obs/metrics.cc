@@ -1,5 +1,6 @@
 #include "mcfs/obs/metrics.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -167,19 +168,12 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
-namespace {
-
-// Finite JSON number (JSON has no Infinity/NaN literals).
 std::string JsonNumber(double value) {
-  if (value != value) return "null";
-  if (value == std::numeric_limits<double>::infinity()) return "null";
-  if (value == -std::numeric_limits<double>::infinity()) return "null";
+  if (!std::isfinite(value)) return "null";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
 }
-
-}  // namespace
 
 std::string MetricsJson(const MetricsSnapshot& snapshot) {
   std::string json = "{\"counters\": {";

@@ -154,6 +154,13 @@ std::string MetricsJson(const MetricsSnapshot& snapshot);
 // JSON string escaping shared by the metrics/trace/report writers.
 std::string JsonEscape(const std::string& text);
 
+// Renders a double as a JSON number, with non-finite values (inf/NaN —
+// which JSON has no literals for) serialized as null. Every writer that
+// streams a double into JSON (run reports, metrics, service reports)
+// must go through this so an infeasible/deadline-truncated objective
+// can never produce an invalid document.
+std::string JsonNumber(double value);
+
 }  // namespace obs
 }  // namespace mcfs
 

@@ -1,0 +1,74 @@
+#include "mcfs/serve/service_report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  summary.count = static_cast<int64_t>(n);
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  summary.mean = sum / static_cast<double>(n);
+  // Nearest-rank on the sorted samples; with one sample every quantile
+  // is that sample.
+  summary.p50 = samples[(n - 1) / 2];
+  summary.p99 = samples[(n - 1) * 99 / 100];
+  summary.max = samples.back();
+  return summary;
+}
+
+std::string ServiceReport::Json() const {
+  using obs::JsonNumber;
+  const double per_request_preprocess =
+      requests_completed == 0
+          ? 0.0
+          : preprocess_seconds_total / static_cast<double>(requests_completed);
+  // One warm-state build does the same component scan a cold
+  // ValidateInstance pays per solve, so build_seconds / builds is the
+  // per-request preprocessing cost the service amortizes away.
+  const double cold_estimate =
+      epochs_built == 0 ? 0.0
+                        : warm_build_seconds / static_cast<double>(epochs_built);
+  std::ostringstream out;
+  out << "{\"service\": {\"epoch\": " << epoch
+      << ", \"epochs_built\": " << epochs_built
+      << ", \"warm_build_seconds\": " << JsonNumber(warm_build_seconds) << "}"
+      << ", \"requests\": {\"admitted\": " << requests_admitted
+      << ", \"rejected\": " << requests_rejected
+      << ", \"completed\": " << requests_completed
+      << ", \"failed\": " << requests_failed
+      << ", \"cache_hits\": " << cache_hits
+      << ", \"deadline_terminations\": " << deadline_terminations << "}"
+      << ", \"batches\": {\"count\": " << batches
+      << ", \"max_size\": " << max_batch_size << "}"
+      << ", \"latency_seconds\": {\"count\": " << latency.count
+      << ", \"mean\": " << JsonNumber(latency.mean)
+      << ", \"p50\": " << JsonNumber(latency.p50)
+      << ", \"p99\": " << JsonNumber(latency.p99)
+      << ", \"max\": " << JsonNumber(latency.max) << "}"
+      << ", \"phase_seconds\": {\"queue\": " << JsonNumber(queue_seconds_total)
+      << ", \"preprocess\": " << JsonNumber(preprocess_seconds_total)
+      << ", \"solve\": " << JsonNumber(solve_seconds_total) << "}"
+      << ", \"amortization\": {\"cold_preprocess_seconds_per_request\": "
+      << JsonNumber(cold_estimate)
+      << ", \"warm_preprocess_seconds_per_request\": "
+      << JsonNumber(per_request_preprocess) << "}}";
+  return out.str();
+}
+
+bool ServiceReport::WriteJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << Json() << "\n";
+  return file.good();
+}
+
+}  // namespace mcfs

@@ -1,0 +1,56 @@
+#ifndef MCFS_SERVE_SERVICE_REPORT_H_
+#define MCFS_SERVE_SERVICE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfs {
+
+// End-to-end request latency summary (seconds, admission to completion).
+struct LatencySummary {
+  int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Aggregated SolverService statistics: request counts, batch shape,
+// phase times, and the inputs of the cold-vs-warm amortization story
+// (what one warm-state build cost vs. what requests pay per solve).
+// Produced by SolverService::Report(); serialized by Json() with
+// non-finite doubles rendered as null (obs::JsonNumber).
+struct ServiceReport {
+  uint64_t epoch = 0;         // current warm-state epoch
+  int64_t epochs_built = 0;   // warm-state builds (initial + updates)
+  double warm_build_seconds = 0.0;  // total across all builds
+
+  int64_t requests_admitted = 0;
+  int64_t requests_rejected = 0;  // queue full / shut down
+  int64_t requests_completed = 0;
+  int64_t requests_failed = 0;  // completed with a non-OK status
+  int64_t cache_hits = 0;
+  int64_t deadline_terminations = 0;
+
+  int64_t batches = 0;
+  int max_batch_size = 0;
+
+  // Totals across completed requests, by phase.
+  double queue_seconds_total = 0.0;
+  double preprocess_seconds_total = 0.0;
+  double solve_seconds_total = 0.0;
+
+  LatencySummary latency;
+
+  std::string Json() const;
+  bool WriteJson(const std::string& path) const;
+};
+
+// Fills `latency` from raw per-request samples (sorts a copy; empty
+// input yields an all-zero summary).
+LatencySummary SummarizeLatencies(std::vector<double> samples);
+
+}  // namespace mcfs
+
+#endif  // MCFS_SERVE_SERVICE_REPORT_H_

@@ -1,0 +1,483 @@
+#include "mcfs/serve/solver_service.h"
+
+#include <algorithm>
+#include <functional>
+#include <tuple>
+#include <utility>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/thread_pool.h"
+#include "mcfs/common/timer.h"
+#include "mcfs/core/validate.h"
+#include "mcfs/core/verifier.h"
+#include "mcfs/obs/metrics.h"
+#include "mcfs/obs/trace.h"
+
+namespace mcfs {
+
+namespace {
+
+double NowSeconds() { return static_cast<double>(obs::TraceNowUs()) * 1e-6; }
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// ResponseHandle
+
+const SolveResponse& ResponseHandle::Wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return response_;
+}
+
+bool ResponseHandle::Done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void ResponseHandle::Complete(SolveResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MCFS_CHECK(!done_) << "response completed twice";
+    response_ = std::move(response);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// SolverService
+
+bool SolverService::CacheKey::operator<(const CacheKey& other) const {
+  return std::tie(k, customers, facility_subset) <
+         std::tie(other.k, other.customers, other.facility_subset);
+}
+
+SolverService::SolverService(const Graph* graph,
+                             std::vector<NodeId> facility_nodes,
+                             std::vector<int> capacities,
+                             const ServiceOptions& options)
+    : graph_(graph), options_(options) {
+  MCFS_CHECK(graph_ != nullptr) << "SolverService needs a graph";
+  MCFS_CHECK_EQ(facility_nodes.size(), capacities.size());
+  PublishWarmState(
+      BuildWarmState(1, std::move(facility_nodes), std::move(capacities)));
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+SolverService::~SolverService() { Shutdown(); }
+
+std::shared_ptr<const SolverService::WarmState> SolverService::BuildWarmState(
+    uint64_t epoch, std::vector<NodeId> facility_nodes,
+    std::vector<int> capacities) const {
+  MCFS_SPAN("serve/warm_build");
+  WallTimer timer;
+  auto state = std::make_shared<WarmState>();
+  state->epoch = epoch;
+  state->facility_nodes = std::move(facility_nodes);
+  state->capacities = std::move(capacities);
+  // The catalog is service configuration, validated once here (requests
+  // get graceful Status errors; a broken catalog is a deployment bug).
+  MCFS_CHECK_EQ(state->facility_nodes.size(), state->capacities.size());
+  const int num_nodes = graph_->NumNodes();
+  state->facility_index_of_node.assign(num_nodes, -1);
+  for (size_t j = 0; j < state->facility_nodes.size(); ++j) {
+    const NodeId node = state->facility_nodes[j];
+    MCFS_CHECK(node >= 0 && node < num_nodes)
+        << "catalog facility " << j << " at node " << node << " out of range";
+    MCFS_CHECK(state->facility_index_of_node[node] < 0)
+        << "catalog facility node " << node << " appears twice";
+    state->facility_index_of_node[node] = static_cast<int>(j);
+    MCFS_CHECK_GE(state->capacities[j], 0)
+        << "catalog facility " << j << " has negative capacity";
+  }
+  // The O(V + E) component scan every cold ValidateInstance pays, done
+  // once per epoch, plus the per-component descending capacity lists
+  // the Theorem-3 accounting consumes.
+  state->components = ConnectedComponents(*graph_);
+  state->component_caps_sorted.assign(state->components.num_components, {});
+  for (size_t j = 0; j < state->facility_nodes.size(); ++j) {
+    const int g = state->components.component_of[state->facility_nodes[j]];
+    state->component_caps_sorted[g].push_back(state->capacities[j]);
+  }
+  for (std::vector<int>& caps : state->component_caps_sorted) {
+    std::sort(caps.begin(), caps.end(), std::greater<int>());
+  }
+  state->build_seconds = timer.Seconds();
+  MCFS_COUNT("serve/epoch_rebuilds", 1);
+  MCFS_OBSERVE("serve/warm_build_seconds", state->build_seconds);
+  return state;
+}
+
+void SolverService::PublishWarmState(std::shared_ptr<const WarmState> state) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_epoch_ != state->epoch) {
+      cache_.clear();
+      cache_order_.clear();
+      cache_epoch_ = state->epoch;
+    }
+  }
+  const double build_seconds = state->build_seconds;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    warm_state_ = std::move(state);
+  }
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  stats_.epochs_built++;
+  stats_.warm_build_seconds += build_seconds;
+}
+
+std::shared_ptr<const SolverService::WarmState>
+SolverService::SnapshotWarmState() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return warm_state_;
+}
+
+void SolverService::UpdateCapacities(std::vector<int> capacities) {
+  // Serialized read-build-publish: two concurrent updates must not read
+  // the same epoch and publish twins.
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  std::vector<NodeId> nodes;
+  uint64_t next_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    nodes = warm_state_->facility_nodes;
+    next_epoch = warm_state_->epoch + 1;
+  }
+  PublishWarmState(
+      BuildWarmState(next_epoch, std::move(nodes), std::move(capacities)));
+}
+
+void SolverService::UpdateCandidates(std::vector<NodeId> facility_nodes,
+                                     std::vector<int> capacities) {
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  uint64_t next_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    next_epoch = warm_state_->epoch + 1;
+  }
+  PublishWarmState(BuildWarmState(next_epoch, std::move(facility_nodes),
+                                  std::move(capacities)));
+}
+
+uint64_t SolverService::epoch() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return warm_state_->epoch;
+}
+
+std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
+  auto handle = std::make_shared<ResponseHandle>();
+  const char* rejection = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_) {
+      rejection = "service is shut down";
+    } else if (static_cast<int>(queue_.size()) >= options_.queue_depth) {
+      rejection = "admission queue full";
+    } else {
+      queue_.push_back({std::move(request), handle, NowSeconds()});
+    }
+  }
+  if (rejection != nullptr) {
+    MCFS_COUNT("serve/requests_rejected", 1);
+    {
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      stats_.requests_rejected++;
+    }
+    SolveResponse response;
+    response.status = UnavailableError(
+        std::string(rejection) + " (queue_depth = " +
+        std::to_string(options_.queue_depth) + ")");
+    handle->Complete(std::move(response));
+    return handle;
+  }
+  MCFS_COUNT("serve/requests_admitted", 1);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.requests_admitted++;
+  }
+  queue_cv_.notify_one();
+  return handle;
+}
+
+SolveResponse SolverService::SolveSync(SolveRequest request) {
+  return Submit(std::move(request))->Wait();
+}
+
+void SolverService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void SolverService::DispatcherLoop() {
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain-on-shutdown: exit only once the queue is empty, so every
+      // admitted request still gets a response.
+      if (queue_.empty()) return;
+      const int take = std::min<int>(options_.max_batch < 1
+                                         ? 1
+                                         : options_.max_batch,
+                                     static_cast<int>(queue_.size()));
+      batch.reserve(take);
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    MCFS_SPAN("serve/batch");
+    MCFS_COUNT("serve/batches", 1);
+    const int n = static_cast<int>(batch.size());
+    MCFS_OBSERVE("serve/batch_size", static_cast<double>(n));
+    {
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      stats_.batches++;
+      stats_.max_batch_size = std::max(stats_.max_batch_size, n);
+    }
+    if (n == 1) {
+      Execute(batch[0]);
+    } else {
+      // One batch = one ParallelFor on the shared pool: requests in the
+      // batch run concurrently up to serve_threads, and the solvers'
+      // nested parallel sections degrade to inline serial inside the
+      // region — which is exactly what keeps responses bit-identical to
+      // direct SolveWma calls (the determinism contract).
+      ParallelFor(
+          0, n, 1, [&](int64_t i) { Execute(batch[i]); },
+          options_.serve_threads);
+    }
+  }
+}
+
+bool SolverService::WarmValidate(const WarmState& warm,
+                                 const McfsInstance& instance,
+                                 const std::vector<int>& subset) const {
+  // Mirror of DiagnoseInstance's verdict against the cached epoch
+  // preprocessing, request-sized work only: O(m + |subset| log + C)
+  // instead of the cold O(V + E) component scan. Kept in lockstep with
+  // core/validate.cc — any defect found here is re-derived on the cold
+  // path so the Status message stays byte-identical.
+  if (instance.k < 0) return false;
+  const int num_nodes = graph_->NumNodes();
+  for (const NodeId c : instance.customers) {
+    if (c < 0 || c >= num_nodes) return false;
+  }
+  // Catalog nodes are distinct and in range by construction; a subset
+  // only introduces defects by repeating an index (duplicate node).
+  if (!subset.empty()) {
+    std::vector<int> seen;
+    seen.reserve(subset.size());
+    for (const int idx : subset) {
+      if (std::find(seen.begin(), seen.end(), idx) != seen.end()) return false;
+      seen.push_back(idx);
+    }
+  }
+  // Theorem-3 accounting per component holding customers.
+  const ComponentLabeling& components = warm.components;
+  std::vector<int64_t> customers_in(components.num_components, 0);
+  for (const NodeId c : instance.customers) {
+    customers_in[components.component_of[c]]++;
+  }
+  std::vector<std::vector<int>> subset_caps;
+  if (!subset.empty()) {
+    subset_caps.assign(components.num_components, {});
+    for (const int idx : subset) {
+      const int g = components.component_of[warm.facility_nodes[idx]];
+      subset_caps[g].push_back(warm.capacities[idx]);
+    }
+    for (std::vector<int>& caps : subset_caps) {
+      std::sort(caps.begin(), caps.end(), std::greater<int>());
+    }
+  }
+  int64_t required_facilities = 0;
+  for (int g = 0; g < components.num_components; ++g) {
+    if (customers_in[g] == 0) continue;
+    const std::vector<int>& caps =
+        subset.empty() ? warm.component_caps_sorted[g] : subset_caps[g];
+    int64_t remaining = customers_in[g];
+    for (const int c : caps) {
+      if (remaining <= 0) break;
+      remaining -= c;
+      ++required_facilities;
+    }
+    if (remaining > 0) return false;
+  }
+  return required_facilities <= instance.k;
+}
+
+void SolverService::Execute(PendingRequest& pending) {
+  MCFS_SPAN("serve/request");
+  const SolveRequest& request = pending.request;
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+
+  SolveResponse response;
+  response.epoch = warm->epoch;
+  response.queue_seconds = NowSeconds() - pending.admitted_at;
+
+  const int64_t deadline_ms = request.deadline_ms > 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+  const bool cacheable = options_.cache_capacity > 0 && deadline_ms == 0 &&
+                         request.cancel == nullptr;
+
+  // Materialize the instance view this request describes. The response
+  // must be bit-identical to SolveWma on exactly this instance.
+  McfsInstance instance;
+  instance.graph = graph_;
+  instance.customers = request.customers;
+  instance.k = request.k;
+  bool subset_in_range = true;
+  const int catalog_size = static_cast<int>(warm->facility_nodes.size());
+  if (request.facility_subset.empty()) {
+    instance.facility_nodes = warm->facility_nodes;
+    instance.capacities = warm->capacities;
+  } else {
+    instance.facility_nodes.reserve(request.facility_subset.size());
+    instance.capacities.reserve(request.facility_subset.size());
+    for (const int idx : request.facility_subset) {
+      if (idx < 0 || idx >= catalog_size) {
+        subset_in_range = false;
+        break;
+      }
+      instance.facility_nodes.push_back(warm->facility_nodes[idx]);
+      instance.capacities.push_back(warm->capacities[idx]);
+    }
+  }
+  if (!subset_in_range) {
+    // A service-level defect: the subset indexes the catalog, a concept
+    // SolveWma never sees, so this error is the service's own.
+    response.status = InvalidInputError(
+        "facility subset index out of range [0, " +
+        std::to_string(catalog_size) + ")");
+    FinishRequest(pending, std::move(response));
+    return;
+  }
+
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_epoch_ == warm->epoch) {
+      const auto it = cache_.find(
+          CacheKey{request.customers, request.k, request.facility_subset});
+      if (it != cache_.end()) {
+        const CacheEntry& entry = it->second;
+        response.solution = entry.solution;
+        response.stats = entry.stats;
+        response.verify_ran = entry.verify_ran;
+        response.verify_ok = entry.verify_ok;
+        response.cache_hit = true;
+        MCFS_COUNT("serve/cache_hits", 1);
+        FinishRequest(pending, std::move(response));
+        return;
+      }
+    }
+  }
+
+  WallTimer preprocess_timer;
+  if (!WarmValidate(*warm, instance, request.facility_subset)) {
+    // The warm verdict says SolveWma would reject; re-derive the
+    // canonical diagnosis on the cold path so the message matches the
+    // direct call byte for byte.
+    response.status = ValidateInstance(instance);
+    MCFS_CHECK(!response.status.ok())
+        << "warm validation rejected an instance the cold path accepts";
+    response.preprocess_seconds = preprocess_timer.Seconds();
+    FinishRequest(pending, std::move(response));
+    return;
+  }
+  response.preprocess_seconds = preprocess_timer.Seconds();
+
+  if (instance.m() == 0) {
+    // SolveWma's trivial shortcut, replicated exactly.
+    response.solution.feasible = true;
+    FinishRequest(pending, std::move(response));
+    return;
+  }
+
+  WmaOptions wma = options_.wma;
+  wma.deadline_ms = deadline_ms;
+  wma.deadline = Deadline::Infinite();
+  wma.cancel = request.cancel;
+  WallTimer solve_timer;
+  WmaResult result = RunWma(instance, wma);
+  response.solve_seconds = solve_timer.Seconds();
+  response.solution = std::move(result.solution);
+  response.stats = std::move(result.stats);
+
+  if (response.solution.termination == Termination::kDeadline) {
+    MCFS_COUNT("serve/deadline_terminations", 1);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.deadline_terminations++;
+  }
+
+  if (options_.verify) {
+    const VerifyReport verdict = VerifySolution(instance, response.solution);
+    response.verify_ran = true;
+    response.verify_ok = verdict.ok;
+  }
+
+  if (cacheable && response.solution.termination == Termination::kConverged) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_epoch_ == warm->epoch) {
+      CacheKey key{request.customers, request.k, request.facility_subset};
+      const auto inserted = cache_.emplace(
+          key, CacheEntry{response.solution, response.stats,
+                          response.verify_ran, response.verify_ok});
+      if (inserted.second) {
+        cache_order_.push_back(std::move(key));
+        while (static_cast<int>(cache_.size()) > options_.cache_capacity) {
+          cache_.erase(cache_order_.front());
+          cache_order_.pop_front();
+        }
+      }
+    }
+  }
+
+  FinishRequest(pending, std::move(response));
+}
+
+void SolverService::FinishRequest(PendingRequest& pending,
+                                  SolveResponse response) {
+  const double latency = NowSeconds() - pending.admitted_at;
+  MCFS_OBSERVE("serve/queue_seconds", response.queue_seconds);
+  MCFS_OBSERVE("serve/solve_seconds", response.solve_seconds);
+  MCFS_OBSERVE("serve/latency_seconds", latency);
+  if (response.status.ok()) {
+    MCFS_COUNT("serve/requests_completed", 1);
+  } else {
+    MCFS_COUNT("serve/requests_failed", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.requests_completed++;
+    if (!response.status.ok()) stats_.requests_failed++;
+    stats_.queue_seconds_total += response.queue_seconds;
+    stats_.preprocess_seconds_total += response.preprocess_seconds;
+    stats_.solve_seconds_total += response.solve_seconds;
+    if (response.cache_hit) stats_.cache_hits++;
+    latency_samples_.push_back(latency);
+  }
+  pending.handle->Complete(std::move(response));
+}
+
+ServiceReport SolverService::Report() const {
+  ServiceReport report;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report = stats_;
+    samples = latency_samples_;
+  }
+  report.epoch = epoch();
+  report.latency = SummarizeLatencies(std::move(samples));
+  return report;
+}
+
+}  // namespace mcfs

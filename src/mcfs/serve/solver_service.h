@@ -1,0 +1,236 @@
+#ifndef MCFS_SERVE_SOLVER_SERVICE_H_
+#define MCFS_SERVE_SOLVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcfs/common/deadline.h"
+#include "mcfs/common/status.h"
+#include "mcfs/core/instance.h"
+#include "mcfs/core/wma.h"
+#include "mcfs/graph/graph.h"
+#include "mcfs/serve/service_report.h"
+
+namespace mcfs {
+
+// Long-lived warm-state solver service (DESIGN.md §4.9). Loads one road
+// network and one candidate-facility catalog, builds the shared
+// read-only preprocessing a single time (connected components with
+// per-component capacity accounting, the node -> candidate map), and
+// then admits many solve requests — each with its own customers, k,
+// optional candidate subset, and per-request deadline/cancellation —
+// through a bounded admission queue. A dispatcher thread drains the
+// queue in batches and executes each batch as one ParallelFor on the
+// shared ThreadPool, so concurrent requests respect one process-wide
+// concurrency limit instead of stacking private pools.
+//
+// Contract: a response is bit-identical to calling SolveWma directly on
+// the instance the request describes (same graph, catalog slice,
+// customers, k, options) — warm state only moves *where* preprocessing
+// happens, never what is computed. Per-request deadlines degrade that
+// request alone to an anytime solution; other requests in the same
+// batch are unaffected.
+//
+// Catalog updates (capacities / candidate set — the core/dynamic
+// scenario) bump an epoch and atomically publish a freshly built warm
+// state; in-flight requests keep the snapshot they admitted under, so a
+// request always sees a fully pre- or fully post-update catalog, never
+// a torn mix. The epoch also stamps (and on change invalidates) the
+// solve cache that short-circuits repeated identical requests.
+
+struct ServiceOptions {
+  // Participants for each batch's ParallelFor (0 = MCFS_THREADS /
+  // hardware default, 1 = serial). Responses are bit-identical for
+  // every value (determinism contract of the pool).
+  int serve_threads = 0;
+  // Bounded admission queue: Submit rejects with kUnavailable once this
+  // many requests are waiting (load shedding, never silent loss).
+  int queue_depth = 64;
+  // Requests drained per dispatcher wake-up into one batch.
+  int max_batch = 8;
+  // Deadline applied to requests that carry none (0 = unlimited).
+  int64_t default_deadline_ms = 0;
+  // Run the independent verifier on every OK response (outside the
+  // solve timing; verdict lands in SolveResponse::verify_ok).
+  bool verify = false;
+  // Completed deadline-free responses cached per epoch, keyed by the
+  // full request (customers, k, subset). 0 disables the cache.
+  int cache_capacity = 128;
+  // Base solver options applied to every request (seed, tie-break,
+  // threads for the nested prefetch, metrics...). Deadline/cancel
+  // fields are overridden per request.
+  WmaOptions wma;
+};
+
+struct SolveRequest {
+  std::vector<NodeId> customers;
+  int k = 0;
+  // Indices into the service catalog; empty = the whole catalog.
+  std::vector<int> facility_subset;
+  // Per-request wall-clock budget in ms (0 = the service default).
+  int64_t deadline_ms = 0;
+  // Optional external cancellation, polled at the solver checkpoints.
+  const CancelToken* cancel = nullptr;
+};
+
+struct SolveResponse {
+  // kOk, or kInvalidInput / kInfeasible / kUnavailable. The message is
+  // byte-identical to what SolveWma returns for the same instance.
+  Status status;
+  McfsSolution solution;
+  WmaStats stats;
+  // Warm-state epoch this request was served under.
+  uint64_t epoch = 0;
+  // True when the response came from the epoch's solve cache.
+  bool cache_hit = false;
+  bool verify_ran = false;
+  bool verify_ok = false;
+  double queue_seconds = 0.0;       // admission -> execution start
+  double preprocess_seconds = 0.0;  // warm validation + instance view
+  double solve_seconds = 0.0;       // SolveWma proper
+};
+
+// Completion handle for one submitted request. Wait() blocks until the
+// dispatcher has filled the response; handles are single-use and safe
+// to wait on from any thread.
+class ResponseHandle {
+ public:
+  const SolveResponse& Wait() const;
+  bool Done() const;
+
+ private:
+  friend class SolverService;
+  void Complete(SolveResponse response);
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  SolveResponse response_;
+};
+
+class SolverService {
+ public:
+  // The graph must outlive the service. `facility_nodes` / `capacities`
+  // form the candidate catalog (distinct in-range nodes, caps >= 0 —
+  // checked). Builds the epoch-0 warm state and starts the dispatcher.
+  SolverService(const Graph* graph, std::vector<NodeId> facility_nodes,
+                std::vector<int> capacities,
+                const ServiceOptions& options = {});
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  // Enqueues a request. Returns immediately; when the admission queue
+  // is full the returned handle is already completed with kUnavailable.
+  std::shared_ptr<ResponseHandle> Submit(SolveRequest request);
+
+  // Convenience: Submit + Wait.
+  SolveResponse SolveSync(SolveRequest request);
+
+  // Catalog updates (the core/dynamic scenario): bump the epoch,
+  // rebuild the warm state, invalidate the solve cache. In-flight
+  // requests finish under the snapshot they started with.
+  void UpdateCapacities(std::vector<int> capacities);
+  void UpdateCandidates(std::vector<NodeId> facility_nodes,
+                        std::vector<int> capacities);
+
+  uint64_t epoch() const;
+
+  // Stops admission, drains the queue, joins the dispatcher. Idempotent
+  // (also run by the destructor).
+  void Shutdown();
+
+  // Aggregated service statistics (counts, latency percentiles, phase
+  // seconds, amortization inputs). Safe to call concurrently.
+  ServiceReport Report() const;
+
+ private:
+  // Immutable per-epoch preprocessing shared by every request admitted
+  // under that epoch. Requests hold it by shared_ptr, so an epoch bump
+  // never tears state under an in-flight solve.
+  struct WarmState {
+    uint64_t epoch = 0;
+    std::vector<NodeId> facility_nodes;
+    std::vector<int> capacities;
+    // node -> catalog index (or -1); the map every matcher build scans
+    // the whole node array for, computed once here.
+    std::vector<int> facility_index_of_node;
+    ComponentLabeling components;
+    // Catalog capacities per component, sorted descending — the
+    // Theorem-3 accounting input, precomputed for full-catalog requests.
+    std::vector<std::vector<int>> component_caps_sorted;
+    double build_seconds = 0.0;
+  };
+
+  struct PendingRequest {
+    SolveRequest request;
+    std::shared_ptr<ResponseHandle> handle;
+    double admitted_at = 0.0;  // TraceNowUs-based, seconds
+  };
+
+  // Cache key: the full request identity (no hashing collisions).
+  struct CacheKey {
+    std::vector<NodeId> customers;
+    int k;
+    std::vector<int> facility_subset;
+    bool operator<(const CacheKey& other) const;
+  };
+  struct CacheEntry {
+    McfsSolution solution;
+    WmaStats stats;
+    bool verify_ran = false;
+    bool verify_ok = false;
+  };
+
+  std::shared_ptr<const WarmState> BuildWarmState(
+      uint64_t epoch, std::vector<NodeId> facility_nodes,
+      std::vector<int> capacities) const;
+  void PublishWarmState(std::shared_ptr<const WarmState> state);
+  std::shared_ptr<const WarmState> SnapshotWarmState() const;
+
+  void DispatcherLoop();
+  void Execute(PendingRequest& pending);
+  // Records the phase metrics / report row and completes the handle.
+  void FinishRequest(PendingRequest& pending, SolveResponse response);
+  // Warm-path replica of ValidateInstance's verdict (structural checks
+  // + Theorem-3 accounting against the cached components). Returns true
+  // when SolveWma would accept; on false the caller re-derives the
+  // canonical Status on the cold path.
+  bool WarmValidate(const WarmState& warm, const McfsInstance& instance,
+                    const std::vector<int>& subset) const;
+
+  const Graph* graph_;
+  ServiceOptions options_;
+
+  mutable std::mutex state_mutex_;  // guards the warm_state_ pointer
+  std::mutex update_mutex_;  // serializes whole catalog updates
+  std::shared_ptr<const WarmState> warm_state_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  bool stop_ = false;
+
+  std::mutex cache_mutex_;
+  uint64_t cache_epoch_ = 0;
+  std::map<CacheKey, CacheEntry> cache_;
+  std::deque<CacheKey> cache_order_;  // insertion order for eviction
+
+  mutable std::mutex report_mutex_;
+  ServiceReport stats_;
+  std::vector<double> latency_samples_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace mcfs
+
+#endif  // MCFS_SERVE_SOLVER_SERVICE_H_

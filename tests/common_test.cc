@@ -72,6 +72,68 @@ TEST(FlagsTest, ParsesAllForms) {
   EXPECT_FALSE(flags.Has("missing"));
 }
 
+// Helper: a Flags object over one --name=value pair.
+Flags OneFlag(const std::string& arg) {
+  std::string owned = arg;
+  char* argv[] = {const_cast<char*>("prog"), owned.data()};
+  return Flags(2, argv);
+}
+
+TEST(FlagsTest, StrictNumericParsingAcceptsFullTokens) {
+  EXPECT_DOUBLE_EQ(
+      *OneFlag("--deadline-ms=12.5").TryGetDouble("deadline_ms", 0.0), 12.5);
+  EXPECT_DOUBLE_EQ(*OneFlag("--x=-3e2").TryGetDouble("x", 0.0), -300.0);
+  EXPECT_EQ(*OneFlag("--seed=-17").TryGetInt("seed", 0), -17);
+  EXPECT_EQ(*OneFlag("--seed=003").TryGetInt("seed", 0), 3);
+  // Absent flags fall back to the default without error.
+  EXPECT_DOUBLE_EQ(*OneFlag("--x=1").TryGetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(*OneFlag("--x=1").TryGetInt("missing", 9), 9);
+}
+
+TEST(FlagsTest, MalformedNumericValueIsTypedErrorNamingTheFlag) {
+  // The original bug: --deadline-ms=abc silently parsed to 0 because
+  // strtod's end pointer was ignored. It must now be a typed error
+  // whose message names the flag and the offending value.
+  const StatusOr<int64_t> garbage =
+      OneFlag("--deadline-ms=abc").TryGetInt("deadline_ms", 0);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(garbage.status().message().find("--deadline_ms=abc"),
+            std::string::npos)
+      << garbage.status().ToString();
+
+  for (const char* arg : {"--x=12x", "--x=1.5.2", "--x=", "--x= 7",
+                          "--x=7 ", "--x=nanx"}) {
+    const StatusOr<double> parsed = OneFlag(arg).TryGetDouble("x", 0.0);
+    EXPECT_FALSE(parsed.ok()) << arg;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidInput) << arg;
+      EXPECT_NE(parsed.status().message().find("--x"), std::string::npos)
+          << arg;
+    }
+  }
+  // Trailing garbage and a fractional value are both invalid integers.
+  EXPECT_FALSE(OneFlag("--x=12.5").TryGetInt("x", 0).ok());
+  EXPECT_FALSE(OneFlag("--x=12x").TryGetInt("x", 0).ok());
+}
+
+TEST(FlagsTest, OutOfRangeNumbersAreRejected) {
+  const StatusOr<double> huge =
+      OneFlag("--x=1e999").TryGetDouble("x", 0.0);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("out of range"),
+            std::string::npos);
+  EXPECT_FALSE(OneFlag("--x=-1e999").TryGetDouble("x", 0.0).ok());
+  const StatusOr<int64_t> big =
+      OneFlag("--x=99999999999999999999").TryGetInt("x", 0);
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.status().message().find("out of range"),
+            std::string::npos);
+  // Denormals underflow quietly to the nearest representable value
+  // rather than erroring (matching strtod's contract).
+  EXPECT_TRUE(OneFlag("--x=1e-999").TryGetDouble("x", 0.0).ok());
+}
+
 TEST(TableTest, FormatsNumbersAndCsv) {
   EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FmtInt(50961), "50,961");

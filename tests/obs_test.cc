@@ -2,6 +2,7 @@
 // aggregation across threads, snapshot/reset semantics, macro gating,
 // span nesting, and the Chrome trace_event JSON export.
 
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -101,6 +102,26 @@ TEST_F(ObsTest, MetricsJsonIsWellFormed) {
   EXPECT_NE(json.find("\"obs_test/json_counter\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"distributions\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonNumberSerializesNonFiniteAsNull) {
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(-3e7), "-30000000");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST_F(ObsTest, MetricsJsonHandlesEmptyDistributionMinMax) {
+  // A registered-but-never-observed distribution snapshots with
+  // min = +inf and max = -inf; the JSON must render those as null.
+  MetricsRegistry::Get().GetDistribution("obs_test/empty_dist");
+  const std::string json = MetricsJson(SnapshotMetrics());
+  EXPECT_NE(json.find("\"obs_test/empty_dist\""), std::string::npos);
+  EXPECT_NE(json.find("\"min\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
 }
 
 TEST_F(ObsTest, SpanNestingDepthsAndContainment) {

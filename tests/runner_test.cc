@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "mcfs/bench/run_report.h"
 #include "mcfs/graph/generators.h"
 #include "mcfs/workload/workload.h"
 
@@ -69,6 +72,57 @@ TEST(RunnerTest, SuiteProducesOneOutcomePerEnabledAlgorithm) {
   EXPECT_FALSE(outcomes[4].metrics.counters.empty());
   EXPECT_GT(outcomes[4].metrics.counters.at("matcher/edges_materialized"),
             0);
+}
+
+TEST(RunnerTest, EmptySuiteAndDegenerateThreadCountsYieldNoOutcomes) {
+  SyntheticNetworkOptions options;
+  options.num_nodes = 200;
+  options.alpha = 2.0;
+  options.seed = 7;
+  const Graph graph = GenerateSyntheticNetwork(options);
+  Rng rng(8);
+  const McfsInstance instance = SmallGeoInstance(graph, rng);
+
+  AlgorithmSuite suite;
+  suite.with_wma = false;
+  suite.with_wma_naive = false;
+  suite.with_hilbert = false;
+  suite.with_exact = false;
+  // Degenerate thread counts must not crash the cell dispatch (the
+  // ParallelFor underneath treats a negative cap as serial).
+  for (const int threads : {-4, 0, 1}) {
+    for (const bool metrics : {false, true}) {
+      suite.threads = threads;
+      suite.metrics = metrics;
+      EXPECT_TRUE(RunSuite(instance, suite).empty())
+          << "threads " << threads << " metrics " << metrics;
+    }
+  }
+}
+
+TEST(RunnerTest, RunReportSerializesNonFiniteDoublesAsNull) {
+  // Regression for the JSON layer: an infeasible/timed-out cell can
+  // carry inf or NaN objectives and phase times; the report must emit
+  // null for them, never the invalid-JSON tokens "inf"/"nan".
+  RunReport report("nonfinite");
+  AlgoOutcome outcome;
+  outcome.algorithm = "WMA";
+  outcome.objective = std::numeric_limits<double>::infinity();
+  outcome.seconds = std::numeric_limits<double>::quiet_NaN();
+  outcome.has_wma_stats = true;
+  outcome.wma_stats.matching_seconds =
+      -std::numeric_limits<double>::infinity();
+  outcome.wma_stats.per_iteration.push_back(
+      {1, 5, std::numeric_limits<double>::quiet_NaN(), 0.5, 0, 0});
+  report.AddCell("cell", outcome);
+
+  const std::string json = report.Json();
+  EXPECT_NE(json.find("\"objective\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seconds\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"matching_seconds\": null"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
 }
 
 TEST(RunnerTest, FormatOutcomeVariants) {

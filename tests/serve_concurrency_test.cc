@@ -1,0 +1,147 @@
+// Concurrency contract of SolverService, written to run under TSan:
+// requests racing a catalog update must each see one whole epoch (the
+// pre- or the post-update catalog, never a torn mix), and concurrent
+// clients always receive responses bit-identical to direct SolveWma
+// calls on the instances their requests describe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mcfs/core/wma.h"
+#include "mcfs/serve/solver_service.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+bool SameSolution(const McfsSolution& a, const McfsSolution& b) {
+  return a.selected == b.selected && a.assignment == b.assignment &&
+         a.distances == b.distances && a.objective == b.objective &&
+         a.feasible == b.feasible && a.termination == b.termination;
+}
+
+TEST(ServeConcurrencyTest, RequestsRacingUpdatesSeeWholeEpochs) {
+  Rng rng(31);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(200, 60, 30, 12, 15, rng);
+  const std::vector<int> caps_a = ri.instance.capacities;
+  std::vector<int> caps_b = caps_a;
+  for (int& c : caps_b) c = (c + 1) / 2;
+  ASSERT_TRUE(IsFeasible(ri.instance));
+  McfsInstance with_b = ri.instance;
+  with_b.capacities = caps_b;
+  ASSERT_TRUE(IsFeasible(with_b));
+
+  // The two whole-epoch answers; a torn catalog (nodes of one epoch,
+  // capacities of another, or a half-written component cache) could
+  // match neither.
+  const StatusOr<WmaResult> direct_a = SolveWma(ri.instance);
+  const StatusOr<WmaResult> direct_b = SolveWma(with_b);
+  ASSERT_TRUE(direct_a.ok());
+  ASSERT_TRUE(direct_b.ok());
+
+  SolverService service(ri.instance.graph, ri.instance.facility_nodes,
+                        caps_a, {});
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 10;
+  std::vector<SolveResponse> responses(kClients * kRequestsPerClient);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        responses[t * kRequestsPerClient + r] = service.SolveSync(
+            {ri.instance.customers, ri.instance.k, {}, 0, nullptr});
+      }
+    });
+  }
+  // Race catalog updates against the in-flight requests. Epochs: 1 = A,
+  // then each update alternates B, A, B, ... so odd epochs carry A.
+  for (int u = 0; u < 6; ++u) {
+    service.UpdateCapacities(u % 2 == 0 ? caps_b : caps_a);
+    std::this_thread::yield();
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(service.epoch(), 7u);
+
+  for (const SolveResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const WmaResult& expected = response.epoch % 2 == 1 ? direct_a.value()
+                                                        : direct_b.value();
+    EXPECT_TRUE(SameSolution(response.solution, expected.solution))
+        << "epoch " << response.epoch;
+  }
+}
+
+TEST(ServeConcurrencyTest, ConcurrentClientsGetBitIdenticalResponses) {
+  Rng rng(32);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(200, 60, 30, 12, 15, rng);
+
+  // Distinct per-client requests (varying customer prefixes) with their
+  // direct-solve references computed up front.
+  constexpr int kClients = 8;
+  std::vector<SolveRequest> requests;
+  std::vector<WmaResult> expected;
+  for (int t = 0; t < kClients; ++t) {
+    SolveRequest request{ri.instance.customers, ri.instance.k, {}, 0,
+                         nullptr};
+    request.customers.resize(ri.instance.m() - 3 * t);
+    McfsInstance instance = ri.instance;
+    instance.customers = request.customers;
+    StatusOr<WmaResult> direct = SolveWma(instance);
+    ASSERT_TRUE(direct.ok());
+    requests.push_back(std::move(request));
+    expected.push_back(std::move(direct).value());
+  }
+
+  ServiceOptions options;
+  options.serve_threads = 4;
+  options.cache_capacity = 0;
+  SolverService service(ri.instance.graph, ri.instance.facility_nodes,
+                        ri.instance.capacities, options);
+
+  std::vector<SolveResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back(
+        [&, t] { responses[t] = service.SolveSync(requests[t]); });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int t = 0; t < kClients; ++t) {
+    ASSERT_TRUE(responses[t].status.ok()) << responses[t].status.ToString();
+    EXPECT_TRUE(SameSolution(responses[t].solution, expected[t].solution))
+        << "client " << t;
+  }
+  const ServiceReport report = service.Report();
+  EXPECT_EQ(report.requests_admitted, kClients);
+  EXPECT_EQ(report.requests_completed, kClients);
+  EXPECT_EQ(report.requests_failed, 0);
+}
+
+TEST(ServeConcurrencyTest, HandleCanBeAwaitedFromSeveralThreads) {
+  Rng rng(33);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(150, 40, 20, 8, 12, rng);
+  SolverService service(ri.instance.graph, ri.instance.facility_nodes,
+                        ri.instance.capacities, {});
+  auto handle =
+      service.Submit({ri.instance.customers, ri.instance.k, {}, 0, nullptr});
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 4; ++t) {
+    waiters.emplace_back([&] {
+      if (handle->Wait().status.ok()) ok_count.fetch_add(1);
+    });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(ok_count.load(), 4);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -1,0 +1,327 @@
+// SolverService functional contract: responses are bit-identical to
+// direct SolveWma calls on the same instance (results, statuses, and
+// error messages) for every serve_threads value; admission control
+// rejects loudly; the epoch cache serves repeats and is invalidated by
+// catalog updates; per-request deadlines degrade only their own
+// request; the service report and its JSON have the documented shape.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcfs/core/verifier.h"
+#include "mcfs/core/wma.h"
+#include "mcfs/serve/solver_service.h"
+#include "tests/test_util.h"
+
+namespace mcfs {
+namespace {
+
+struct ServeFixture {
+  testing_util::RandomInstance ri;
+
+  explicit ServeFixture(uint64_t seed) {
+    Rng rng(seed);
+    ri = testing_util::MakeRandomInstance(200, 60, 30, 12, 15, rng);
+    // The assignment moved the graph into this fixture; re-point the
+    // instance at the moved-to object.
+    ri.instance.graph = &ri.graph;
+  }
+
+  const McfsInstance& catalog() const { return ri.instance; }
+
+  // The instance a request describes, built the way the service builds
+  // it — the direct-solve reference for bit-identity checks.
+  McfsInstance RequestInstance(const SolveRequest& request) const {
+    McfsInstance instance;
+    instance.graph = catalog().graph;
+    instance.customers = request.customers;
+    instance.k = request.k;
+    if (request.facility_subset.empty()) {
+      instance.facility_nodes = catalog().facility_nodes;
+      instance.capacities = catalog().capacities;
+    } else {
+      for (const int idx : request.facility_subset) {
+        instance.facility_nodes.push_back(catalog().facility_nodes[idx]);
+        instance.capacities.push_back(catalog().capacities[idx]);
+      }
+    }
+    return instance;
+  }
+
+  std::unique_ptr<SolverService> MakeService(
+      const ServiceOptions& options = {}) const {
+    return std::make_unique<SolverService>(
+        catalog().graph, catalog().facility_nodes, catalog().capacities,
+        options);
+  }
+};
+
+bool SameSolution(const McfsSolution& a, const McfsSolution& b) {
+  return a.selected == b.selected && a.assignment == b.assignment &&
+         a.distances == b.distances && a.objective == b.objective &&
+         a.feasible == b.feasible && a.termination == b.termination;
+}
+
+std::vector<SolveRequest> MixedRequests(const ServeFixture& fx) {
+  const std::vector<NodeId>& all = fx.catalog().customers;
+  std::vector<SolveRequest> requests;
+  // Full catalog, full customer set.
+  requests.push_back({all, fx.catalog().k, {}, 0, nullptr});
+  // Fewer customers, tighter budget.
+  requests.push_back(
+      {{all.begin(), all.begin() + 20}, 6, {}, 0, nullptr});
+  // A catalog subset (every other candidate), enough budget.
+  std::vector<int> subset;
+  for (int j = 0; j < fx.catalog().l(); j += 2) subset.push_back(j);
+  requests.push_back({all, fx.catalog().k, subset, 0, nullptr});
+  // Empty customer list (the trivial shortcut).
+  requests.push_back({{}, 3, {}, 0, nullptr});
+  return requests;
+}
+
+TEST(ServeTest, ResponsesBitIdenticalToDirectSolveAcrossServeThreads) {
+  ServeFixture fx(11);
+  const std::vector<SolveRequest> requests = MixedRequests(fx);
+
+  for (const int serve_threads : {1, 2, 8}) {
+    ServiceOptions options;
+    options.serve_threads = serve_threads;
+    options.cache_capacity = 0;  // every request must really solve
+    auto service = fx.MakeService(options);
+
+    std::vector<std::shared_ptr<ResponseHandle>> handles;
+    for (const SolveRequest& request : requests) {
+      handles.push_back(service->Submit(request));
+    }
+    for (size_t r = 0; r < requests.size(); ++r) {
+      const SolveResponse& response = handles[r]->Wait();
+      const StatusOr<WmaResult> direct =
+          SolveWma(fx.RequestInstance(requests[r]));
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      ASSERT_TRUE(direct.ok());
+      EXPECT_TRUE(SameSolution(response.solution, direct.value().solution))
+          << "request " << r << " at serve_threads " << serve_threads;
+      EXPECT_EQ(response.stats.iterations, direct.value().stats.iterations);
+      EXPECT_EQ(response.stats.dijkstra_runs,
+                direct.value().stats.dijkstra_runs);
+      EXPECT_EQ(response.epoch, 1u);
+    }
+  }
+}
+
+TEST(ServeTest, ErrorStatusesMatchDirectSolveByteForByte) {
+  ServeFixture fx(12);
+  auto service = fx.MakeService();
+
+  std::vector<SolveRequest> bad;
+  // Customer node out of range.
+  bad.push_back({{5, 10'000}, 4, {}, 0, nullptr});
+  // Negative budget.
+  bad.push_back({{fx.catalog().customers[0]}, -1, {}, 0, nullptr});
+  // Duplicate subset index => duplicate facility node.
+  bad.push_back({fx.catalog().customers, fx.catalog().k, {0, 1, 0}, 0,
+                 nullptr});
+  // Infeasible: customers but a zero budget.
+  bad.push_back({fx.catalog().customers, 0, {}, 0, nullptr});
+  // Infeasible: one facility cannot hold 60 customers.
+  bad.push_back({fx.catalog().customers, 1, {0}, 0, nullptr});
+
+  for (size_t r = 0; r < bad.size(); ++r) {
+    const SolveResponse response = service->SolveSync(bad[r]);
+    const StatusOr<WmaResult> direct = SolveWma(fx.RequestInstance(bad[r]));
+    ASSERT_FALSE(direct.ok()) << "request " << r;
+    EXPECT_FALSE(response.status.ok()) << "request " << r;
+    EXPECT_EQ(response.status.code(), direct.status().code()) << r;
+    EXPECT_EQ(response.status.message(), direct.status().message()) << r;
+  }
+}
+
+TEST(ServeTest, SubsetIndexOutOfRangeIsServiceLevelInvalidInput) {
+  ServeFixture fx(13);
+  auto service = fx.MakeService();
+  const SolveResponse response =
+      service->SolveSync({fx.catalog().customers, 4, {0, 99}, 0, nullptr});
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidInput);
+  EXPECT_NE(response.status.message().find("facility subset index"),
+            std::string::npos);
+}
+
+TEST(ServeTest, ZeroDepthQueueRejectsWithUnavailable) {
+  ServeFixture fx(14);
+  ServiceOptions options;
+  options.queue_depth = 0;
+  auto service = fx.MakeService(options);
+  const SolveResponse response =
+      service->SolveSync({fx.catalog().customers, 4, {}, 0, nullptr});
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(response.status.message().find("admission queue full"),
+            std::string::npos);
+  EXPECT_EQ(service->Report().requests_rejected, 1);
+}
+
+TEST(ServeTest, SubmitAfterShutdownIsRejectedAndQueueDrains) {
+  ServeFixture fx(15);
+  auto service = fx.MakeService();
+  std::vector<std::shared_ptr<ResponseHandle>> handles;
+  for (int r = 0; r < 5; ++r) {
+    handles.push_back(
+        service->Submit({fx.catalog().customers, fx.catalog().k, {}, 0,
+                         nullptr}));
+  }
+  service->Shutdown();
+  // Drain-on-shutdown: every admitted request still completed.
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(handle->Done());
+    EXPECT_TRUE(handle->Wait().status.ok());
+  }
+  const SolveResponse late =
+      service->SolveSync({fx.catalog().customers, 4, {}, 0, nullptr});
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(late.status.message().find("shut down"), std::string::npos);
+}
+
+TEST(ServeTest, RepeatRequestHitsCacheWithIdenticalSolution) {
+  ServeFixture fx(16);
+  auto service = fx.MakeService();
+  const SolveRequest request{fx.catalog().customers, fx.catalog().k, {}, 0,
+                             nullptr};
+  const SolveResponse first = service->SolveSync(request);
+  const SolveResponse second = service->SolveSync(request);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(SameSolution(first.solution, second.solution));
+  EXPECT_EQ(service->Report().cache_hits, 1);
+}
+
+TEST(ServeTest, CatalogUpdateBumpsEpochInvalidatesCacheAndChangesAnswer) {
+  ServeFixture fx(17);
+  auto service = fx.MakeService();
+  const SolveRequest request{fx.catalog().customers, fx.catalog().k, {}, 0,
+                             nullptr};
+  const SolveResponse before = service->SolveSync(request);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.epoch, 1u);
+
+  // Halve every capacity (still feasible for these instances' slack).
+  std::vector<int> halved = fx.catalog().capacities;
+  for (int& c : halved) c = (c + 1) / 2;
+  service->UpdateCapacities(halved);
+  EXPECT_EQ(service->epoch(), 2u);
+
+  const SolveResponse after = service->SolveSync(request);
+  ASSERT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_FALSE(after.cache_hit);  // the update invalidated the cache
+
+  McfsInstance updated = fx.catalog();
+  updated.capacities = halved;
+  const StatusOr<WmaResult> direct = SolveWma(updated);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameSolution(after.solution, direct.value().solution));
+}
+
+TEST(ServeTest, PerRequestDeadlineDegradesOnlyThatRequest) {
+  // A larger instance so the solve takes long enough for a 1 ms budget
+  // to fire mid-run; the assertions below only rely on the anytime
+  // contract (feasible, verifier-clean), never on where the cut lands.
+  Rng rng(18);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(1200, 320, 60, 30, 14, rng);
+  ASSERT_TRUE(IsFeasible(ri.instance));
+  SolverService service(ri.instance.graph, ri.instance.facility_nodes,
+                        ri.instance.capacities, {});
+
+  SolveRequest tight{ri.instance.customers, ri.instance.k, {}, 1, nullptr};
+  SolveRequest free{ri.instance.customers, ri.instance.k, {}, 0, nullptr};
+  auto tight_handle = service.Submit(tight);
+  auto free_handle = service.Submit(free);
+
+  const SolveResponse& cut = tight_handle->Wait();
+  ASSERT_TRUE(cut.status.ok()) << cut.status.ToString();
+  EXPECT_TRUE(cut.solution.feasible);
+  EXPECT_TRUE(VerifySolution(ri.instance, cut.solution).ok);
+
+  const SolveResponse& full = free_handle->Wait();
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_EQ(full.solution.termination, Termination::kConverged);
+  const StatusOr<WmaResult> direct = SolveWma(ri.instance);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameSolution(full.solution, direct.value().solution));
+
+  if (cut.solution.termination == Termination::kDeadline) {
+    EXPECT_GE(service.Report().deadline_terminations, 1);
+  }
+}
+
+TEST(ServeTest, VerifyOptionRunsIndependentVerifier) {
+  ServeFixture fx(19);
+  ServiceOptions options;
+  options.verify = true;
+  auto service = fx.MakeService(options);
+  const SolveResponse response = service->SolveSync(
+      {fx.catalog().customers, fx.catalog().k, {}, 0, nullptr});
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.verify_ran);
+  EXPECT_TRUE(response.verify_ok);
+}
+
+TEST(ServeTest, ReportCountsAndJsonShape) {
+  ServeFixture fx(20);
+  auto service = fx.MakeService();
+  const SolveRequest good{fx.catalog().customers, fx.catalog().k, {}, 0,
+                          nullptr};
+  const SolveRequest bad{fx.catalog().customers, -3, {}, 0, nullptr};
+  ASSERT_TRUE(service->SolveSync(good).status.ok());
+  ASSERT_TRUE(service->SolveSync(good).status.ok());  // cache hit
+  ASSERT_FALSE(service->SolveSync(bad).status.ok());
+
+  const ServiceReport report = service->Report();
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(report.epochs_built, 1);
+  EXPECT_EQ(report.requests_admitted, 3);
+  EXPECT_EQ(report.requests_completed, 3);
+  EXPECT_EQ(report.requests_failed, 1);
+  EXPECT_EQ(report.cache_hits, 1);
+  EXPECT_EQ(report.latency.count, 3);
+  EXPECT_GE(report.latency.p99, report.latency.p50);
+  EXPECT_GE(report.latency.max, report.latency.p99);
+  EXPECT_GE(report.batches, 1);
+
+  const std::string json = report.Json();
+  for (const char* key :
+       {"\"service\"", "\"epoch\"", "\"requests\"", "\"admitted\"",
+        "\"rejected\"", "\"completed\"", "\"failed\"", "\"cache_hits\"",
+        "\"deadline_terminations\"", "\"batches\"", "\"latency_seconds\"",
+        "\"p50\"", "\"p99\"", "\"phase_seconds\"", "\"amortization\"",
+        "\"warm_preprocess_seconds_per_request\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  // Non-finite doubles must never leak into the document.
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST(ServeTest, LatencySummaryQuantiles) {
+  EXPECT_EQ(SummarizeLatencies({}).count, 0);
+  const LatencySummary one = SummarizeLatencies({2.0});
+  EXPECT_EQ(one.count, 1);
+  EXPECT_DOUBLE_EQ(one.p50, 2.0);
+  EXPECT_DOUBLE_EQ(one.p99, 2.0);
+  EXPECT_DOUBLE_EQ(one.max, 2.0);
+  std::vector<double> ramp;
+  for (int i = 1; i <= 100; ++i) ramp.push_back(static_cast<double>(i));
+  const LatencySummary summary = SummarizeLatencies(ramp);
+  EXPECT_EQ(summary.count, 100);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 99.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+}
+
+}  // namespace
+}  // namespace mcfs

@@ -37,6 +37,13 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DEADLINE_EXCEEDED");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusTest, UnavailableFactory) {
+  const Status status = UnavailableError("admission queue full");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.ToString(), "UNAVAILABLE: admission queue full");
 }
 
 TEST(StatusTest, WithContextPrefixes) {

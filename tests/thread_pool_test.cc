@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -56,6 +57,37 @@ TEST(ThreadPoolTest, NonPositiveGrainIsClampedToOne) {
   std::atomic<int64_t> sum{0};
   pool.ParallelFor(0, 10, /*grain=*/0, [&](int64_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, HugeGrainDoesNotOverflowChunkMath) {
+  // Regression: (end - begin + grain - 1) overflowed int64 for grains
+  // near INT64_MAX before the grain was clamped into [1, range].
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  pool.ParallelFor(0, 16, std::numeric_limits<int64_t>::max(),
+                   [&](int64_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NegativeMaxThreadsDegradesToSerialInOrder) {
+  ThreadPool pool(4);
+  std::vector<int64_t> order;
+  pool.ParallelFor(
+      0, 64, 4, [&](int64_t i) { order.push_back(i); },
+      /*max_threads=*/-3);
+  std::vector<int64_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // serial => safe to touch without atomics
+}
+
+TEST(ThreadPoolTest, DegenerateRangeAndThreadComboIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 0, [&](int64_t) { ++calls; }, -1);
+  pool.ParallelFor(7, -7, -9, [&](int64_t) { ++calls; }, 0);
+  EXPECT_EQ(calls, 0);
 }
 
 TEST(ThreadPoolTest, MaxThreadsOneRunsSerially) {
