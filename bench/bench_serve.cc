@@ -13,10 +13,23 @@
 // Knobs: --requests, --repeat (duplicates the mix to exercise the
 // epoch cache), --clients, --serve-threads, --queue-depth, --max-batch,
 // --deadline-ms, --verify, plus the standard --scale / --seed.
+//
+// Churn mode (--churn): replays hourly bike_sim deltas against one
+// long-lived service — per epoch, ~--churn-rate of the tracked bikes
+// depart/arrive, a few station capacities shift, and occasionally a
+// station closes while another opens. Each epoch is re-solved twice:
+// warm (ResolveTracked repairing the previous epoch's matching) and
+// cold (direct SolveWma on the same instance), gated on exactly equal
+// objectives, with the warm-vs-cold speedup and repair-fraction curves
+// written to --resolve-report-out (default BENCH_resolve.json). One
+// designated epoch applies an empty delta to pin the best case.
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -24,12 +37,320 @@
 #include "mcfs/common/timer.h"
 #include "mcfs/graph/road_network.h"
 #include "mcfs/serve/solver_service.h"
+#include "mcfs/workload/bike_sim.h"
 #include "mcfs/workload/workload.h"
+
+namespace mcfs {
+namespace {
+
+struct ChurnEpoch {
+  int epoch = 0;
+  bool empty_delta = false;
+  int ops = 0;
+  int components_dirtied = 0;
+  int customers = 0;
+  double warm_seconds = 0.0;
+  double cold_seconds = 0.0;
+  double speedup = 0.0;
+  double objective = 0.0;
+  double repair_fraction = 0.0;  // repaired / (reused + repaired)
+  int64_t warm_customers_reused = 0;
+  int64_t warm_customers_repaired = 0;
+  bool warm_final_resumed = false;
+  bool objective_match = false;
+  bool verify_ok = false;
+};
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
+  const Graph city = GenerateCity(AalborgPreset(bench.scale, bench.seed));
+
+  BikeSimOptions sim;
+  sim.seed = bench.seed;
+  sim.num_stations = std::max(
+      24, std::min(city.NumNodes() / 6,
+                   static_cast<int>(600 * std::max(bench.scale, 0.05))));
+  sim.num_bikes = std::max(
+      60, static_cast<int>(flags.GetInt(
+              "bikes", static_cast<int64_t>(500 * std::max(bench.scale,
+                                                           0.15)))));
+  const BikeScenario scenario = GenerateBikeScenario(city, sim);
+  const int l = static_cast<int>(scenario.stations.size());
+  // Smallest budget (plus slack for capacity-decrease deltas) that keeps
+  // the docking instance feasible for the whole replay.
+  int k = std::max(2, l / 3);
+  for (; k < l; ++k) {
+    McfsInstance probe;
+    probe.graph = &city;
+    probe.customers = scenario.bikes;
+    probe.facility_nodes = scenario.stations;
+    probe.capacities = scenario.capacities;
+    probe.k = k;
+    if (IsFeasible(probe)) break;
+  }
+  k = std::min(l, k + 2);
+
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 12));
+  const double churn_rate = flags.GetDouble("churn-rate", 0.05);
+  // Epoch 0 is the cold warm-up (no seed exists yet); epoch 1 applies
+  // the designated empty delta so the report pins the best case.
+  const int empty_delta_epoch = epochs >= 2 ? 1 : -1;
+
+  ServiceOptions options;
+  options.serve_threads =
+      static_cast<int>(flags.GetInt("serve-threads", bench.threads));
+  options.wma.threads = bench.threads;
+  options.wma.metrics = bench.metrics;
+  SolverService service(&city, scenario.stations, scenario.capacities,
+                        options);
+
+  // Initial bike population, one arrival op per bike.
+  {
+    UpdateRequest arrivals;
+    for (const NodeId bike : scenario.bikes) {
+      arrivals.ops.push_back({UpdateKind::kCustomerArrive, bike, 0});
+    }
+    const StatusOr<UpdateResult> applied = service.ApplyUpdate(arrivals);
+    if (!applied.ok()) {
+      std::printf("initial arrivals rejected: %s\n",
+                  applied.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("bike churn: n=%d, %d stations, k=%d, %zu bikes, %d epochs, "
+              "%.1f%% churn/epoch\n",
+              city.NumNodes(), l, k, service.tracked_customer_count(), epochs,
+              100.0 * churn_rate);
+
+  Rng rng(bench.seed + 7);
+  WmaOptions cold_options = options.wma;
+  std::vector<ChurnEpoch> rows;
+  int failures = 0;
+
+  for (int e = 0; e < epochs; ++e) {
+    ChurnEpoch row;
+    row.epoch = e;
+    row.empty_delta = e == empty_delta_epoch;
+    if (e > 0) {
+      UpdateRequest delta;
+      if (!row.empty_delta) {
+        // ~churn_rate of the fleet moves: departures from tracked
+        // nodes, arrivals resampled from the docking-demand profile.
+        const McfsInstance snapshot = service.TrackedInstance(k);
+        const int moves = std::max(
+            1, static_cast<int>(churn_rate *
+                                static_cast<double>(snapshot.m())));
+        for (int t = 0; t < moves; ++t) {
+          const NodeId gone = snapshot.customers[static_cast<size_t>(
+              rng.UniformInt(0, snapshot.m() - 1))];
+          delta.ops.push_back({UpdateKind::kCustomerDepart, gone, 0});
+        }
+        const std::vector<NodeId> fresh =
+            SampleNodesWithReplacement(city, moves, rng);
+        for (const NodeId node : fresh) {
+          delta.ops.push_back({UpdateKind::kCustomerArrive, node, 0});
+        }
+        // Dock reconfigurations are rarer than bike churn: every third
+        // epoch one station gains a dock and one loses a dock — the
+        // capacity-delta classification path (the increase dirties the
+        // component's matches; the decrease repairs in place).
+        if (e % 3 == 0) {
+          const int up = static_cast<int>(
+              rng.UniformInt(0, static_cast<int64_t>(l) - 1));
+          delta.ops.push_back(
+              {UpdateKind::kCapacityDelta, snapshot.facility_nodes[up], 1});
+          for (int probe = 0; probe < l; ++probe) {
+            const int down = static_cast<int>(
+                rng.UniformInt(0, static_cast<int64_t>(l) - 1));
+            if (down != up && snapshot.capacities[down] > 1) {
+              delta.ops.push_back({UpdateKind::kCapacityDelta,
+                                   snapshot.facility_nodes[down], -1});
+              break;
+            }
+          }
+        }
+      }
+      const StatusOr<UpdateResult> applied = service.ApplyUpdate(delta);
+      if (!applied.ok()) {
+        std::printf("epoch %d delta rejected: %s\n", e,
+                    applied.status().ToString().c_str());
+        return 1;
+      }
+      row.ops = applied.value().ops_applied;
+      row.components_dirtied = applied.value().components_dirtied;
+    }
+
+    // Warm path: repairs the previous epoch's matching (epoch 0 is the
+    // cold warm-up that plants the first seed).
+    const SolveResponse warm = service.ResolveTracked(k);
+    if (!warm.status.ok()) {
+      std::printf("epoch %d resolve failed: %s\n", e,
+                  warm.status.ToString().c_str());
+      return 1;
+    }
+    row.warm_seconds = warm.solve_seconds;
+    row.customers = static_cast<int>(warm.solution.assignment.size());
+    row.objective = warm.solution.objective;
+    row.warm_customers_reused = warm.stats.warm_customers_reused;
+    row.warm_customers_repaired = warm.stats.warm_customers_repaired;
+    row.warm_final_resumed = warm.stats.warm_final_resumed;
+    row.verify_ok = !warm.verify_ran || warm.verify_ok;
+    const int64_t touched =
+        row.warm_customers_reused + row.warm_customers_repaired;
+    row.repair_fraction =
+        touched == 0 ? 1.0
+                     : static_cast<double>(row.warm_customers_repaired) /
+                           static_cast<double>(touched);
+
+    // Cold baseline: a direct solve of the same instance, no seed.
+    const McfsInstance instance = service.TrackedInstance(k);
+    WallTimer cold_timer;
+    const StatusOr<WmaResult> cold = SolveWma(instance, cold_options);
+    row.cold_seconds = cold_timer.Seconds();
+    if (!cold.ok()) {
+      std::printf("epoch %d cold solve failed: %s\n", e,
+                  cold.status().ToString().c_str());
+      return 1;
+    }
+    const McfsSolution& cold_solution = cold.value().solution;
+    // Churn epochs gate on the objective up to summation rounding:
+    // degenerate optima (co-located bikes swapped between equidistant
+    // stations) are equal-cost but can round the last bit differently.
+    // The empty-delta epoch must reproduce the cold solution byte for
+    // byte — selection, assignment, distances, and objective bits.
+    const double rel_gap =
+        std::abs(warm.solution.objective - cold_solution.objective) /
+        (1.0 + std::abs(cold_solution.objective));
+    row.objective_match =
+        row.empty_delta
+            ? (warm.solution.objective == cold_solution.objective &&
+               warm.solution.selected == cold_solution.selected &&
+               warm.solution.assignment == cold_solution.assignment &&
+               warm.solution.distances == cold_solution.distances)
+            : rel_gap <= 1e-9;
+    row.speedup = row.warm_seconds > 0.0
+                      ? row.cold_seconds / row.warm_seconds
+                      : 0.0;
+    if (!row.objective_match || !row.verify_ok) ++failures;
+    std::printf(
+        "epoch %2d%s: m=%d ops=%d warm=%s cold=%s speedup=%.2fx "
+        "reused=%lld repaired=%lld %s%s\n",
+        e, row.empty_delta ? " (empty delta)" : "", row.customers, row.ops,
+        FmtSeconds(row.warm_seconds).c_str(),
+        FmtSeconds(row.cold_seconds).c_str(), row.speedup,
+        static_cast<long long>(row.warm_customers_reused),
+        static_cast<long long>(row.warm_customers_repaired),
+        row.objective_match ? "objective=match" : "OBJECTIVE MISMATCH",
+        row.verify_ok ? "" : " VERIFY FAIL");
+    rows.push_back(row);
+  }
+
+  // Summary over the genuinely warm epochs (epoch 0 planted the seed).
+  std::vector<double> churn_speedups;
+  double empty_delta_speedup = 0.0;
+  double repair_fraction_sum = 0.0;
+  int churn_epochs = 0;
+  for (const ChurnEpoch& row : rows) {
+    if (row.epoch == 0) continue;
+    if (row.empty_delta) {
+      empty_delta_speedup = row.speedup;
+    } else {
+      churn_speedups.push_back(row.speedup);
+      repair_fraction_sum += row.repair_fraction;
+      ++churn_epochs;
+    }
+  }
+  const double median_speedup = Median(churn_speedups);
+  const ServiceReport report = service.Report();
+  std::printf(
+      "median warm speedup %.2fx over %d churn epochs (empty delta "
+      "%.2fx, mean repair fraction %.3f); service: %lld warm / %lld cold "
+      "resolves, %lld verify rejections\n",
+      median_speedup, churn_epochs, empty_delta_speedup,
+      churn_epochs == 0 ? 0.0 : repair_fraction_sum / churn_epochs,
+      static_cast<long long>(report.resolves_warm),
+      static_cast<long long>(report.resolves_cold),
+      static_cast<long long>(report.resolve_verify_rejections));
+
+  const std::string out = flags.GetString(
+      "resolve-report-out",
+      flags.GetString("resolve_report_out", "BENCH_resolve.json"));
+  if (!out.empty()) {
+    std::ostringstream json;
+    json << "{\"config\": {\"scale\": " << obs::JsonNumber(bench.scale)
+         << ", \"seed\": " << bench.seed << ", \"nodes\": " << city.NumNodes()
+         << ", \"stations\": " << l << ", \"k\": " << k
+         << ", \"epochs\": " << epochs
+         << ", \"churn_rate\": " << obs::JsonNumber(churn_rate)
+         << ", \"threads\": " << bench.threads << "}, \"epochs\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const ChurnEpoch& row = rows[i];
+      if (i > 0) json << ", ";
+      json << "{\"epoch\": " << row.epoch
+           << ", \"empty_delta\": " << (row.empty_delta ? "true" : "false")
+           << ", \"ops\": " << row.ops
+           << ", \"components_dirtied\": " << row.components_dirtied
+           << ", \"customers\": " << row.customers
+           << ", \"warm_seconds\": " << obs::JsonNumber(row.warm_seconds)
+           << ", \"cold_seconds\": " << obs::JsonNumber(row.cold_seconds)
+           << ", \"speedup\": " << obs::JsonNumber(row.speedup)
+           << ", \"objective\": " << obs::JsonNumber(row.objective)
+           << ", \"repair_fraction\": "
+           << obs::JsonNumber(row.repair_fraction)
+           << ", \"warm_customers_reused\": " << row.warm_customers_reused
+           << ", \"warm_customers_repaired\": " << row.warm_customers_repaired
+           << ", \"warm_final_resumed\": "
+           << (row.warm_final_resumed ? "true" : "false")
+           << ", \"objective_match\": "
+           << (row.objective_match ? "true" : "false")
+           << ", \"verify_ok\": " << (row.verify_ok ? "true" : "false")
+           << "}";
+    }
+    json << "], \"summary\": {\"median_warm_speedup\": "
+         << obs::JsonNumber(median_speedup)
+         << ", \"empty_delta_speedup\": "
+         << obs::JsonNumber(empty_delta_speedup)
+         << ", \"mean_repair_fraction\": "
+         << obs::JsonNumber(churn_epochs == 0
+                                ? 0.0
+                                : repair_fraction_sum / churn_epochs)
+         << ", \"churn_epochs\": " << churn_epochs
+         << ", \"objective_mismatches\": " << failures
+         << ", \"resolves_warm\": " << report.resolves_warm
+         << ", \"resolves_cold\": " << report.resolves_cold
+         << ", \"verify_rejections\": " << report.resolve_verify_rejections
+         << "}, \"service\": " << report.Json() << "}";
+    std::ofstream file(out);
+    if (file.is_open()) {
+      file << json.str() << "\n";
+      if (file.good()) {
+        std::printf("(resolve report written to %s)\n", out.c_str());
+      }
+    }
+  }
+  bench_util::FlushArtifacts(flags);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mcfs
 
 int main(int argc, char** argv) {
   using namespace mcfs;
   const Flags flags(argc, argv);
   const auto bench = bench_util::BenchConfig::FromFlags(flags, 0.04);
+  if (flags.GetBool("churn", false)) {
+    bench_util::Banner("Serving: warm incremental re-solve under churn",
+                       bench);
+    return RunChurnBench(flags, bench);
+  }
   bench_util::Banner("Serving: SolverService closed-loop load", bench);
 
   const Graph city = GenerateCity(AalborgPreset(bench.scale, bench.seed));

@@ -118,11 +118,6 @@ bool IsFeasible(const McfsInstance& instance) {
 McfsSolution AssignOptimally(const McfsInstance& instance,
                              const std::vector<int>& selected,
                              int threads) {
-  McfsSolution solution;
-  solution.selected = selected;
-  solution.assignment.assign(instance.m(), -1);
-  solution.distances.assign(instance.m(), 0.0);
-
   std::vector<NodeId> nodes;
   std::vector<int> capacities;
   nodes.reserve(selected.size());
@@ -132,12 +127,32 @@ McfsSolution AssignOptimally(const McfsInstance& instance,
   }
   IncrementalMatcher matcher(instance.graph, instance.customers, nodes,
                              capacities);
+  return AssignWithMatcher(instance, selected, matcher, threads);
+}
+
+McfsSolution AssignWithMatcher(const McfsInstance& instance,
+                               const std::vector<int>& selected,
+                               IncrementalMatcher& matcher, int threads) {
+  McfsSolution solution;
+  solution.selected = selected;
+  solution.assignment.assign(instance.m(), -1);
+  solution.distances.assign(instance.m(), 0.0);
   if (ResolveThreadCount(threads) > 1) {
-    // Every customer needs one assignment plus the threshold lookahead;
-    // front-load those two stream entries in parallel.
-    matcher.PrefetchCandidates(std::vector<int>(instance.m(), 2), threads);
+    // Every still-unassigned customer needs one assignment plus the
+    // threshold lookahead; front-load those two stream entries in
+    // parallel. On a fresh matcher every customer qualifies.
+    std::vector<int> counts(instance.m(), 0);
+    for (int i = 0; i < instance.m(); ++i) {
+      if (matcher.CustomerMatchCount(i) < 1) counts[i] = 2;
+    }
+    matcher.PrefetchCandidates(counts, threads);
   }
-  solution.feasible = matcher.MatchAllOnce();
+  bool all_ok = true;
+  for (int i = 0; i < instance.m(); ++i) {
+    if (matcher.CustomerMatchCount(i) >= 1) continue;  // warm-adopted
+    if (!matcher.FindPair(i)) all_ok = false;
+  }
+  solution.feasible = all_ok;
   for (const MatchedPair& pair : matcher.MatchedPairs()) {
     solution.assignment[pair.customer] = selected[pair.facility];
     solution.distances[pair.customer] = pair.distance;

@@ -83,6 +83,18 @@ McfsSolution AssignOptimally(const McfsInstance& instance,
                              const std::vector<int>& selected,
                              int threads = 1);
 
+class IncrementalMatcher;
+
+// Core of AssignOptimally on a caller-prepared matcher whose facility
+// list is exactly the `selected` subset (in order). Prefetches and runs
+// FindPair only for customers whose demand is still unsatisfied, so a
+// warm-resumed matcher (flow/matcher.h ResumeFrom) pays only for the
+// customers a delta invalidated; on a fresh matcher this is
+// bit-identical to AssignOptimally.
+McfsSolution AssignWithMatcher(const McfsInstance& instance,
+                               const std::vector<int>& selected,
+                               IncrementalMatcher& matcher, int threads = 1);
+
 }  // namespace mcfs
 
 #endif  // MCFS_CORE_INSTANCE_H_

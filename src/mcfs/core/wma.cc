@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "mcfs/common/check.h"
 #include "mcfs/common/random.h"
@@ -155,6 +156,41 @@ int64_t DefaultIterationCap(const McfsInstance& instance) {
   return static_cast<int64_t>(instance.m()) * std::max(instance.l(), 1) + 10;
 }
 
+// Greedy node-keyed mapping of this run's customers onto seed
+// customers: each customer adopts the first unused seed customer on the
+// same graph node (co-located customers are interchangeable — streams
+// are node-pure and an optimal matching stays optimal under any
+// permutation of equals). seed_of[i] = seed index or -1. Seed customers
+// flagged in `skip` are never handed out.
+std::vector<int> MapSeedCustomers(
+    const std::vector<NodeId>& customers,
+    const std::vector<WarmSeedCustomer>& seed_customers,
+    const std::vector<uint8_t>& skip) {
+  std::unordered_map<NodeId, std::vector<int>> by_node;
+  by_node.reserve(seed_customers.size());
+  // Reverse insertion so pop_back hands out seed indices in ascending
+  // order.
+  for (int s = static_cast<int>(seed_customers.size()) - 1; s >= 0; --s) {
+    if (s < static_cast<int>(skip.size()) && skip[s] != 0) continue;
+    by_node[seed_customers[s].node].push_back(s);
+  }
+  std::vector<int> seed_of(customers.size(), -1);
+  for (size_t i = 0; i < customers.size(); ++i) {
+    auto it = by_node.find(customers[i]);
+    if (it == by_node.end() || it->second.empty()) continue;
+    seed_of[i] = it->second.back();
+    it->second.pop_back();
+  }
+  return seed_of;
+}
+
+bool SameNodeSet(std::vector<NodeId> a, std::vector<NodeId> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
 }  // namespace
 
 WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
@@ -185,6 +221,28 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
     matcher = std::make_unique<IncrementalMatcher>(
         instance.graph, instance.customers, instance.facility_nodes,
         instance.capacities);
+  }
+
+  // Warm start (DESIGN.md §4.10). The trajectory matcher only adopts
+  // *stream prefixes* — discovery sequences are pure functions of
+  // (graph, source, candidate membership), so the demand-growth loop
+  // replays bit-identically to a cold run while skipping the network
+  // Dijkstras. No matches or potentials are adopted here; that could
+  // steer CheckCover onto a different selection than cold.
+  const WmaWarmSeed* warm = options.naive ? nullptr : options.warm_seed.get();
+  if (warm != nullptr && !warm->trajectory.customers.empty()) {
+    MCFS_SPAN("wma/warm_seed_streams");
+    const std::vector<int> seed_of = MapSeedCustomers(
+        instance.customers, warm->trajectory.customers,
+        options.warm_stream_invalid);
+    for (int i = 0; i < m; ++i) {
+      if (seed_of[i] < 0) continue;
+      const WarmSeedCustomer& sc = warm->trajectory.customers[seed_of[i]];
+      matcher->SeedStreamPrefix(i, sc);
+      result.stats.warm_stream_entries +=
+          static_cast<int64_t>(sc.edges.size() + sc.buffered.size());
+    }
+    MCFS_COUNT("wma/warm_stream_entries", result.stats.warm_stream_entries);
   }
 
   // Cooperative deadline (DESIGN.md §4.8): polled at the iteration top,
@@ -341,6 +399,7 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
     CoverComponents(instance, selected);
   }
 
+  std::unique_ptr<IncrementalMatcher> final_matcher;
   {
     MCFS_SPAN("wma/final_assign");
     ScopedTimer final_timer(&result.stats.final_assign_seconds,
@@ -354,8 +413,76 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
             AssignOptimally(instance, selected, options.threads);
       }
     } else {
-      result.solution = AssignOptimally(instance, selected, options.threads);
+      std::vector<NodeId> selected_nodes;
+      std::vector<int> selected_caps;
+      selected_nodes.reserve(selected.size());
+      selected_caps.reserve(selected.size());
+      for (const int j : selected) {
+        selected_nodes.push_back(instance.facility_nodes[j]);
+        selected_caps.push_back(instance.capacities[j]);
+      }
+      final_matcher = std::make_unique<IncrementalMatcher>(
+          instance.graph, instance.customers, selected_nodes, selected_caps);
+      if (warm != nullptr && !warm->final_assign.customers.empty() &&
+          SameNodeSet(selected_nodes, warm->final_assign.facility_nodes)) {
+        // Same facility node set as last epoch: resume the previous
+        // matching wholesale. Per-edge dual re-validation plus the
+        // invalidation masks shed exactly what a delta broke; the
+        // FindPair re-runs inside AssignWithMatcher then repair only
+        // those customers, and the result is again an optimal matching
+        // — equal in objective to a cold solve.
+        const std::vector<int> seed_of = MapSeedCustomers(
+            instance.customers, warm->final_assign.customers,
+            options.warm_stream_invalid);
+        std::vector<uint8_t> adopt_match(m, 1);
+        for (int i = 0; i < m; ++i) {
+          const int s = seed_of[i];
+          if (s >= 0 &&
+              s < static_cast<int>(options.warm_match_invalid.size()) &&
+              options.warm_match_invalid[s] != 0) {
+            adopt_match[i] = 0;
+          }
+        }
+        final_matcher->ResumeFrom(warm->final_assign, seed_of, adopt_match);
+        result.stats.warm_final_resumed = true;
+        for (int i = 0; i < m; ++i) {
+          if (final_matcher->CustomerMatchCount(i) >= 1) {
+            ++result.stats.warm_customers_reused;
+          } else {
+            ++result.stats.warm_customers_repaired;
+          }
+        }
+        MCFS_COUNT("wma/warm_customers_reused",
+                   result.stats.warm_customers_reused);
+        MCFS_COUNT("wma/warm_customers_repaired",
+                   result.stats.warm_customers_repaired);
+      } else if (warm != nullptr && !warm->trajectory.customers.empty()) {
+        // Selection changed: the matching cannot be resumed, but the
+        // full-catalog discovery prefixes filtered down to the selected
+        // subset still spare most of the final matcher's Dijkstra work
+        // (a sub-membership sequence is the filtered super-membership
+        // sequence).
+        const std::vector<int> seed_of = MapSeedCustomers(
+            instance.customers, warm->trajectory.customers,
+            options.warm_stream_invalid);
+        for (int i = 0; i < m; ++i) {
+          if (seed_of[i] < 0) continue;
+          final_matcher->SeedStreamPrefix(
+              i, warm->trajectory.customers[seed_of[i]]);
+        }
+      }
+      result.solution =
+          AssignWithMatcher(instance, selected, *final_matcher,
+                            options.threads);
     }
+  }
+  if (options.export_warm_seed && matcher != nullptr &&
+      final_matcher != nullptr) {
+    MCFS_SPAN("wma/warm_seed_export");
+    auto seed_out = std::make_shared<WmaWarmSeed>();
+    seed_out->trajectory = matcher->ExportWarmSeed();
+    seed_out->final_assign = final_matcher->ExportWarmSeed();
+    result.warm_seed = std::move(seed_out);
   }
   if (matcher != nullptr) {
     result.stats.dijkstra_runs = matcher->num_dijkstra_runs();

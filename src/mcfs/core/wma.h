@@ -2,13 +2,33 @@
 #define MCFS_CORE_WMA_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mcfs/common/deadline.h"
 #include "mcfs/common/status.h"
 #include "mcfs/core/instance.h"
+#include "mcfs/flow/matcher.h"
 
 namespace mcfs {
+
+// Cross-epoch warm-start state for the exact WMA path (DESIGN.md
+// §4.10). Node-keyed, so it stays meaningful after catalog edits; the
+// consuming run maps nodes back into its own index space and drops
+// whatever a delta invalidated.
+struct WmaWarmSeed {
+  // Full-catalog matcher snapshot from the demand-growth loop. Only its
+  // *stream prefixes* are reused: the discovery sequence is a pure
+  // function of (graph, source, candidate membership), so seeding them
+  // replays the trajectory bit-identically to a cold run minus the
+  // network-Dijkstra cost. Its matches/potentials are never adopted —
+  // that could steer the loop onto a different selection than cold.
+  WarmSeed trajectory;
+  // Final-assignment matcher snapshot over the previously selected
+  // facilities. Resumed wholesale (edges, matches, potentials) when the
+  // new run selects the same facility node set.
+  WarmSeed final_assign;
+};
 
 // Options for the Wide Matching Algorithm.
 struct WmaOptions {
@@ -57,6 +77,24 @@ struct WmaOptions {
   // Optional external cancellation, polled at the same checkpoints as
   // the deadline and reported as Termination::kDeadline.
   const CancelToken* cancel = nullptr;
+
+  // --- Warm-started re-solve (DESIGN.md §4.10) ---
+  // Previous epoch's exported state; ignored by the naive variant.
+  std::shared_ptr<const WmaWarmSeed> warm_seed;
+  // Per-seed-customer invalidation masks, aligned with
+  // warm_seed->trajectory.customers (the final_assign customers are the
+  // same list). Empty mask = nothing invalidated.
+  //   warm_stream_invalid[s] != 0: drop seed customer s entirely — its
+  //     component's candidate set changed, so even its discovery prefix
+  //     may be stale (a new facility can appear mid-prefix).
+  //   warm_match_invalid[s] != 0: reuse streams and edges but drop the
+  //     customer's matched pairs — the repair for deltas that relax the
+  //     problem without touching distances (e.g. a capacity increase).
+  std::vector<uint8_t> warm_stream_invalid;
+  std::vector<uint8_t> warm_match_invalid;
+  // Export the end-of-run matcher state into WmaResult::warm_seed (only
+  // the exact variant exports; naive runs leave it null).
+  bool export_warm_seed = false;
 };
 
 // Per-iteration instrumentation (covered customers after CheckCover,
@@ -96,11 +134,25 @@ struct WmaStats {
   // was cut short; the solution is still the best-so-far feasible one).
   Termination termination = Termination::kConverged;
   std::vector<WmaIterationStats> per_iteration;
+  // --- Warm-start effectiveness (all zero on cold runs) ---
+  // Customers whose previous-epoch final assignment was adopted
+  // unchanged vs. re-enqueued through FindPair after the resume.
+  int64_t warm_customers_reused = 0;
+  int64_t warm_customers_repaired = 0;
+  // Discovery-prefix entries handed to the trajectory replay.
+  int64_t warm_stream_entries = 0;
+  // The final assignment resumed the previous epoch's matching (same
+  // selected facility node set); false = it re-matched from seeded
+  // streams only.
+  bool warm_final_resumed = false;
 };
 
 struct WmaResult {
   McfsSolution solution;
   WmaStats stats;
+  // End-of-run state for the next epoch; null unless
+  // WmaOptions::export_warm_seed was set on the exact variant.
+  std::shared_ptr<WmaWarmSeed> warm_seed;
 };
 
 // Runs the Wide Matching Algorithm (Algorithm 1) on the instance:

@@ -44,21 +44,57 @@ IncrementalMatcher::IncrementalMatcher(const Graph* graph,
   settled_.assign(m_ + l_, 0);
 }
 
+size_t IncrementalMatcher::StreamReserveHint() const {
+  // Reserve hint from the instance shape: with l_ candidates spread
+  // over the network a customer settles ~NumNodes/l_ nodes per
+  // discovered facility, and FindPair rarely needs more than a few
+  // candidates per customer.
+  return std::min<size_t>(
+      static_cast<size_t>(graph_->NumNodes()),
+      8 + 4 * static_cast<size_t>(graph_->NumNodes()) /
+              static_cast<size_t>(std::max(1, l_)));
+}
+
 NearestFacilityStream& IncrementalMatcher::StreamFor(int customer) {
   if (streams_[customer] == nullptr) {
-    // Reserve hint from the instance shape: with l_ candidates spread
-    // over the network a customer settles ~NumNodes/l_ nodes per
-    // discovered facility, and FindPair rarely needs more than a few
-    // candidates per customer.
-    const size_t expected_nodes = std::min<size_t>(
-        static_cast<size_t>(graph_->NumNodes()),
-        8 + 4 * static_cast<size_t>(graph_->NumNodes()) /
-                static_cast<size_t>(std::max(1, l_)));
     streams_[customer] = std::make_unique<NearestFacilityStream>(
         graph_, customer_nodes_[customer], &facility_index_of_node_,
-        expected_nodes);
+        StreamReserveHint());
   }
   return *streams_[customer];
+}
+
+void IncrementalMatcher::SeedStreamPrefix(
+    int customer, const WarmSeedCustomer& seed_customer) {
+  MCFS_CHECK(customer >= 0 && customer < m_);
+  MCFS_CHECK(streams_[customer] == nullptr)
+      << "SeedStreamPrefix after the stream was already created";
+  MCFS_CHECK_EQ(seed_customer.node, customer_nodes_[customer]);
+  StreamSeed seed;
+  seed.buffered.reserve(seed_customer.edges.size() +
+                        seed_customer.buffered.size());
+  bool filtered = false;
+  auto map_in = [&](const WarmSeedEdge& entry) {
+    const int j = MapFacilityNode(entry.facility_node);
+    if (j < 0) {
+      filtered = true;
+      return;
+    }
+    seed.buffered.push_back(FacilityAtDistance{j, entry.weight});
+  };
+  for (const WarmSeedEdge& entry : seed_customer.edges) map_in(entry);
+  for (const WarmSeedEdge& entry : seed_customer.buffered) map_in(entry);
+  seed.exhausted = seed_customer.stream_exhausted;
+  // The seed's known next-distance describes the sequence it was
+  // exported under; once entries were filtered out, "what comes after
+  // the prefix" may differ, so only propagate it for intact prefixes.
+  seed.has_next = seed_customer.has_next && !filtered;
+  seed.next_distance = seed_customer.next_distance;
+  MCFS_COUNT("matcher/warm_stream_prefix_entries",
+             static_cast<int64_t>(seed.buffered.size()));
+  streams_[customer] = std::make_unique<NearestFacilityStream>(
+      graph_, customer_nodes_[customer], &facility_index_of_node_,
+      std::move(seed), StreamReserveHint());
 }
 
 bool IncrementalMatcher::MaterializeNextEdge(int customer) {
@@ -358,6 +394,186 @@ std::vector<MatchedPair> IncrementalMatcher::MatchedPairs() const {
     }
   }
   return pairs;
+}
+
+WarmSeed IncrementalMatcher::ExportWarmSeed() const {
+  WarmSeed seed;
+  seed.facility_nodes = facility_nodes_;
+  seed.facility_potentials.resize(l_);
+  for (int j = 0; j < l_; ++j) {
+    seed.facility_potentials[j] = potential_[m_ + j];
+  }
+  seed.customers.resize(m_);
+  for (int i = 0; i < m_; ++i) {
+    WarmSeedCustomer& sc = seed.customers[i];
+    sc.node = customer_nodes_[i];
+    sc.potential = potential_[i];
+    sc.edges.reserve(edges_[i].size());
+    for (const MatchEdge& edge : edges_[i]) {
+      sc.edges.push_back(
+          WarmSeedEdge{facility_nodes_[edge.facility], edge.weight,
+                       edge.matched});
+    }
+    const NearestFacilityStream* stream = streams_[i].get();
+    if (stream == nullptr) continue;  // never explored: empty prefix
+    for (const FacilityAtDistance& entry : stream->BufferedEntries()) {
+      sc.buffered.push_back(
+          WarmSeedEdge{facility_nodes_[entry.facility], entry.distance,
+                       false});
+    }
+    sc.stream_exhausted = stream->DijkstraExhausted();
+    // Unpopped entries are a suffix of what the stream was seeded with,
+    // so a still-pending known-next applies after them unchanged.
+    if (std::optional<double> next = stream->KnownNextDistance()) {
+      sc.has_next = true;
+      sc.next_distance = *next;
+    }
+  }
+  return seed;
+}
+
+IncrementalMatcher::ResumeStats IncrementalMatcher::ResumeFrom(
+    const WarmSeed& seed, const std::vector<int>& seed_of,
+    const std::vector<uint8_t>& adopt_match) {
+  MCFS_CHECK_EQ(seed_of.size(), static_cast<size_t>(m_));
+  MCFS_CHECK_EQ(adopt_match.size(), static_cast<size_t>(m_));
+  MCFS_CHECK_EQ(num_edges_materialized_, 0)
+      << "ResumeFrom requires a freshly constructed matcher";
+  MCFS_CHECK_EQ(seed.facility_potentials.size(), seed.facility_nodes.size());
+  ResumeStats stats;
+
+  // Facility potentials first: edge re-validation below reads them.
+  // Facilities absent from the seed (fresh candidates) keep potential 0,
+  // which is always dual-feasible for edges not yet materialized.
+  for (size_t sj = 0; sj < seed.facility_nodes.size(); ++sj) {
+    const int j = MapFacilityNode(seed.facility_nodes[sj]);
+    if (j >= 0) potential_[GbFacilityNode(j)] = seed.facility_potentials[sj];
+  }
+
+  for (int i = 0; i < m_; ++i) {
+    const int s = seed_of[i];
+    if (s < 0) continue;
+    MCFS_CHECK(s < static_cast<int>(seed.customers.size()));
+    const WarmSeedCustomer& sc = seed.customers[s];
+    MCFS_CHECK_EQ(sc.node, customer_nodes_[i])
+        << "seed customer mapped across graph nodes";
+    ++stats.customers_seeded;
+    potential_[i] = sc.potential;
+
+    bool filtered = false;
+    edges_[i].reserve(sc.edges.size());
+    for (const WarmSeedEdge& entry : sc.edges) {
+      const int j = MapFacilityNode(entry.facility_node);
+      if (j < 0) {
+        filtered = true;
+        if (entry.matched) ++stats.matches_dropped;
+        continue;
+      }
+      edges_[i].push_back(MatchEdge{j, entry.weight, false});
+      ++stats.edges_adopted;
+      if (!entry.matched) continue;
+      MatchEdge& edge = edges_[i].back();
+      // Re-adopt the matched pair only while the residual (backward)
+      // arc stays non-negative — forward reduced cost <= eps — and the
+      // facility still has capacity under the current limits. A
+      // capacity decrease thus sheds deterministic overflow here.
+      if (adopt_match[i] != 0 && ReducedCost(i, edge) <= kEps &&
+          assigned_count_[j] < capacities_[j]) {
+        edge.matched = true;
+        facility_matches_[j].push_back(FacilityMatch{i, entry.weight});
+        ++assigned_count_[j];
+        ++customer_match_count_[i];
+        ++stats.matches_adopted;
+      } else {
+        ++stats.matches_dropped;
+      }
+    }
+
+    StreamSeed stream_seed;
+    stream_seed.buffered.reserve(sc.buffered.size());
+    for (const WarmSeedEdge& entry : sc.buffered) {
+      const int j = MapFacilityNode(entry.facility_node);
+      if (j < 0) {
+        filtered = true;
+        continue;
+      }
+      stream_seed.buffered.push_back(FacilityAtDistance{j, entry.weight});
+    }
+    // The adopted edges were the stream's consumed prefix; skip their
+    // re-discovery if the Dijkstra ever has to run.
+    stream_seed.skip_discoveries = static_cast<int>(edges_[i].size());
+    stream_seed.exhausted = sc.stream_exhausted;
+    stream_seed.has_next = sc.has_next && !filtered;
+    stream_seed.next_distance = sc.next_distance;
+    MCFS_CHECK(streams_[i] == nullptr);
+    streams_[i] = std::make_unique<NearestFacilityStream>(
+        graph_, customer_nodes_[i], &facility_index_of_node_,
+        std::move(stream_seed), StreamReserveHint());
+  }
+
+  // Re-establish the two invariants every search relies on:
+  //   * a facility with residual capacity has potential exactly 0 (the
+  //     sink selection compares reduced distances across free slots,
+  //     which is only meaningful when their potentials agree) — adopted
+  //     potentials violate this wherever a previously saturated
+  //     facility gained capacity or lost its matches;
+  //   * a customer owning an unmatched arc with negative reduced cost
+  //     holds no matches (it could otherwise close a negative cycle) —
+  //     such customers shed every adoption and reset their potential to
+  //     0, which makes all their arcs non-negative again (weights and
+  //     facility potentials are both >= 0), so the matcher never leaves
+  //     ResumeFrom in label-correcting mode.
+  // Clamping a facility can surface new negative arcs and dropping a
+  // match can free a saturated facility, so iterate to the fixpoint —
+  // both moves are monotone (potentials only fall to 0, matches only
+  // drop), so it terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int j = 0; j < l_; ++j) {
+      if (assigned_count_[j] < capacities_[j] &&
+          potential_[GbFacilityNode(j)] != 0.0) {
+        potential_[GbFacilityNode(j)] = 0.0;
+        changed = true;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (seed_of[i] < 0) continue;
+      bool has_negative = false;
+      for (const MatchEdge& edge : edges_[i]) {
+        if (!edge.matched && ReducedCost(i, edge) < -kEps) {
+          has_negative = true;
+          break;
+        }
+      }
+      if (!has_negative) continue;
+      for (MatchEdge& edge : edges_[i]) {
+        if (!edge.matched) continue;
+        edge.matched = false;
+        --assigned_count_[edge.facility];
+        --customer_match_count_[i];
+        --stats.matches_adopted;
+        ++stats.matches_dropped;
+        auto& matches = facility_matches_[edge.facility];
+        for (size_t idx = 0; idx < matches.size(); ++idx) {
+          if (matches[idx].customer == i) {
+            matches[idx] = matches.back();
+            matches.pop_back();
+            break;
+          }
+        }
+      }
+      potential_[i] = 0.0;
+      changed = true;
+    }
+  }
+
+  num_edges_materialized_ += stats.edges_adopted;
+  MCFS_COUNT("matcher/warm_customers_seeded", stats.customers_seeded);
+  MCFS_COUNT("matcher/warm_edges_adopted", stats.edges_adopted);
+  MCFS_COUNT("matcher/warm_matches_adopted", stats.matches_adopted);
+  MCFS_COUNT("matcher/warm_matches_dropped", stats.matches_dropped);
+  return stats;
 }
 
 bool IncrementalMatcher::VerifyDualFeasibility() const {

@@ -17,6 +17,44 @@ struct MatchedPair {
   double distance = 0.0;
 };
 
+// --- Warm-seed snapshot types (see DESIGN.md §4.10) ---
+//
+// A completed matcher's state, keyed by *graph nodes* rather than
+// catalog indices so it survives candidate-set edits across serving
+// epochs: the next epoch maps nodes back to its own indices, drops
+// whatever no longer exists, and re-validates the rest.
+
+// One G_b edge of a warm seed.
+struct WarmSeedEdge {
+  NodeId facility_node = -1;
+  double weight = 0.0;  // network distance customer -> facility
+  bool matched = false;
+};
+
+// Per-customer warm state: materialized edges in stream pop order, the
+// stream's discovered-but-unpopped lookahead, and the dual potential.
+struct WarmSeedCustomer {
+  NodeId node = -1;
+  double potential = 0.0;
+  std::vector<WarmSeedEdge> edges;     // pop order; `matched` meaningful
+  std::vector<WarmSeedEdge> buffered;  // discovered, not yet popped
+  // The stream proved there is nothing beyond edges + buffered.
+  bool stream_exhausted = false;
+  // Distance of the first discovery after `buffered`, when known
+  // without further Dijkstra work.
+  bool has_next = false;
+  double next_distance = kInfDistance;
+};
+
+// Complete exportable matcher state (customers, facility potentials).
+struct WarmSeed {
+  std::vector<WarmSeedCustomer> customers;
+  std::vector<NodeId> facility_nodes;
+  std::vector<double> facility_potentials;  // aligned with facility_nodes
+
+  bool empty() const { return customers.empty() && facility_nodes.empty(); }
+};
+
 // Incremental optimal bipartite matcher between customers and candidate
 // facilities anchored in a network — the FindPair routine of the paper
 // (Algorithm 2), i.e., a Successive Shortest Path Algorithm over the
@@ -81,6 +119,49 @@ class IncrementalMatcher {
   // All matched pairs with distances.
   std::vector<MatchedPair> MatchedPairs() const;
 
+  // --- Warm-seed lifecycle (DESIGN.md §4.10) ---
+
+  // What ResumeFrom managed to salvage from a seed.
+  struct ResumeStats {
+    int64_t customers_seeded = 0;  // customers that adopted seed state
+    int64_t edges_adopted = 0;     // G_b edges rebuilt from the seed
+    int64_t matches_adopted = 0;   // matched pairs still dual-feasible
+    int64_t matches_dropped = 0;   // filtered / infeasible / over-capacity
+  };
+
+  // Node-keyed snapshot of the full matcher state (G_b adjacency with
+  // matched flags, stream lookahead, customer and facility potentials).
+  WarmSeed ExportWarmSeed() const;
+
+  // Warm-start resume; must be called on a freshly constructed matcher,
+  // before any FindPair. `seed_of[i]` is the index into seed.customers
+  // whose state customer i adopts (-1 = cold customer; seed customers
+  // must sit on the same graph node). `adopt_match[i] == 0` keeps the
+  // customer's edges and stream but drops its matched pairs — the
+  // repair mode for deltas that invalidate matching optimality without
+  // touching distances (e.g. a capacity increase in the component).
+  //
+  // Per edge: facilities gone from this matcher's catalog are filtered
+  // out; matched edges are re-adopted only while dual-feasible (forward
+  // reduced cost <= eps, i.e. the residual arc stays non-negative) and
+  // capacity remains. A customer left holding a negative unmatched arc
+  // has all its adopted matches dropped and the arcs registered for the
+  // label-correcting search — an unmatched customer has no incoming
+  // residual arc, so no negative cycle survives. After ResumeFrom the
+  // caller re-runs FindPair only for customers with unsatisfied demand.
+  ResumeStats ResumeFrom(const WarmSeed& seed, const std::vector<int>& seed_of,
+                         const std::vector<uint8_t>& adopt_match);
+
+  // Trajectory-replay seeding: hands customer i a seed customer's full
+  // discovery prefix (edges + buffered) as a stream seed. Because the
+  // discovery sequence is a pure function of (graph, source, candidate
+  // membership), the customer's Pops replay bit-identically to a cold
+  // run, minus the Dijkstra cost. Facilities absent from this matcher's
+  // catalog are filtered out. Must be called before the customer's
+  // stream is first touched; adopts no matcher state (edges, matches,
+  // potentials stay cold).
+  void SeedStreamPrefix(int customer, const WarmSeedCustomer& seed_customer);
+
   // Sum of matched distances (the running objective of G_b).
   double TotalCost() const;
 
@@ -134,6 +215,17 @@ class IncrementalMatcher {
   };
 
   int GbFacilityNode(int facility) const { return m_ + facility; }
+
+  // Catalog index of the facility on `node`, or -1 (also for
+  // out-of-range nodes from a stale seed).
+  int MapFacilityNode(NodeId node) const {
+    if (node < 0 ||
+        node >= static_cast<NodeId>(facility_index_of_node_.size())) {
+      return -1;
+    }
+    return facility_index_of_node_[node];
+  }
+  size_t StreamReserveHint() const;
 
   NearestFacilityStream& StreamFor(int customer);
   // Materializes customer's next nearest facility edge; returns false if

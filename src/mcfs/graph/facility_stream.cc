@@ -12,16 +12,46 @@ NearestFacilityStream::NearestFacilityStream(
     : dijkstra_(graph, customer, expected_nodes),
       facility_index_of_node_(facility_index_of_node) {}
 
+NearestFacilityStream::NearestFacilityStream(
+    const Graph* graph, NodeId customer,
+    const std::vector<int>* facility_index_of_node, StreamSeed seed,
+    size_t expected_nodes)
+    : dijkstra_(graph, customer, expected_nodes),
+      facility_index_of_node_(facility_index_of_node),
+      exhausted_(seed.exhausted) {
+  buffer_.reserve(seed.buffered.size());
+  for (const FacilityAtDistance& entry : seed.buffered) {
+    // Seeded entries were paid for by a previous run: zero attribution,
+    // so the logical stream/* counters charge only genuinely new work.
+    buffer_.push_back(BufferedCandidate{entry, 0, 0});
+  }
+  fast_forward_remaining_ =
+      seed.skip_discoveries + static_cast<int64_t>(seed.buffered.size());
+  prefetched_watermark_ = static_cast<int64_t>(seed.buffered.size());
+  if (!exhausted_ && seed.has_next) seeded_next_ = seed.next_distance;
+  MCFS_COUNT("exec/stream/seeded_entries",
+             static_cast<int64_t>(seed.buffered.size()));
+}
+
 bool NearestFacilityStream::AdvanceOne() {
   if (exhausted_) return false;
   while (true) {
     std::optional<SettledNode> settled = dijkstra_.NextSettled();
     if (!settled.has_value()) {
       exhausted_ = true;
+      seeded_next_.reset();
       return false;
     }
     const int facility = (*facility_index_of_node_)[settled->node];
     if (facility >= 0) {
+      if (fast_forward_remaining_ > 0) {
+        // Re-discovery of a seeded (or previously consumed) candidate:
+        // already served from the buffer or accounted by the caller.
+        --fast_forward_remaining_;
+        MCFS_COUNT("exec/stream/fast_forward_skips", 1);
+        continue;
+      }
+      seeded_next_.reset();
       buffer_.push_back(
           BufferedCandidate{FacilityAtDistance{facility, settled->distance},
                             static_cast<int64_t>(dijkstra_.num_settled()),
@@ -47,7 +77,13 @@ void NearestFacilityStream::Prefetch(int count) {
 }
 
 double NearestFacilityStream::PeekDistance() {
-  if (BufferedCount() == 0 && !AdvanceOne()) return kInfDistance;
+  if (BufferedCount() == 0) {
+    // A still-pending seed knows the next distance: answer without
+    // starting the Dijkstra (this keeps warm Theorem-1 threshold scans
+    // free until the consumer genuinely advances past the seed).
+    if (seeded_next_.has_value()) return *seeded_next_;
+    if (!AdvanceOne()) return kInfDistance;
+  }
   return buffer_[buffer_head_].candidate.distance;
 }
 

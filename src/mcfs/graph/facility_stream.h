@@ -17,6 +17,28 @@ struct FacilityAtDistance {
   double distance = kInfDistance;
 };
 
+// Warm-start state for a NearestFacilityStream. Because the discovery
+// sequence is a pure function of (graph, source, facility membership),
+// a prior run's discoveries can be handed back to a fresh stream and
+// served without re-running the Dijkstra; the Dijkstra only starts when
+// the consumer advances past everything the seed covered, at which
+// point it fast-forwards through the already-accounted discoveries.
+struct StreamSeed {
+  // Pre-discovered candidates, served in order before any Dijkstra work.
+  std::vector<FacilityAtDistance> buffered;
+  // Discoveries already consumed by the previous run (the caller kept
+  // them elsewhere, e.g. as materialized bipartite edges). Skipped —
+  // together with `buffered` — when the Dijkstra eventually runs.
+  int skip_discoveries = 0;
+  // The previous run proved there is nothing beyond the seeded entries.
+  bool exhausted = false;
+  // Distance of the first discovery after `buffered`, when the previous
+  // run knew it (e.g. from its own still-pending seed). Lets
+  // PeekDistance() answer past the buffer without touching the Dijkstra.
+  bool has_next = false;
+  double next_distance = kInfDistance;
+};
+
 // Streams the candidate facilities reachable from one customer in
 // non-decreasing network-distance order, lazily expanding an
 // IncrementalDijkstra. This is the "next NN of x in G" primitive of
@@ -55,6 +77,17 @@ class NearestFacilityStream {
                         const std::vector<int>* facility_index_of_node,
                         size_t expected_nodes = 0);
 
+  // Warm construction: serves `seed.buffered` first and defers the
+  // Dijkstra until the consumer advances past the seeded prefix. The
+  // caller is responsible for the seed matching the *current* facility
+  // membership map (entries for facilities no longer in the map must be
+  // filtered out, and skip_discoveries counted under the current map);
+  // under that contract the Pop() sequence is identical to a cold
+  // stream's, only cheaper.
+  NearestFacilityStream(const Graph* graph, NodeId customer,
+                        const std::vector<int>* facility_index_of_node,
+                        StreamSeed seed, size_t expected_nodes = 0);
+
   // Exact network distance of the next not-yet-popped candidate
   // facility, or kInfDistance when the customer's component has no more
   // candidate facilities.
@@ -78,6 +111,26 @@ class NearestFacilityStream {
 
   NodeId customer() const { return dijkstra_.source(); }
   int num_popped() const { return num_popped_; }
+
+  // --- Warm-seed export accessors (read-only; see StreamSeed). ---
+
+  // Discovered-but-unpopped candidates in pop order.
+  std::vector<FacilityAtDistance> BufferedEntries() const {
+    std::vector<FacilityAtDistance> out;
+    out.reserve(buffer_.size() - buffer_head_);
+    for (size_t i = buffer_head_; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[i].candidate);
+    }
+    return out;
+  }
+
+  // True when the component is known to hold no candidates beyond the
+  // buffered ones. Unlike Exhausted(), never advances the Dijkstra.
+  bool DijkstraExhausted() const { return exhausted_; }
+
+  // Distance of the first discovery beyond the buffer, when known
+  // without Dijkstra work (still-pending seed); nullopt otherwise.
+  std::optional<double> KnownNextDistance() const { return seeded_next_; }
 
  private:
   // A discovered candidate plus the cumulative Dijkstra work at its
@@ -106,6 +159,12 @@ class NearestFacilityStream {
   // Discovery index below which candidates were buffered by Prefetch()
   // (drives the exec/stream/prefetch_hit|miss split at Pop time).
   int64_t prefetched_watermark_ = 0;
+  // Seeded discoveries the lazily-started Dijkstra must skip before it
+  // produces anything new (previously consumed + handed-in buffer).
+  int64_t fast_forward_remaining_ = 0;
+  // Seed-known distance of the first post-buffer discovery; cleared the
+  // moment the Dijkstra actually reaches new ground.
+  std::optional<double> seeded_next_;
   // Cumulative Dijkstra work already charged to popped candidates.
   int64_t attributed_settled_ = 0;
   int64_t attributed_relaxed_ = 0;

@@ -57,6 +57,16 @@ std::string ServiceReport::Json() const {
       << ", \"phase_seconds\": {\"queue\": " << JsonNumber(queue_seconds_total)
       << ", \"preprocess\": " << JsonNumber(preprocess_seconds_total)
       << ", \"solve\": " << JsonNumber(solve_seconds_total) << "}"
+      << ", \"resolve\": {\"updates\": " << resolve_updates
+      << ", \"noop_updates\": " << resolve_noop_updates
+      << ", \"ops_applied\": " << resolve_ops_applied
+      << ", \"components_dirtied\": " << resolve_components_dirtied
+      << ", \"warm\": " << resolves_warm << ", \"cold\": " << resolves_cold
+      << ", \"verify_rejections\": " << resolve_verify_rejections
+      << ", \"warm_customers_reused\": " << warm_customers_reused
+      << ", \"warm_customers_repaired\": " << warm_customers_repaired
+      << ", \"warm_seconds\": " << JsonNumber(resolve_warm_seconds)
+      << ", \"cold_seconds\": " << JsonNumber(resolve_cold_seconds) << "}"
       << ", \"amortization\": {\"cold_preprocess_seconds_per_request\": "
       << JsonNumber(cold_estimate)
       << ", \"warm_preprocess_seconds_per_request\": "

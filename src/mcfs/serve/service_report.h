@@ -41,6 +41,19 @@ struct ServiceReport {
   double preprocess_seconds_total = 0.0;
   double solve_seconds_total = 0.0;
 
+  // --- Incremental re-solve (DESIGN.md §4.10) ---
+  int64_t resolve_updates = 0;       // state-changing updates applied
+  int64_t resolve_noop_updates = 0;  // updates detected as no-ops
+  int64_t resolve_ops_applied = 0;   // typed ops across ApplyUpdate calls
+  int64_t resolve_components_dirtied = 0;  // dirty bits flipped 0 -> 1
+  int64_t resolves_warm = 0;         // ResolveTracked runs off a seed
+  int64_t resolves_cold = 0;         // ResolveTracked cold runs
+  int64_t resolve_verify_rejections = 0;  // warm solves the verifier vetoed
+  int64_t warm_customers_reused = 0;      // adopted from the previous epoch
+  int64_t warm_customers_repaired = 0;    // re-enqueued after the resume
+  double resolve_warm_seconds = 0.0;
+  double resolve_cold_seconds = 0.0;
+
   LatencySummary latency;
 
   std::string Json() const;

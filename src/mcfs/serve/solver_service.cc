@@ -134,36 +134,449 @@ SolverService::SnapshotWarmState() const {
   return warm_state_;
 }
 
-void SolverService::UpdateCapacities(std::vector<int> capacities) {
-  // Serialized read-build-publish: two concurrent updates must not read
-  // the same epoch and publish twins.
-  std::lock_guard<std::mutex> update_lock(update_mutex_);
-  std::vector<NodeId> nodes;
-  uint64_t next_epoch = 0;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    nodes = warm_state_->facility_nodes;
-    next_epoch = warm_state_->epoch + 1;
+int SolverService::MarkDirty(const std::vector<uint8_t>& stream_dirty,
+                             const std::vector<uint8_t>& match_dirty) {
+  const size_t size = std::max(stream_dirty.size(), match_dirty.size());
+  if (resolve_.stream_dirty.size() < size) {
+    resolve_.stream_dirty.resize(size, 0);
+    resolve_.match_dirty.resize(size, 0);
   }
-  PublishWarmState(
-      BuildWarmState(next_epoch, std::move(nodes), std::move(capacities)));
+  int newly = 0;
+  for (size_t g = 0; g < size; ++g) {
+    if (g < stream_dirty.size() && stream_dirty[g] != 0 &&
+        resolve_.stream_dirty[g] == 0) {
+      resolve_.stream_dirty[g] = 1;
+      ++newly;
+    }
+    if (g < match_dirty.size() && match_dirty[g] != 0 &&
+        resolve_.match_dirty[g] == 0) {
+      resolve_.match_dirty[g] = 1;
+      ++newly;
+    }
+  }
+  if (newly > 0) {
+    MCFS_COUNT("resolve/components_dirtied", newly);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_components_dirtied += newly;
+  }
+  return newly;
 }
 
-void SolverService::UpdateCandidates(std::vector<NodeId> facility_nodes,
-                                     std::vector<int> capacities) {
+Status SolverService::UpdateCapacities(std::vector<int> capacities) {
+  // Serialized read-validate-build-publish: two concurrent updates must
+  // not read the same epoch and publish twins. resolve_mutex_ is taken
+  // second (the service-wide lock order) so the dirty bits and the warm
+  // state move together.
   std::lock_guard<std::mutex> update_lock(update_mutex_);
-  uint64_t next_epoch = 0;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    next_epoch = warm_state_->epoch + 1;
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  if (capacities.size() != warm->facility_nodes.size()) {
+    return InvalidInputError(
+        "capacity vector has " + std::to_string(capacities.size()) +
+        " entries for a catalog of " +
+        std::to_string(warm->facility_nodes.size()));
   }
-  PublishWarmState(BuildWarmState(next_epoch, std::move(facility_nodes),
+  for (size_t j = 0; j < capacities.size(); ++j) {
+    if (capacities[j] < 0) {
+      return InvalidInputError("negative capacity " +
+                               std::to_string(capacities[j]) + " (facility " +
+                               std::to_string(j) + ")");
+    }
+  }
+  if (capacities == warm->capacities) {
+    // No-op delta: the state is already exactly this. Keep the epoch —
+    // and with it the response cache and the warm-resolve seed.
+    MCFS_COUNT("resolve/noop_updates", 1);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_noop_updates++;
+    return OkStatus();
+  }
+  // Capacity increases relax the matching problem: the resumed matching
+  // could no longer be optimal in those components (decreases only shed
+  // overflow, which the resume handles in place).
+  std::vector<uint8_t> match_dirty(warm->components.num_components, 0);
+  for (size_t j = 0; j < capacities.size(); ++j) {
+    if (capacities[j] > warm->capacities[j]) {
+      match_dirty[warm->components.component_of[warm->facility_nodes[j]]] = 1;
+    }
+  }
+  MarkDirty({}, match_dirty);
+  std::vector<NodeId> nodes = warm->facility_nodes;
+  PublishWarmState(BuildWarmState(warm->epoch + 1, std::move(nodes),
                                   std::move(capacities)));
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_updates++;
+  }
+  return OkStatus();
+}
+
+Status SolverService::UpdateCandidates(std::vector<NodeId> facility_nodes,
+                                       std::vector<int> capacities) {
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  if (facility_nodes.size() != capacities.size()) {
+    return InvalidInputError(
+        "catalog has " + std::to_string(facility_nodes.size()) +
+        " facility nodes but " + std::to_string(capacities.size()) +
+        " capacities");
+  }
+  const int num_nodes = graph_->NumNodes();
+  std::vector<int> index_of_node(num_nodes, -1);
+  for (size_t j = 0; j < facility_nodes.size(); ++j) {
+    const NodeId node = facility_nodes[j];
+    if (node < 0 || node >= num_nodes) {
+      return InvalidInputError("facility node " + std::to_string(node) +
+                               " out of range (facility " + std::to_string(j) +
+                               ")");
+    }
+    if (index_of_node[node] >= 0) {
+      // Same shape as DiagnoseInstance's duplicate diagnosis.
+      return InvalidInputError("duplicate facility node " +
+                               std::to_string(node) + " (facility " +
+                               std::to_string(j) + ")");
+    }
+    index_of_node[node] = static_cast<int>(j);
+    if (capacities[j] < 0) {
+      return InvalidInputError("negative capacity " +
+                               std::to_string(capacities[j]) + " (facility " +
+                               std::to_string(j) + ")");
+    }
+  }
+  if (facility_nodes == warm->facility_nodes &&
+      capacities == warm->capacities) {
+    MCFS_COUNT("resolve/noop_updates", 1);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_noop_updates++;
+    return OkStatus();
+  }
+  // Added candidates invalidate their component's discovery prefixes
+  // (the new facility can appear mid-prefix) and matches; capacity
+  // increases on persisting nodes invalidate matches only.
+  std::vector<uint8_t> stream_dirty(warm->components.num_components, 0);
+  std::vector<uint8_t> match_dirty(warm->components.num_components, 0);
+  for (size_t j = 0; j < facility_nodes.size(); ++j) {
+    const NodeId node = facility_nodes[j];
+    const int old_index =
+        node < static_cast<NodeId>(warm->facility_index_of_node.size())
+            ? warm->facility_index_of_node[node]
+            : -1;
+    const int g = warm->components.component_of[node];
+    if (old_index < 0) {
+      stream_dirty[g] = 1;
+      match_dirty[g] = 1;
+    } else if (capacities[j] > warm->capacities[old_index]) {
+      match_dirty[g] = 1;
+    }
+  }
+  MarkDirty(stream_dirty, match_dirty);
+  PublishWarmState(BuildWarmState(warm->epoch + 1, std::move(facility_nodes),
+                                  std::move(capacities)));
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_updates++;
+  }
+  return OkStatus();
+}
+
+StatusOr<UpdateResult> SolverService::ApplyUpdate(
+    const UpdateRequest& update) {
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  const int num_nodes = graph_->NumNodes();
+
+  // Working copies: every op validates against (and mutates) these, and
+  // nothing is committed until all ops passed — all-or-nothing.
+  std::vector<NodeId> nodes = warm->facility_nodes;
+  std::vector<int> caps = warm->capacities;
+  std::vector<int> index_of_node = warm->facility_index_of_node;
+  std::vector<NodeId> tracked = tracked_customers_;
+  std::vector<uint8_t> stream_dirty(warm->components.num_components, 0);
+  std::vector<uint8_t> match_dirty(warm->components.num_components, 0);
+
+  for (size_t op_index = 0; op_index < update.ops.size(); ++op_index) {
+    const UpdateOp& op = update.ops[op_index];
+    auto op_error = [op_index](const std::string& message) {
+      return InvalidInputError("update op " + std::to_string(op_index) +
+                               ": " + message);
+    };
+    if (op.node < 0 || op.node >= num_nodes) {
+      return op_error("node " + std::to_string(op.node) +
+                      " out of range [0, " + std::to_string(num_nodes) + ")");
+    }
+    const int g = warm->components.component_of[op.node];
+    switch (op.kind) {
+      case UpdateKind::kCapacityDelta: {
+        const int j = index_of_node[op.node];
+        if (j < 0) {
+          return op_error("capacity delta on node " +
+                          std::to_string(op.node) +
+                          " which holds no candidate facility");
+        }
+        const int next = caps[j] + op.capacity_delta;
+        if (next < 0) {
+          return op_error("capacity of the facility at node " +
+                          std::to_string(op.node) + " would drop to " +
+                          std::to_string(next));
+        }
+        if (op.capacity_delta > 0) match_dirty[g] = 1;
+        caps[j] = next;
+        break;
+      }
+      case UpdateKind::kCandidateAdd: {
+        if (index_of_node[op.node] >= 0) {
+          // Same shape as DiagnoseInstance's duplicate diagnosis.
+          return op_error("duplicate facility node " +
+                          std::to_string(op.node) + " (facility " +
+                          std::to_string(index_of_node[op.node]) + ")");
+        }
+        if (op.capacity_delta < 0) {
+          return op_error("negative capacity " +
+                          std::to_string(op.capacity_delta) +
+                          " for the candidate added at node " +
+                          std::to_string(op.node));
+        }
+        index_of_node[op.node] = static_cast<int>(nodes.size());
+        nodes.push_back(op.node);
+        caps.push_back(op.capacity_delta);
+        stream_dirty[g] = 1;
+        match_dirty[g] = 1;
+        break;
+      }
+      case UpdateKind::kCandidateRemove: {
+        const int j = index_of_node[op.node];
+        if (j < 0) {
+          return op_error("no candidate facility at node " +
+                          std::to_string(op.node) + " to remove");
+        }
+        // Swap-remove; the catalog order changes, which is fine — the
+        // catalog defines itself and warm seeds are node-keyed.
+        index_of_node[op.node] = -1;
+        const int last = static_cast<int>(nodes.size()) - 1;
+        if (j != last) {
+          nodes[j] = nodes[last];
+          caps[j] = caps[last];
+          index_of_node[nodes[j]] = j;
+        }
+        nodes.pop_back();
+        caps.pop_back();
+        break;
+      }
+      case UpdateKind::kCustomerArrive: {
+        tracked.push_back(op.node);
+        break;
+      }
+      case UpdateKind::kCustomerDepart: {
+        bool found = false;
+        for (size_t i = tracked.size(); i-- > 0;) {
+          if (tracked[i] == op.node) {
+            tracked.erase(tracked.begin() + static_cast<int64_t>(i));
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return op_error("no tracked customer at node " +
+                          std::to_string(op.node) + " to depart");
+        }
+        break;
+      }
+    }
+  }
+
+  MCFS_COUNT("resolve/deltas_classified",
+             static_cast<int64_t>(update.ops.size()));
+
+  UpdateResult out;
+  out.ops_applied = static_cast<int>(update.ops.size());
+  const bool catalog_changed =
+      nodes != warm->facility_nodes || caps != warm->capacities;
+  const bool tracked_changed = tracked != tracked_customers_;
+  if (!catalog_changed && !tracked_changed) {
+    out.noop = true;
+    out.epoch = warm->epoch;
+    MCFS_COUNT("resolve/noop_updates", 1);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_noop_updates++;
+    stats_.resolve_ops_applied += out.ops_applied;
+    return out;
+  }
+  out.components_dirtied = MarkDirty(stream_dirty, match_dirty);
+  if (catalog_changed) {
+    PublishWarmState(
+        BuildWarmState(warm->epoch + 1, std::move(nodes), std::move(caps)));
+    out.epoch_bumped = true;
+    out.epoch = warm->epoch + 1;
+  } else {
+    out.epoch = warm->epoch;
+  }
+  tracked_customers_ = std::move(tracked);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.resolve_updates++;
+    stats_.resolve_ops_applied += out.ops_applied;
+  }
+  return out;
 }
 
 uint64_t SolverService::epoch() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return warm_state_->epoch;
+}
+
+McfsInstance SolverService::TrackedInstance(int k) const {
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  McfsInstance instance;
+  instance.graph = graph_;
+  instance.customers = tracked_customers_;
+  instance.facility_nodes = warm->facility_nodes;
+  instance.capacities = warm->capacities;
+  instance.k = k;
+  return instance;
+}
+
+size_t SolverService::tracked_customer_count() const {
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  return tracked_customers_.size();
+}
+
+SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
+                                            bool force_cold) {
+  MCFS_SPAN("resolve/tracked");
+  // Held for the whole solve: the seed, the dirty bits, and the tracked
+  // population must not move under a resolve, and concurrent resolves
+  // would race on the exported seed. Updates queue behind (lock order:
+  // update_mutex_ -> resolve_mutex_, and we take only the latter).
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+
+  SolveResponse response;
+  response.epoch = warm->epoch;
+
+  McfsInstance instance;
+  instance.graph = graph_;
+  instance.customers = tracked_customers_;
+  instance.facility_nodes = warm->facility_nodes;
+  instance.capacities = warm->capacities;
+  instance.k = k;
+
+  WallTimer preprocess_timer;
+  if (!WarmValidate(*warm, instance, {})) {
+    // Invalid or infeasible state for this k: report the canonical cold
+    // diagnosis and keep the seed — a later delta can restore validity.
+    response.status = ValidateInstance(instance);
+    MCFS_CHECK(!response.status.ok())
+        << "warm validation rejected an instance the cold path accepts";
+    response.preprocess_seconds = preprocess_timer.Seconds();
+    return response;
+  }
+  response.preprocess_seconds = preprocess_timer.Seconds();
+
+  if (instance.m() == 0) {
+    response.solution.feasible = true;
+    resolve_.seed.reset();  // nothing to resume from next time
+    return response;
+  }
+
+  WmaOptions wma = options_.wma;
+  wma.deadline_ms = deadline_ms;
+  wma.deadline = Deadline::Infinite();
+  wma.cancel = nullptr;
+  wma.export_warm_seed = true;
+
+  const bool warm_started = !force_cold && !wma.naive &&
+                            resolve_.seed != nullptr && resolve_.seed_k == k &&
+                            !resolve_.seed->trajectory.customers.empty();
+  if (warm_started) {
+    wma.warm_seed = resolve_.seed;
+    // Expand the per-component dirty bits into per-seed-customer
+    // invalidation masks (the narrowing that makes repairs cheap: clean
+    // components resume wholesale).
+    const std::vector<WarmSeedCustomer>& seeded =
+        resolve_.seed->trajectory.customers;
+    wma.warm_stream_invalid.assign(seeded.size(), 0);
+    wma.warm_match_invalid.assign(seeded.size(), 0);
+    for (size_t s = 0; s < seeded.size(); ++s) {
+      const int g = warm->components.component_of[seeded[s].node];
+      if (g < static_cast<int>(resolve_.stream_dirty.size()) &&
+          resolve_.stream_dirty[g] != 0) {
+        wma.warm_stream_invalid[s] = 1;
+      }
+      if (g < static_cast<int>(resolve_.match_dirty.size()) &&
+          resolve_.match_dirty[g] != 0) {
+        wma.warm_match_invalid[s] = 1;
+      }
+    }
+  }
+
+  WallTimer solve_timer;
+  WmaResult result = RunWma(instance, wma);
+  response.solve_seconds = solve_timer.Seconds();
+
+  bool fell_back_cold = false;
+  if (warm_started) {
+    // Safety net: every warm-started solve is verified independently,
+    // whatever options_.verify says. A bad verdict falls back to cold.
+    const VerifyReport verdict = VerifySolution(instance, result.solution);
+    response.verify_ran = true;
+    response.verify_ok = verdict.ok;
+    if (!verdict.ok) {
+      MCFS_COUNT("resolve/verify_rejections", 1);
+      {
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        stats_.resolve_verify_rejections++;
+      }
+      WmaOptions cold = options_.wma;
+      cold.deadline_ms = deadline_ms;
+      cold.deadline = Deadline::Infinite();
+      cold.cancel = nullptr;
+      cold.export_warm_seed = true;
+      WallTimer cold_timer;
+      result = RunWma(instance, cold);
+      response.solve_seconds += cold_timer.Seconds();
+      const VerifyReport cold_verdict =
+          VerifySolution(instance, result.solution);
+      response.verify_ok = cold_verdict.ok;
+      fell_back_cold = true;
+    }
+  } else if (options_.verify) {
+    const VerifyReport verdict = VerifySolution(instance, result.solution);
+    response.verify_ran = true;
+    response.verify_ok = verdict.ok;
+  }
+
+  response.solution = std::move(result.solution);
+  response.stats = std::move(result.stats);
+
+  // The exported end-of-run state seeds the next resolve; the deltas it
+  // saw are now baked in, so the dirty bits reset.
+  resolve_.seed = std::move(result.warm_seed);
+  resolve_.seed_k = k;
+  std::fill(resolve_.stream_dirty.begin(), resolve_.stream_dirty.end(), 0);
+  std::fill(resolve_.match_dirty.begin(), resolve_.match_dirty.end(), 0);
+
+  const bool counted_warm = warm_started && !fell_back_cold;
+  if (counted_warm) {
+    MCFS_COUNT("resolve/warm_repairs", 1);
+  } else {
+    MCFS_COUNT("resolve/cold_fallbacks", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    if (counted_warm) {
+      stats_.resolves_warm++;
+      stats_.resolve_warm_seconds += response.solve_seconds;
+    } else {
+      stats_.resolves_cold++;
+      stats_.resolve_cold_seconds += response.solve_seconds;
+    }
+    stats_.warm_customers_reused += response.stats.warm_customers_reused;
+    stats_.warm_customers_repaired += response.stats.warm_customers_repaired;
+  }
+  return response;
 }
 
 std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {

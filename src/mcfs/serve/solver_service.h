@@ -69,6 +69,59 @@ struct ServiceOptions {
   WmaOptions wma;
 };
 
+// --- Delta-typed updates (DESIGN.md §4.10) ---
+//
+// Instead of replacing whole catalogs, callers describe what changed.
+// The service classifies each delta, accumulates per-component dirty
+// bits against the previous ResolveTracked's warm seed, and the next
+// re-solve repairs the previous epoch's matching instead of
+// cold-running WMA.
+
+enum class UpdateKind {
+  // `node` holds a catalog facility; its capacity changes by
+  // `capacity_delta`. Decreases are warm-repairable in place (the
+  // resumed matching sheds deterministic overflow); increases dirty the
+  // component's matches (a relaxed constraint can lower the optimum).
+  kCapacityDelta = 0,
+  // `node` joins the catalog with capacity `capacity_delta` (>= 0).
+  // Dirties the component's streams and matches: a new candidate can
+  // appear anywhere inside a customer's discovery prefix.
+  kCandidateAdd,
+  // The facility on `node` leaves the catalog. Warm-repairable: stale
+  // edges/matches are filtered at resume and their customers re-enqueued.
+  kCandidateRemove,
+  // One customer appears on `node` (tracked population).
+  kCustomerArrive,
+  // One tracked customer on `node` departs.
+  kCustomerDepart,
+};
+
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kCapacityDelta;
+  NodeId node = -1;
+  // kCapacityDelta: signed change; kCandidateAdd: initial capacity.
+  int capacity_delta = 0;
+};
+
+// One atomic delta: every op is validated up front and either all ops
+// apply or none do.
+struct UpdateRequest {
+  std::vector<UpdateOp> ops;
+};
+
+// How ApplyUpdate classified and applied a delta.
+struct UpdateResult {
+  uint64_t epoch = 0;          // epoch after the update
+  bool epoch_bumped = false;   // catalog changed -> new warm state
+  bool noop = false;           // state identical afterwards; epoch kept
+  // The next ResolveTracked can still repair from its seed (per-
+  // component invalidation only). Every supported op kind is
+  // warm-repairable; kept explicit for forward compatibility.
+  bool warm_repairable = true;
+  int components_dirtied = 0;  // components newly invalidated
+  int ops_applied = 0;
+};
+
 struct SolveRequest {
   std::vector<NodeId> customers;
   int k = 0;
@@ -137,10 +190,44 @@ class SolverService {
 
   // Catalog updates (the core/dynamic scenario): bump the epoch,
   // rebuild the warm state, invalidate the solve cache. In-flight
-  // requests finish under the snapshot they started with.
-  void UpdateCapacities(std::vector<int> capacities);
-  void UpdateCandidates(std::vector<NodeId> facility_nodes,
-                        std::vector<int> capacities);
+  // requests finish under the snapshot they started with. A no-op
+  // update (new state identical to the current one) keeps the epoch and
+  // the response cache. Structural defects (size mismatch, negative
+  // capacity, out-of-range or duplicate facility node) are rejected
+  // with kInvalidInput and change nothing.
+  Status UpdateCapacities(std::vector<int> capacities);
+  Status UpdateCandidates(std::vector<NodeId> facility_nodes,
+                          std::vector<int> capacities);
+
+  // Applies one typed delta atomically: every op is validated first and
+  // a failure (kInvalidInput naming the offending op and node) leaves
+  // catalog, tracked population, and epoch untouched. Catalog-changing
+  // deltas bump the epoch and publish a fresh warm state; customer-only
+  // deltas do not. Deltas that leave the state identical are detected
+  // as no-ops (epoch and cache kept). Per-component dirty bits
+  // accumulate for the next ResolveTracked.
+  StatusOr<UpdateResult> ApplyUpdate(const UpdateRequest& update);
+
+  // Re-solves the current catalog + tracked customer population for a
+  // budget of k, warm-starting from the previous ResolveTracked's
+  // exported seed whenever the deltas since then allow it (same k, seed
+  // present, per-component dirty bits narrowing what gets re-enqueued).
+  // Every warm-started solve runs the independent verifier as a safety
+  // net; a failed verdict falls back to a cold solve (counted under
+  // resolve/verify_rejections). The response is equal in objective to a
+  // cold SolveWma on TrackedInstance(k) — and bit-identical in solution
+  // bytes when nothing changed since the seed was exported.
+  // `deadline_ms` 0 = unlimited; `force_cold` skips the seed (the
+  // bench's cold baseline). Serialized: concurrent calls run one at a
+  // time.
+  SolveResponse ResolveTracked(int k, int64_t deadline_ms = 0,
+                               bool force_cold = false);
+
+  // Snapshot of the instance ResolveTracked(k) would solve.
+  McfsInstance TrackedInstance(int k) const;
+
+  // Current tracked customer population size.
+  size_t tracked_customer_count() const;
 
   uint64_t epoch() const;
 
@@ -207,12 +294,33 @@ class SolverService {
   bool WarmValidate(const WarmState& warm, const McfsInstance& instance,
                     const std::vector<int>& subset) const;
 
+  // Warm-resolve state (DESIGN.md §4.10): the previous ResolveTracked's
+  // exported seed plus per-component dirty bits accumulated by updates
+  // since that export. Guarded by resolve_mutex_, which is held for the
+  // whole of ResolveTracked — updates racing a resolve serialize behind
+  // it (lock order: update_mutex_ -> resolve_mutex_ -> the rest).
+  struct ResolveState {
+    std::shared_ptr<const WmaWarmSeed> seed;
+    int seed_k = 0;
+    std::vector<uint8_t> stream_dirty;  // per graph component
+    std::vector<uint8_t> match_dirty;
+  };
+
+  // Marks component dirty bits (resizing lazily), returning how many
+  // (component, kind) bits flipped 0 -> 1. Caller holds resolve_mutex_.
+  int MarkDirty(const std::vector<uint8_t>& stream_dirty,
+                const std::vector<uint8_t>& match_dirty);
+
   const Graph* graph_;
   ServiceOptions options_;
 
   mutable std::mutex state_mutex_;  // guards the warm_state_ pointer
   std::mutex update_mutex_;  // serializes whole catalog updates
   std::shared_ptr<const WarmState> warm_state_;
+
+  mutable std::mutex resolve_mutex_;
+  ResolveState resolve_;
+  std::vector<NodeId> tracked_customers_;  // guarded by resolve_mutex_
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
