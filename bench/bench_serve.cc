@@ -14,6 +14,17 @@
 // epoch cache), --clients, --serve-threads, --queue-depth, --max-batch,
 // --deadline-ms, --verify, plus the standard --scale / --seed.
 //
+// Observability (DESIGN.md §4.11): --introspect-every-ms N samples
+// SolverService::DebugSnapshot() every N ms during the load phase and
+// writes one JSON line per sample to --introspect-out (always at least
+// one line — a final snapshot lands after the load drains). --slo-ms /
+// --slo-error-budget configure a "default" latency SLO tier whose burn
+// shows up in the service report. --postmortem-out PATH runs a
+// deterministic failure probe after the load: a tiny service whose
+// solves expire on a seeded Deadline::AfterPolls budget, so a tracked
+// resolve deadline-terminates and auto-dumps a flight-recorder
+// postmortem to PATH (the JSON CI validates).
+//
 // Churn mode (--churn): replays hourly bike_sim deltas against one
 // long-lived service — per epoch, ~--churn-rate of the tracked bikes
 // depart/arrive, a few station capacities shift, and occasionally a
@@ -26,6 +37,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -371,6 +383,14 @@ int main(int argc, char** argv) {
   options.max_batch = static_cast<int>(flags.GetInt("max-batch", 8));
   options.default_deadline_ms = bench.deadline_ms;
   options.verify = bench.verify;
+  const double slo_ms = flags.GetDouble("slo-ms", 0.0);
+  if (slo_ms > 0.0) {
+    SloPolicy slo;
+    slo.tier = "default";
+    slo.target_latency_ms = slo_ms;
+    slo.error_budget = flags.GetDouble("slo-error-budget", 0.01);
+    options.slos.push_back(std::move(slo));
+  }
 
   // The request mix: varying customer counts around an occupancy the
   // instances stay feasible at, repeated `repeat` times so the service
@@ -414,6 +434,29 @@ int main(int argc, char** argv) {
 
   // --- service (warm) path: closed-loop clients over a shared index ---
   SolverService service(&city, facilities, capacities, options);
+
+  // Live introspection sampler: one DebugSnapshot JSON line per tick
+  // while the load runs, plus a final one after the queue drains (so the
+  // file is non-empty even when the load finishes inside one tick).
+  const int introspect_every_ms =
+      static_cast<int>(flags.GetInt("introspect-every-ms", 0));
+  const std::string introspect_out =
+      flags.GetString("introspect-out", "introspect.jsonl");
+  std::atomic<bool> introspect_stop{false};
+  std::thread introspector;
+  if (introspect_every_ms > 0 && !introspect_out.empty()) {
+    introspector = std::thread([&] {
+      std::ofstream file(introspect_out);
+      while (!introspect_stop.load(std::memory_order_relaxed)) {
+        file << service.DebugSnapshot().Json() << "\n";
+        file.flush();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(introspect_every_ms));
+      }
+      file << service.DebugSnapshot().Json() << "\n";
+    });
+  }
+
   std::vector<SolveResponse> responses(n);
   std::atomic<int> next{0};
   timer.Restart();
@@ -427,6 +470,12 @@ int main(int argc, char** argv) {
   }
   for (std::thread& worker : workers) worker.join();
   const double service_seconds = timer.Seconds();
+  if (introspector.joinable()) {
+    introspect_stop.store(true, std::memory_order_relaxed);
+    introspector.join();
+    std::printf("(introspection snapshots written to %s)\n",
+                introspect_out.c_str());
+  }
 
   int mismatches = 0;
   for (int r = 0; r < n; ++r) {
@@ -468,6 +517,14 @@ int main(int argc, char** argv) {
       static_cast<long long>(report.cache_hits),
       static_cast<long long>(report.batches), report.max_batch_size);
 
+  for (const SloReport& slo : report.slos) {
+    std::printf(
+        "slo %s: %lld/%lld over %.1fms target, budget burn %.2f\n",
+        slo.tier.c_str(), static_cast<long long>(slo.violations),
+        static_cast<long long>(slo.requests), slo.target_latency_ms,
+        slo.burn);
+  }
+
   const std::string service_report_out =
       flags.GetString("service-report-out",
                       flags.GetString("service_report_out",
@@ -476,6 +533,38 @@ int main(int argc, char** argv) {
       report.WriteJson(service_report_out)) {
     std::printf("(service report written to %s)\n",
                 service_report_out.c_str());
+  }
+
+  // Deterministic postmortem probe (CI validates the dumped JSON): a
+  // tiny service whose every solve expires on a seeded poll budget, so
+  // the tracked resolve deadline-terminates and auto-dumps a
+  // flight-recorder postmortem with the failing request's trace id.
+  const std::string postmortem_out = flags.GetString("postmortem-out", "");
+  if (!postmortem_out.empty()) {
+    ServiceOptions probe = options;
+    probe.flight_recorder = true;
+    probe.postmortem_path = postmortem_out;
+    probe.wma.deadline = Deadline::AfterPolls(2);
+    SolverService probe_service(&city, facilities, capacities, probe);
+    UpdateRequest arrivals;
+    for (const NodeId customer : requests[0].customers) {
+      arrivals.ops.push_back({UpdateKind::kCustomerArrive, customer, 0});
+    }
+    const StatusOr<UpdateResult> applied = probe_service.ApplyUpdate(arrivals);
+    if (!applied.ok()) {
+      std::printf("postmortem probe arrivals rejected: %s\n",
+                  applied.status().ToString().c_str());
+      return 1;
+    }
+    const SolveResponse probed = probe_service.ResolveTracked(k);
+    if (probe_service.LastPostmortem().empty()) {
+      std::printf("postmortem probe produced no dump (termination %d)\n",
+                  static_cast<int>(probed.solution.termination));
+      return 1;
+    }
+    std::printf("(postmortem probe: trace %llu dumped to %s)\n",
+                static_cast<unsigned long long>(probed.trace_id),
+                postmortem_out.c_str());
   }
   bench_util::FlushArtifacts(flags);
 

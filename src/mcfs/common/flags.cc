@@ -50,7 +50,7 @@ Flags::Flags(int argc, char** argv) {
 
 StatusOr<double> Flags::TryGetDouble(const std::string& name,
                                      double default_value) const {
-  auto it = values_.find(name);
+  auto it = values_.find(NormalizeName(name));
   if (it == values_.end()) return default_value;
   const std::string& value = it->second;
   if (value.empty()) return BadValueError(name, value, "empty value");
@@ -73,7 +73,7 @@ StatusOr<double> Flags::TryGetDouble(const std::string& name,
 
 StatusOr<int64_t> Flags::TryGetInt(const std::string& name,
                                    int64_t default_value) const {
-  auto it = values_.find(name);
+  auto it = values_.find(NormalizeName(name));
   if (it == values_.end()) return default_value;
   const std::string& value = it->second;
   if (value.empty()) return BadValueError(name, value, "empty value");
@@ -106,12 +106,12 @@ int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
 
 std::string Flags::GetString(const std::string& name,
                              const std::string& default_value) const {
-  auto it = values_.find(name);
+  auto it = values_.find(NormalizeName(name));
   return it == values_.end() ? default_value : it->second;
 }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {
-  auto it = values_.find(name);
+  auto it = values_.find(NormalizeName(name));
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "mcfs/obs/metrics.h"
+#include "mcfs/obs/trace.h"
 
 namespace mcfs {
 
@@ -103,8 +104,11 @@ void ThreadPool::WorkerLoop(int worker_index) {
       job = job_;
     }
     // Worker w owns participant index w + 1 (the caller is 0); workers
-    // beyond the job's participant cap simply report done.
+    // beyond the job's participant cap simply report done. The caller's
+    // trace context rides along with the job so all instrumentation in
+    // the loop body stays attributed to the dispatching request.
     if (worker_index + 1 < job.participants) {
+      obs::ScopedTraceContext trace_scope(job.trace_id);
       RunChunks(job, worker_index + 1);
     }
     {
@@ -153,6 +157,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job.num_chunks = num_chunks;
   job.participants = participants;
   job.fn = &fn;
+  job.trace_id = obs::CurrentTraceId();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = job;

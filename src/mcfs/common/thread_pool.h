@@ -82,6 +82,11 @@ class ThreadPool {
     int64_t num_chunks = 0;
     int participants = 0;  // chunk owners, including the caller
     const std::function<void(int64_t)>* fn = nullptr;
+    // The dispatching caller's trace context: installed on every worker
+    // for the duration of its chunks, so spans, flight-recorder events
+    // and histogram exemplars emitted inside a parallel loop stay
+    // attributed to the request that dispatched it (DESIGN.md §4.11).
+    uint64_t trace_id = 0;
   };
 
   void WorkerLoop(int worker_index);

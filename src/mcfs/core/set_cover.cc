@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "mcfs/common/check.h"
+#include "mcfs/obs/flight_recorder.h"
 #include "mcfs/obs/metrics.h"
 
 namespace mcfs {
@@ -100,6 +101,9 @@ CoverResult CheckCover(const CoverInput& input,
   MCFS_COUNT("cover/recency_tiebreaks", recency_tiebreaks);
   MCFS_COUNT("cover/selections",
              static_cast<int64_t>(result.selected.size()));
+  MCFS_RECORD("cover/check_cover",
+              static_cast<int64_t>(result.selected.size()),
+              candidates_scanned);
 
   for (const int j : result.selected) last_selected[j] = iteration;
 

@@ -13,6 +13,7 @@
 #include "mcfs/core/validate.h"
 #include "mcfs/flow/matcher.h"
 #include "mcfs/graph/facility_stream.h"
+#include "mcfs/obs/flight_recorder.h"
 #include "mcfs/obs/metrics.h"
 #include "mcfs/obs/trace.h"
 
@@ -200,7 +201,16 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   MCFS_CHECK_GT(instance.k, 0);
 
   if (options.metrics) obs::EnableMetrics(true);
+  // Request-scoped attribution (DESIGN.md §4.11): install the caller's
+  // trace context for the whole run, so every span / flight event /
+  // histogram exemplar below — including those emitted by ParallelFor
+  // workers, which inherit the dispatching context — carries it. With
+  // trace_id == 0 the caller's already-installed context (if any) is
+  // kept.
+  obs::ScopedTraceContext trace_scope(
+      options.trace_id != 0 ? options.trace_id : obs::CurrentTraceId());
   MCFS_SPAN("wma/run");
+  MCFS_RECORD("wma/run_begin", instance.m(), instance.l());
   WallTimer total_timer;
   WmaResult result;
   const int m = instance.m();
@@ -243,6 +253,8 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
           static_cast<int64_t>(sc.edges.size() + sc.buffered.size());
     }
     MCFS_COUNT("wma/warm_stream_entries", result.stats.warm_stream_entries);
+    MCFS_RECORD("wma/warm_seed_streams", result.stats.warm_stream_entries,
+                static_cast<int64_t>(warm->trajectory.customers.size()));
   }
 
   // Cooperative deadline (DESIGN.md §4.8): polled at the iteration top,
@@ -288,6 +300,7 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
     }
     MCFS_SPAN("wma/iteration");
     MCFS_COUNT("wma/iterations", 1);
+    MCFS_RECORD("wma/phase/iteration", iteration, 0);
     const int64_t dijkstra_runs_before =
         matcher != nullptr ? matcher->num_dijkstra_runs() : 0;
     const int64_t edges_before =
@@ -342,7 +355,11 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
       }
     }
     result.stats.matching_seconds += matching_seconds;
-    if (deadline_fired) break;  // keep the previous iteration's cover
+    MCFS_HISTOGRAM("wma/matching_seconds", matching_seconds);
+    if (deadline_fired) {
+      MCFS_RECORD("wma/deadline_hit", iteration, /*phase=matching*/ 0);
+      break;  // keep the previous iteration's cover
+    }
 
     double cover_seconds = 0.0;
     {
@@ -361,6 +378,7 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
       if (cover.deadline_expired) deadline_fired = true;
     }
     result.stats.cover_seconds += cover_seconds;
+    MCFS_HISTOGRAM("wma/cover_seconds", cover_seconds);
     result.stats.iterations = static_cast<int>(iteration) + 1;
 
     if (options.collect_iteration_stats) {
@@ -379,7 +397,10 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
       }
       result.stats.per_iteration.push_back(iter_stats);
     }
-    if (deadline_fired) break;  // partial greedy prefix is still usable
+    if (deadline_fired) {
+      MCFS_RECORD("wma/deadline_hit", iteration, /*phase=cover*/ 1);
+      break;  // partial greedy prefix is still usable
+    }
     if (cover.all_delta_zero) break;
     int64_t demand_increments = 0;
     for (int i = 0; i < m; ++i) {
@@ -402,6 +423,9 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   std::unique_ptr<IncrementalMatcher> final_matcher;
   {
     MCFS_SPAN("wma/final_assign");
+    MCFS_RECORD("wma/phase/final_assign",
+                static_cast<int64_t>(selected.size()),
+                result.stats.iterations);
     ScopedTimer final_timer(&result.stats.final_assign_seconds,
                             "wma/final_assign_seconds");
     if (options.naive) {
@@ -445,6 +469,7 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
         }
         final_matcher->ResumeFrom(warm->final_assign, seed_of, adopt_match);
         result.stats.warm_final_resumed = true;
+        MCFS_RECORD("wma/warm/final_resumed", m, 0);
         for (int i = 0; i < m; ++i) {
           if (final_matcher->CustomerMatchCount(i) >= 1) {
             ++result.stats.warm_customers_reused;
@@ -504,6 +529,9 @@ WmaResult RunWma(const McfsInstance& instance, const WmaOptions& options) {
   result.solution.termination = termination;
   result.stats.termination = termination;
   result.stats.total_seconds = total_timer.Seconds();
+  MCFS_HISTOGRAM("wma/total_seconds", result.stats.total_seconds);
+  MCFS_RECORD("wma/run_end", static_cast<int64_t>(termination),
+              result.stats.iterations);
   return result;
 }
 

@@ -95,6 +95,15 @@ struct WmaOptions {
   // Export the end-of-run matcher state into WmaResult::warm_seed (only
   // the exact variant exports; naive runs leave it null).
   bool export_warm_seed = false;
+
+  // --- Request-scoped attribution (DESIGN.md §4.11) ---
+  // Trace context id for this solve. When nonzero, RunWma installs it
+  // as the calling thread's obs::ScopedTraceContext for the whole run,
+  // so every span, flight-recorder event and histogram exemplar emitted
+  // by the solve (including inside ParallelFor workers) carries this
+  // id. 0 = inherit whatever context the caller already installed.
+  // Purely observational: has no effect on the computed solution.
+  uint64_t trace_id = 0;
 };
 
 // Per-iteration instrumentation (covered customers after CheckCover,

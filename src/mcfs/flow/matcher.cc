@@ -5,6 +5,7 @@
 #include "mcfs/common/check.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/graph/dijkstra.h"
+#include "mcfs/obs/flight_recorder.h"
 #include "mcfs/obs/metrics.h"
 
 namespace mcfs {
@@ -573,6 +574,12 @@ IncrementalMatcher::ResumeStats IncrementalMatcher::ResumeFrom(
   MCFS_COUNT("matcher/warm_edges_adopted", stats.edges_adopted);
   MCFS_COUNT("matcher/warm_matches_adopted", stats.matches_adopted);
   MCFS_COUNT("matcher/warm_matches_dropped", stats.matches_dropped);
+  // Warm-seed repair decision: how much of the previous epoch survived
+  // re-validation (a = adopted matches, b = shed matches). The shape of
+  // these pairs in a postmortem tells an operator whether a slow warm
+  // solve degenerated into a near-cold one.
+  MCFS_RECORD("matcher/warm_resume", stats.matches_adopted,
+              stats.matches_dropped);
   return stats;
 }
 

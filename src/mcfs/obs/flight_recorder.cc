@@ -1,0 +1,172 @@
+#include "mcfs/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "mcfs/obs/metrics.h"
+#include "mcfs/obs/trace.h"
+
+namespace mcfs {
+namespace obs {
+
+std::atomic<bool> g_flight_enabled{false};
+
+namespace {
+
+// One seqlock-guarded slot. The owner thread writes: seq -> odd,
+// fields, seq -> even. A reader accepts the slot only when it observes
+// the same even sequence before and after reading the fields. All
+// fields are atomics, so a concurrent read of a slot mid-write is a
+// *skipped* slot, never a data race.
+struct FlightSlot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int64_t> t_us{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<int64_t> a{0};
+  std::atomic<int64_t> b{0};
+};
+
+struct FlightRing {
+  int tid = 0;
+  // Total events ever recorded on this ring; slot = head % capacity.
+  // Written only by the owner; read by dumpers.
+  std::atomic<int64_t> head{0};
+  FlightSlot slots[kFlightRingCapacity];
+};
+
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  int next_tid = 1;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* registry = new RingRegistry();
+  return *registry;
+}
+
+FlightRing& LocalRing() {
+  thread_local const std::shared_ptr<FlightRing> ring = [] {
+    auto created = std::make_shared<FlightRing>();
+    RingRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    created->tid = registry.next_tid++;
+    registry.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+// MCFS_FLIGHT_RECORDER=1 turns the recorder on for the whole process.
+const bool g_env_init = [] {
+  const char* env = std::getenv("MCFS_FLIGHT_RECORDER");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    g_flight_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void EnableFlightRecorder(bool enabled) {
+  (void)g_env_init;
+  g_flight_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void RecordFlightEvent(const char* name, int64_t a, int64_t b) {
+  FlightRing& ring = LocalRing();
+  const int64_t head = ring.head.load(std::memory_order_relaxed);
+  FlightSlot& slot = ring.slots[head % kFlightRingCapacity];
+  const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);  // odd: in progress
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.t_us.store(TraceNowUs(), std::memory_order_relaxed);
+  slot.trace_id.store(CurrentTraceId(), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: committed
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> CollectFlightEvents(int max_events) {
+  std::vector<FlightEvent> all;
+  {
+    RingRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& ring : registry.rings) {
+      const int64_t head = ring->head.load(std::memory_order_acquire);
+      const int64_t begin =
+          head > kFlightRingCapacity ? head - kFlightRingCapacity : 0;
+      for (int64_t i = begin; i < head; ++i) {
+        const FlightSlot& slot = ring->slots[i % kFlightRingCapacity];
+        const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+        if (seq_before == 0 || (seq_before & 1) != 0) continue;
+        FlightEvent event;
+        const char* name = slot.name.load(std::memory_order_relaxed);
+        event.tid = ring->tid;
+        event.t_us = slot.t_us.load(std::memory_order_relaxed);
+        event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+        event.a = slot.a.load(std::memory_order_relaxed);
+        event.b = slot.b.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const uint64_t seq_after = slot.seq.load(std::memory_order_relaxed);
+        // Skip slots overwritten while being read (the writer may have
+        // lapped the ring between head load and here).
+        if (seq_after != seq_before || name == nullptr) continue;
+        event.name = name;
+        event.index = i;
+        all.push_back(std::move(event));
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              if (a.t_us != b.t_us) return a.t_us < b.t_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.index < b.index;
+            });
+  if (max_events > 0 && static_cast<int64_t>(all.size()) > max_events) {
+    all.erase(all.begin(), all.end() - max_events);
+  }
+  return all;
+}
+
+void ClearFlightEvents() {
+  RingRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    // Clearing from a foreign thread races benignly with the owner's
+    // recording (all atomics); tests call this while rings are quiet.
+    for (FlightSlot& slot : ring->slots) {
+      const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+      slot.seq.store(seq + 1, std::memory_order_release);
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.seq.store(seq + 2, std::memory_order_release);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::string FlightEventsJson(int max_events) {
+  const std::vector<FlightEvent> events = CollectFlightEvents(max_events);
+  std::string json = "[";
+  bool first = true;
+  for (const FlightEvent& event : events) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n{\"name\": \"" + JsonEscape(event.name) +
+            "\", \"tid\": " + std::to_string(event.tid) +
+            ", \"t_us\": " + std::to_string(event.t_us) +
+            ", \"trace_id\": " + std::to_string(event.trace_id) +
+            ", \"a\": " + std::to_string(event.a) +
+            ", \"b\": " + std::to_string(event.b) + "}";
+  }
+  json += "\n]";
+  return json;
+}
+
+}  // namespace obs
+}  // namespace mcfs

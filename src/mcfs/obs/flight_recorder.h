@@ -1,0 +1,93 @@
+#ifndef MCFS_OBS_FLIGHT_RECORDER_H_
+#define MCFS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfs {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Flight recorder (DESIGN.md §4.11): a bounded, lock-free, per-thread
+// ring of recent structured events — phase transitions, epoch swaps,
+// warm-seed repair decisions, deadline hits. Unlike spans (which need
+// tracing enabled and grow without bound) the recorder runs
+// continuously at fixed memory, so when a solve goes wrong the last few
+// hundred events per thread are already in memory and can be dumped as
+// a bounded JSON postmortem — automatically on verifier rejection,
+// kInternal/kInfeasible responses, or deadline-exceeded warm solves
+// (see SolverService), or on demand.
+//
+// Concurrency: each thread owns one ring; only the owner writes.
+// Readers (postmortem dumps from any thread) use a per-slot seqlock:
+// the writer bumps the slot's sequence to odd, stores the fields, then
+// bumps it to even; a reader that sees an odd or changed sequence skips
+// that slot. Every field is a std::atomic accessed with explicit
+// ordering, so concurrent dump-while-recording is race-free under TSan
+// — a torn slot is *skipped*, never misread. Event names must be
+// string literals (the ring stores the pointer, never copies).
+//
+// Cost when disabled: one relaxed atomic load per MCFS_RECORD site.
+// Enable with EnableFlightRecorder(true) or MCFS_FLIGHT_RECORDER=1;
+// SolverService enables it for its own threads when configured.
+// ---------------------------------------------------------------------------
+
+// Events kept per thread. 256 slots x 6 words ≈ 12 KiB per thread.
+inline constexpr int kFlightRingCapacity = 256;
+
+extern std::atomic<bool> g_flight_enabled;
+
+inline bool FlightRecorderEnabled() {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableFlightRecorder(bool enabled);
+
+// One event as read back out of a ring. `a`/`b` are event-specific
+// payloads (epoch numbers, counts, facility ids — documented at each
+// call site and in DESIGN.md §4.11).
+struct FlightEvent {
+  std::string name;
+  int tid = 0;
+  int64_t t_us = 0;      // TraceNowUs() at record time
+  uint64_t trace_id = 0; // CurrentTraceId() at record time
+  int64_t a = 0;
+  int64_t b = 0;
+  // Per-thread record ordinal — ties the sort when many events share
+  // one microsecond, so a thread's events always read back in program
+  // order.
+  int64_t index = 0;
+};
+
+// Records one event on the calling thread's ring (no-op when the
+// recorder is disabled). `name` MUST be a string literal or otherwise
+// immortal: the ring keeps the pointer.
+void RecordFlightEvent(const char* name, int64_t a = 0, int64_t b = 0);
+
+// The most recent `max_events` events across every thread's ring,
+// oldest first (sorted by record time). Slots being concurrently
+// overwritten are skipped. `max_events <= 0` means no limit.
+std::vector<FlightEvent> CollectFlightEvents(int max_events);
+
+// Clears every ring (testing; rings stay registered).
+void ClearFlightEvents();
+
+// Renders the most recent `max_events` events as a JSON array of
+// objects: [{"name","tid","t_us","trace_id","a","b"}, ...].
+std::string FlightEventsJson(int max_events);
+
+}  // namespace obs
+}  // namespace mcfs
+
+// Records a structured flight-recorder event when the recorder is
+// enabled. `name` must be a string literal; a/b are int64 payloads.
+#define MCFS_RECORD(name, a, b)                        \
+  do {                                                 \
+    if (::mcfs::obs::FlightRecorderEnabled()) {        \
+      ::mcfs::obs::RecordFlightEvent((name), (a), (b)); \
+    }                                                  \
+  } while (0)
+
+#endif  // MCFS_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,123 @@
+#ifndef MCFS_OBS_HISTOGRAM_H_
+#define MCFS_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mcfs {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Fixed-boundary log-scale histograms (DESIGN.md §4.11).
+//
+// Every Histogram in the process shares ONE boundary table of
+// kHistogramBuckets buckets spanning [kHistogramMinBound, ~3e3) in
+// geometric steps of kHistogramGrowth, plus an overflow bucket. Fixed
+// boundaries make histograms mergeable across threads and across
+// snapshots by plain bucket-wise addition, and make quantile error
+// bounded by one bucket width (a factor of kHistogramGrowth) by
+// construction. Values are expected in *seconds*: the table covers
+// 1 microsecond .. ~50 minutes, which brackets every latency this
+// code base measures.
+//
+// Concurrency: like Counter/Distribution, buckets are sharded across
+// kMetricShards cache-line-padded slots indexed by MetricShardIndex(),
+// so concurrent Observe() calls on different threads do not contend.
+// Count/sum/min/max are tracked exactly (min/max via CAS), so a
+// HistogramSnapshot can report the exact max alongside bucketed
+// quantiles — quantile estimates are clamped to the exact extremes.
+//
+// Exemplars: each bucket keeps the trace id (obs::CurrentTraceId()) of
+// the most recent observation that landed in it, in a single unsharded
+// atomic (last-writer-wins; exemplars are diagnostic pointers, not
+// statistics). Tail-bucket exemplars let an operator jump from "p99 is
+// bad" straight to a concrete offending request id.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kHistogramBuckets = 64;
+inline constexpr double kHistogramMinBound = 1e-6;
+inline constexpr double kHistogramGrowth = 1.4;
+
+// Upper bound (exclusive) of bucket `i` for i < kHistogramBuckets - 1:
+// kHistogramMinBound * kHistogramGrowth^i. The last bucket is overflow
+// (+inf upper bound). Returned table has kHistogramBuckets entries.
+const double* HistogramBoundaries();
+
+// Bucket index for `value`: first bucket whose upper bound exceeds it.
+// Negative/zero/NaN values clamp into bucket 0 (they are measurement
+// noise, not data — exact min/max still record them faithfully except
+// NaN, which is dropped by the caller contract).
+int HistogramBucketFor(double value);
+
+// Aggregated view of a Histogram at one point in time. Mergeable:
+// bucket-wise add, count/sum add, min/max fold.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  int64_t buckets[kHistogramBuckets] = {0};
+  // Last trace id observed per bucket; 0 = none/unattributed.
+  uint64_t exemplars[kHistogramBuckets] = {0};
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  // Nearest-rank quantile over the bucketed counts, q in [0,1]. The
+  // estimate is the upper boundary of the bucket holding the rank,
+  // clamped to [min, max] so p99 <= max and p0 >= min always hold.
+  // Returns 0.0 when empty (callers emit null for empty histograms).
+  double Quantile(double q) const;
+
+  // Trace id of the most recent observation in the highest non-empty
+  // bucket at or above quantile `q` (0 when none) — the "tail
+  // exemplar" for jumping from a bad percentile to a request id.
+  uint64_t TailExemplar(double q) const;
+
+  void Merge(const HistogramSnapshot& other);
+};
+
+// Log-scale histogram with cache-line-padded per-thread shards.
+class Histogram {
+ public:
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  // Records `value` (seconds). NaN is ignored; negative values clamp
+  // into bucket 0. Also tags the bucket's exemplar with the calling
+  // thread's CurrentTraceId() when nonzero.
+  void Observe(double value);
+
+  // Merges the shards in slot order (deterministic: integer sums).
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  // Sharding factor; kept as a distinct constant so histogram memory
+  // (16 shards x 64 buckets x 8B = 8 KiB per histogram) is a conscious
+  // choice, not an accident of kMetricShards changing.
+  static constexpr int kHistogramShards = 16;
+
+  struct alignas(64) Slot {
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::atomic<int64_t> buckets[kHistogramBuckets] = {};
+  };
+  std::string name_;
+  Slot slots_[kHistogramShards];
+  std::atomic<uint64_t> exemplars_[kHistogramBuckets] = {};
+};
+
+// Renders one snapshot as a JSON object: {"count":..,"sum":..,"min":..,
+// "max":..,"mean":..,"p50":..,"p95":..,"p99":..,"buckets":[[bound,count,
+// exemplar],...nonempty only]}. Empty histogram => all quantiles null.
+std::string HistogramJson(const HistogramSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace mcfs
+
+#endif  // MCFS_OBS_HISTOGRAM_H_

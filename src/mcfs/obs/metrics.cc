@@ -127,6 +127,13 @@ Distribution* MetricsRegistry::GetDistribution(const std::string& name) {
   return slot.get();
 }
 
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name);
+  return slot.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
@@ -136,6 +143,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, dist] : distributions_) {
     snapshot.distributions[name] = dist->Snapshot();
   }
+  for (const auto& [name, hist] : histograms_) {
+    snapshot.histograms[name] = hist->Snapshot();
+  }
   return snapshot;
 }
 
@@ -143,6 +153,7 @@ void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, dist] : distributions_) dist->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
 }
 
 std::string JsonEscape(const std::string& text) {
@@ -192,6 +203,13 @@ std::string MetricsJson(const MetricsSnapshot& snapshot) {
             std::to_string(dist.count) + ", \"sum\": " + JsonNumber(dist.sum) +
             ", \"min\": " + JsonNumber(dist.min) +
             ", \"max\": " + JsonNumber(dist.max) + "}";
+  }
+  json += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + JsonEscape(name) + "\": " + HistogramJson(hist);
   }
   json += "}}";
   return json;

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <string>
 
+#include "mcfs/obs/histogram.h"
+
 namespace mcfs {
 namespace obs {
 
@@ -113,8 +115,11 @@ class Distribution {
 struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, DistSnapshot> distributions;
+  std::map<std::string, HistogramSnapshot> histograms;
 
-  bool empty() const { return counters.empty() && distributions.empty(); }
+  bool empty() const {
+    return counters.empty() && distributions.empty() && histograms.empty();
+  }
 };
 
 // Process-wide registry. Metric objects are created on first lookup and
@@ -126,6 +131,7 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name);
   Distribution* GetDistribution(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
 
   // Aggregated values of every registered metric, in name order.
   MetricsSnapshot Snapshot() const;
@@ -139,6 +145,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Distribution>> distributions_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 // Convenience wrappers.
@@ -183,6 +190,19 @@ std::string JsonNumber(double value);
       static ::mcfs::obs::Distribution* mcfs_obs_dist =               \
           ::mcfs::obs::MetricsRegistry::Get().GetDistribution(name);  \
       mcfs_obs_dist->Observe(value);                                  \
+    }                                                                 \
+  } while (0)
+
+// Records one observation (seconds) into the named log-scale histogram
+// when metrics are enabled. `name` must be a string literal. The
+// observation is tagged with the calling thread's current trace id as
+// the bucket exemplar.
+#define MCFS_HISTOGRAM(name, value)                                   \
+  do {                                                                \
+    if (::mcfs::obs::MetricsEnabled()) {                              \
+      static ::mcfs::obs::Histogram* mcfs_obs_hist =                  \
+          ::mcfs::obs::MetricsRegistry::Get().GetHistogram(name);     \
+      mcfs_obs_hist->Observe(value);                                  \
     }                                                                 \
   } while (0)
 

@@ -1,9 +1,11 @@
 #include "mcfs/obs/trace.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 
@@ -56,16 +58,44 @@ ThreadTraceBuffer& LocalBuffer() {
   return *buffer;
 }
 
+// The calling thread's current trace context. Plain thread_local (not
+// atomic): only the owning thread reads or writes it; cross-thread
+// propagation happens by value through ThreadPool::Job.
+thread_local uint64_t t_current_trace_id = 0;
+
+std::atomic<uint64_t> g_next_trace_id{1};
+
+// The process-exit trace-file writer registered by ConfigureTraceFile.
+// Guarded by its own mutex; registered with atexit at most once so
+// repeated ConfigureTraceFile calls just retarget the path.
+struct TraceFileSink {
+  std::mutex mutex;
+  std::string path;
+  bool atexit_registered = false;
+};
+
+TraceFileSink& Sink() {
+  static TraceFileSink* sink = new TraceFileSink();
+  return *sink;
+}
+
+void WriteTraceFileAtExit() {
+  std::string path;
+  {
+    TraceFileSink& sink = Sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    path = sink.path;
+  }
+  if (!path.empty()) WriteChromeTrace(path);
+}
+
 // MCFS_TRACE=<path>: enable tracing now, write the file at exit. Done
 // in a dynamic initializer so every binary honors the variable without
-// code changes.
+// code changes. An unopenable path warns once and leaves tracing off
+// (ConfigureTraceFile), instead of silently losing every span at exit.
 const bool g_env_init = [] {
   const char* env = std::getenv("MCFS_TRACE");
-  if (env != nullptr && env[0] != '\0') {
-    g_tracing_enabled.store(true, std::memory_order_relaxed);
-    static std::string path = env;
-    std::atexit([] { WriteChromeTrace(path); });
-  }
+  if (env != nullptr && env[0] != '\0') ConfigureTraceFile(env);
   return true;
 }();
 
@@ -76,6 +106,48 @@ void EnableTracing(bool enabled) {
   g_tracing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+bool ConfigureTraceFile(const std::string& path, std::string* error) {
+  // Probe with "a" so an existing trace from a parent process (or an
+  // earlier Configure call) is not truncated before the atexit writer
+  // replaces it with the real document.
+  std::FILE* probe = std::fopen(path.c_str(), "a");
+  if (probe == nullptr) {
+    std::string message = "mcfs: warning: MCFS_TRACE path \"" + path +
+                          "\" cannot be opened (" + std::strerror(errno) +
+                          "); tracing disabled";
+    std::fprintf(stderr, "%s\n", message.c_str());
+    if (error != nullptr) *error = std::move(message);
+    g_tracing_enabled.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  std::fclose(probe);
+  {
+    TraceFileSink& sink = Sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    sink.path = path;
+    if (!sink.atexit_registered) {
+      sink.atexit_registered = true;
+      std::atexit(WriteTraceFileAtExit);
+    }
+  }
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t CurrentTraceId() { return t_current_trace_id; }
+
+ScopedTraceContext::ScopedTraceContext(uint64_t trace_id)
+    : previous_(t_current_trace_id) {
+  t_current_trace_id = trace_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_trace_id = previous_; }
+
 int64_t TraceNowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                TraceEpoch())
@@ -85,6 +157,7 @@ int64_t TraceNowUs() {
 void TraceSpan::Begin(const char* name) {
   active_ = true;
   name_ = name;
+  trace_id_ = t_current_trace_id;
   ThreadTraceBuffer& buffer = LocalBuffer();
   ++buffer.depth;
   start_us_ = TraceNowUs();
@@ -95,8 +168,8 @@ void TraceSpan::End() {
   ThreadTraceBuffer& buffer = LocalBuffer();
   const int depth = --buffer.depth;
   std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.push_back(
-      {std::move(name_), buffer.tid, depth, start_us_, end_us - start_us_});
+  buffer.events.push_back({std::move(name_), buffer.tid, depth, start_us_,
+                           end_us - start_us_, trace_id_});
 }
 
 std::vector<TraceEvent> CollectTraceEvents() {
@@ -140,7 +213,8 @@ std::string ChromeTraceJson() {
             std::to_string(event.start_us) +
             ", \"dur\": " + std::to_string(event.dur_us) +
             ", \"pid\": 1, \"tid\": " + std::to_string(event.tid) +
-            ", \"args\": {\"depth\": " + std::to_string(event.depth) + "}}";
+            ", \"args\": {\"depth\": " + std::to_string(event.depth) +
+            ", \"trace_id\": " + std::to_string(event.trace_id) + "}}";
   }
   json += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return json;

@@ -18,13 +18,21 @@ namespace obs {
 // Tracing is off by default: a disabled span costs one relaxed atomic
 // load. Enable with EnableTracing(true), the MCFS_TRACE=<path>
 // environment variable (which also writes the file at process exit), or
-// the bench binaries' --trace-out=PATH flag.
+// the bench binaries' --trace-out=PATH flag. An MCFS_TRACE path that
+// cannot be opened emits one typed warning to stderr and leaves tracing
+// disabled — spans are never dropped silently (see ConfigureTraceFile).
 //
 // Span buffers are per-thread (no lock on the hot path is contended;
 // each buffer has a private mutex so collection is safe) and survive
 // thread exit, so pool workers' spans are always exported. Collect only
 // while no instrumented parallel section is running (ParallelFor joins
 // before returning, so after it returns the pool is quiescent).
+//
+// Request-scoped attribution (DESIGN.md §4.11): every span also records
+// the calling thread's *trace context* — a process-unique request id
+// installed with ScopedTraceContext and propagated into ThreadPool
+// workers by ParallelFor — so spans from one request remain attributable
+// across dispatcher batching and nested parallel sections.
 // ---------------------------------------------------------------------------
 
 extern std::atomic<bool> g_tracing_enabled;
@@ -35,15 +43,59 @@ inline bool TracingEnabled() {
 
 void EnableTracing(bool enabled);
 
+// Points the process-exit Chrome-trace writer at `path` and enables
+// tracing. The path is probed immediately: when it cannot be opened the
+// function prints one typed warning to stderr, fills `*error` (when
+// non-null) with the same message, DISABLES tracing, and returns false —
+// the MCFS_TRACE contract is "trace to this file or say loudly that you
+// cannot", never silent span loss. Called by the MCFS_TRACE environment
+// initializer; exposed for tests and embedding programs.
+bool ConfigureTraceFile(const std::string& path, std::string* error = nullptr);
+
+// --- Request-scoped trace contexts -----------------------------------------
+
+// A request-scoped identity: 0 means "no context" (process-wide /
+// background work). Carried on a thread-local, captured by spans and
+// flight-recorder events, and handed across ParallelFor dispatch.
+struct TraceContext {
+  uint64_t trace_id = 0;
+};
+
+// Process-unique nonzero trace id (atomic counter; never reused).
+uint64_t NewTraceId();
+
+// The calling thread's current trace id (0 when none is installed).
+uint64_t CurrentTraceId();
+
+// RAII installer: sets the calling thread's trace context for the
+// enclosing scope and restores the previous one on exit. Cheap (two
+// thread-local stores), so callers install it unconditionally — span
+// *recording* stays gated on TracingEnabled().
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(uint64_t trace_id);
+  explicit ScopedTraceContext(const TraceContext& context)
+      : ScopedTraceContext(context.trace_id) {}
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  uint64_t previous_ = 0;
+};
+
 // One completed span. Timestamps are steady-clock microseconds relative
 // to the process trace epoch; depth is the span nesting level on its
-// thread (0 = outermost), exported as an event argument.
+// thread (0 = outermost), exported as an event argument together with
+// the trace id active when the span began (0 = unattributed).
 struct TraceEvent {
   std::string name;
   int tid = 0;
   int depth = 0;
   int64_t start_us = 0;
   int64_t dur_us = 0;
+  uint64_t trace_id = 0;
 };
 
 // RAII span. The name is copied at construction, so temporaries are
@@ -71,6 +123,7 @@ class TraceSpan {
   bool active_ = false;
   std::string name_;
   int64_t start_us_ = 0;
+  uint64_t trace_id_ = 0;
 };
 
 // Steady-clock microseconds since the process trace epoch.
@@ -83,7 +136,7 @@ std::vector<TraceEvent> CollectTraceEvents();
 void ClearTrace();
 
 // Chrome trace_event JSON: {"traceEvents": [{"name", "cat", "ph": "X",
-// "ts", "dur", "pid", "tid", "args": {"depth"}} ...]}.
+// "ts", "dur", "pid", "tid", "args": {"depth", "trace_id"}} ...]}.
 std::string ChromeTraceJson();
 
 // Writes ChromeTraceJson() to `path`; false on I/O failure.

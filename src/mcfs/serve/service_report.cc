@@ -20,9 +20,61 @@ LatencySummary SummarizeLatencies(std::vector<double> samples) {
   // Nearest-rank on the sorted samples; with one sample every quantile
   // is that sample.
   summary.p50 = samples[(n - 1) / 2];
+  summary.p95 = samples[(n - 1) * 95 / 100];
   summary.p99 = samples[(n - 1) * 99 / 100];
   summary.max = samples.back();
   return summary;
+}
+
+LatencySummary SummarizeHistogram(const obs::HistogramSnapshot& snapshot) {
+  LatencySummary summary;
+  if (snapshot.count == 0) return summary;
+  summary.count = snapshot.count;
+  summary.mean = snapshot.Mean();
+  summary.p50 = snapshot.Quantile(0.50);
+  summary.p95 = snapshot.Quantile(0.95);
+  summary.p99 = snapshot.Quantile(0.99);
+  summary.max = snapshot.max;
+  summary.p99_exemplar = snapshot.TailExemplar(0.99);
+  return summary;
+}
+
+std::string LatencySummaryJson(const LatencySummary& latency) {
+  using obs::JsonNumber;
+  std::ostringstream out;
+  out << "{\"count\": " << latency.count;
+  if (latency.count == 0) {
+    out << ", \"mean\": null, \"p50\": null, \"p95\": null"
+        << ", \"p99\": null, \"max\": null, \"p99_exemplar\": null}";
+  } else {
+    out << ", \"mean\": " << JsonNumber(latency.mean)
+        << ", \"p50\": " << JsonNumber(latency.p50)
+        << ", \"p95\": " << JsonNumber(latency.p95)
+        << ", \"p99\": " << JsonNumber(latency.p99)
+        << ", \"max\": " << JsonNumber(latency.max)
+        << ", \"p99_exemplar\": " << latency.p99_exemplar << "}";
+  }
+  return out.str();
+}
+
+std::string SloReportsJson(const std::vector<SloReport>& slos) {
+  using obs::JsonNumber;
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < slos.size(); ++i) {
+    const SloReport& slo = slos[i];
+    if (i > 0) out << ", ";
+    out << "{\"tier\": \"" << obs::JsonEscape(slo.tier) << "\""
+        << ", \"target_latency_ms\": " << JsonNumber(slo.target_latency_ms)
+        << ", \"error_budget\": " << JsonNumber(slo.error_budget)
+        << ", \"requests\": " << slo.requests
+        << ", \"violations\": " << slo.violations
+        << ", \"burn\": " << JsonNumber(slo.burn)
+        << ", \"last_violation_trace_id\": " << slo.last_violation_trace_id
+        << "}";
+  }
+  out << "]";
+  return out.str();
 }
 
 std::string ServiceReport::Json() const {
@@ -48,12 +100,13 @@ std::string ServiceReport::Json() const {
       << ", \"cache_hits\": " << cache_hits
       << ", \"deadline_terminations\": " << deadline_terminations << "}"
       << ", \"batches\": {\"count\": " << batches
-      << ", \"max_size\": " << max_batch_size << "}"
-      << ", \"latency_seconds\": {\"count\": " << latency.count
-      << ", \"mean\": " << JsonNumber(latency.mean)
-      << ", \"p50\": " << JsonNumber(latency.p50)
-      << ", \"p99\": " << JsonNumber(latency.p99)
-      << ", \"max\": " << JsonNumber(latency.max) << "}"
+      << ", \"max_size\": " << max_batch_size << "}";
+  // Latency block: histogram-derived quantiles. An empty histogram has
+  // no statistics — the helper emits explicit nulls so consumers never
+  // see 0.0 (or worse, +/-inf fold results) masquerading as a
+  // measurement.
+  out << ", \"latency_seconds\": " << LatencySummaryJson(latency);
+  out << ", \"slo\": " << SloReportsJson(slos)
       << ", \"phase_seconds\": {\"queue\": " << JsonNumber(queue_seconds_total)
       << ", \"preprocess\": " << JsonNumber(preprocess_seconds_total)
       << ", \"solve\": " << JsonNumber(solve_seconds_total) << "}"
@@ -67,6 +120,7 @@ std::string ServiceReport::Json() const {
       << ", \"warm_customers_repaired\": " << warm_customers_repaired
       << ", \"warm_seconds\": " << JsonNumber(resolve_warm_seconds)
       << ", \"cold_seconds\": " << JsonNumber(resolve_cold_seconds) << "}"
+      << ", \"postmortems\": " << postmortems
       << ", \"amortization\": {\"cold_preprocess_seconds_per_request\": "
       << JsonNumber(cold_estimate)
       << ", \"warm_preprocess_seconds_per_request\": "

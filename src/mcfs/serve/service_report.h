@@ -5,15 +5,41 @@
 #include <string>
 #include <vector>
 
+#include "mcfs/obs/histogram.h"
+
 namespace mcfs {
 
 // End-to-end request latency summary (seconds, admission to completion).
+// Derived from the service's log-scale latency histogram — quantiles
+// are exact to within one histogram bucket width (a factor of
+// obs::kHistogramGrowth) and clamped to the exact tracked max, so
+// p50 <= p95 <= p99 <= max always holds. `count == 0` means "no data":
+// Json() then emits null for every statistic, never garbage.
 struct LatencySummary {
   int64_t count = 0;
   double mean = 0.0;
   double p50 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   double max = 0.0;
+  // Trace id of a recent request in the tail (>= p99) bucket, 0 when
+  // unattributed — the "why is p99 bad" jump-off point.
+  uint64_t p99_exemplar = 0;
+};
+
+// Per-tier SLO accounting (DESIGN.md §4.11). A tier's error budget is
+// the tolerated fraction of requests allowed to miss the latency
+// target; `burn` is the fraction of that budget consumed so far
+// (violations / (budget * requests), >1 = budget blown).
+struct SloReport {
+  std::string tier;
+  double target_latency_ms = 0.0;
+  double error_budget = 0.0;  // tolerated violation fraction, in (0,1]
+  int64_t requests = 0;
+  int64_t violations = 0;
+  double burn = 0.0;
+  // Trace id of the most recent violating request (0 = none).
+  uint64_t last_violation_trace_id = 0;
 };
 
 // Aggregated SolverService statistics: request counts, batch shape,
@@ -54,15 +80,38 @@ struct ServiceReport {
   double resolve_warm_seconds = 0.0;
   double resolve_cold_seconds = 0.0;
 
+  // --- Observability v2 (DESIGN.md §4.11) ---
+  // Flight-recorder postmortems captured (verifier rejections,
+  // kInternal/kInfeasible responses, deadline-exceeded warm solves).
+  int64_t postmortems = 0;
+
   LatencySummary latency;
+  std::vector<SloReport> slos;  // one row per configured tier
 
   std::string Json() const;
   bool WriteJson(const std::string& path) const;
 };
 
 // Fills `latency` from raw per-request samples (sorts a copy; empty
-// input yields an all-zero summary).
+// input yields an all-zero summary). Exact nearest-rank quantiles —
+// kept as the brute-force reference the histogram path is tested
+// against (quantile agreement within one bucket width).
 LatencySummary SummarizeLatencies(std::vector<double> samples);
+
+// Fills `latency` from a log-scale histogram snapshot: exact
+// count/mean/max, bucket-quantile p50/p95/p99 clamped to the exact
+// extremes, and the tail exemplar trace id.
+LatencySummary SummarizeHistogram(const obs::HistogramSnapshot& snapshot);
+
+// JSON object for one latency summary: {"count":..,"mean":..,"p50":..,
+// "p95":..,"p99":..,"max":..,"p99_exemplar":..}. count == 0 emits null
+// for every statistic (no data is not the same as 0 seconds). Shared by
+// ServiceReport::Json and ServiceSnapshot::Json so the two stay
+// schema-identical.
+std::string LatencySummaryJson(const LatencySummary& latency);
+
+// JSON array of SLO rows, one object per tier.
+std::string SloReportsJson(const std::vector<SloReport>& slos);
 
 }  // namespace mcfs
 

@@ -1,7 +1,9 @@
 #include "mcfs/serve/solver_service.h"
 
 #include <algorithm>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <tuple>
 #include <utility>
 
@@ -10,6 +12,7 @@
 #include "mcfs/common/timer.h"
 #include "mcfs/core/validate.h"
 #include "mcfs/core/verifier.h"
+#include "mcfs/obs/flight_recorder.h"
 #include "mcfs/obs/metrics.h"
 #include "mcfs/obs/trace.h"
 
@@ -18,6 +21,20 @@ namespace mcfs {
 namespace {
 
 double NowSeconds() { return static_cast<double>(obs::TraceNowUs()) * 1e-6; }
+
+const char kDefaultTier[] = "default";
+
+// Runs `fn` when the scope unwinds (in-flight bookkeeping on functions
+// with several return points).
+template <typename F>
+struct ScopeExit {
+  F fn;
+  ~ScopeExit() { fn(); }
+};
+template <typename F>
+ScopeExit<F> OnScopeExit(F fn) {
+  return {std::move(fn)};
+}
 
 }  // namespace
 
@@ -60,6 +77,14 @@ SolverService::SolverService(const Graph* graph,
     : graph_(graph), options_(options) {
   MCFS_CHECK(graph_ != nullptr) << "SolverService needs a graph";
   MCFS_CHECK_EQ(facility_nodes.size(), capacities.size());
+  if (options_.flight_recorder) obs::EnableFlightRecorder(true);
+  slo_states_.reserve(options_.slos.size());
+  for (const SloPolicy& policy : options_.slos) {
+    SloState state;
+    state.policy = policy;
+    if (state.policy.tier.empty()) state.policy.tier = kDefaultTier;
+    slo_states_.push_back(std::move(state));
+  }
   PublishWarmState(
       BuildWarmState(1, std::move(facility_nodes), std::move(capacities)));
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
@@ -119,10 +144,12 @@ void SolverService::PublishWarmState(std::shared_ptr<const WarmState> state) {
     }
   }
   const double build_seconds = state->build_seconds;
+  const uint64_t epoch = state->epoch;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     warm_state_ = std::move(state);
   }
+  MCFS_RECORD("serve/epoch_swap", static_cast<int64_t>(epoch), 0);
   std::lock_guard<std::mutex> lock(report_mutex_);
   stats_.epochs_built++;
   stats_.warm_build_seconds += build_seconds;
@@ -413,6 +440,8 @@ StatusOr<UpdateResult> SolverService::ApplyUpdate(
     out.epoch = warm->epoch;
   }
   tracked_customers_ = std::move(tracked);
+  tracked_count_.store(static_cast<int64_t>(tracked_customers_.size()),
+                       std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(report_mutex_);
     stats_.resolve_updates++;
@@ -445,7 +474,18 @@ size_t SolverService::tracked_customer_count() const {
 
 SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
                                             bool force_cold) {
+  const uint64_t trace_id = obs::NewTraceId();
+  obs::ScopedTraceContext trace_scope(trace_id);
   MCFS_SPAN("resolve/tracked");
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    in_flight_.push_back(trace_id);
+  }
+  auto in_flight_guard = OnScopeExit([this, trace_id] {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    in_flight_.erase(
+        std::find(in_flight_.begin(), in_flight_.end(), trace_id));
+  });
   // Held for the whole solve: the seed, the dirty bits, and the tracked
   // population must not move under a resolve, and concurrent resolves
   // would race on the exported seed. Updates queue behind (lock order:
@@ -455,6 +495,7 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
 
   SolveResponse response;
   response.epoch = warm->epoch;
+  response.trace_id = trace_id;
 
   McfsInstance instance;
   instance.graph = graph_;
@@ -470,6 +511,9 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
     response.status = ValidateInstance(instance);
     MCFS_CHECK(!response.status.ok())
         << "warm validation rejected an instance the cold path accepts";
+    if (response.status.code() == StatusCode::kInfeasible) {
+      RecordPostmortem("infeasible", trace_id, warm->epoch);
+    }
     response.preprocess_seconds = preprocess_timer.Seconds();
     return response;
   }
@@ -481,11 +525,13 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
     return response;
   }
 
+  // options_.wma.deadline is copied through deliberately (each copy has
+  // its own poll budget) — that is how tests plant AfterPolls expiries.
   WmaOptions wma = options_.wma;
   wma.deadline_ms = deadline_ms;
-  wma.deadline = Deadline::Infinite();
   wma.cancel = nullptr;
   wma.export_warm_seed = true;
+  wma.trace_id = trace_id;
 
   const bool warm_started = !force_cold && !wma.naive &&
                             resolve_.seed != nullptr && resolve_.seed_k == k &&
@@ -522,18 +568,29 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
     // whatever options_.verify says. A bad verdict falls back to cold.
     const VerifyReport verdict = VerifySolution(instance, result.solution);
     response.verify_ran = true;
-    response.verify_ok = verdict.ok;
-    if (!verdict.ok) {
+    bool verify_ok = verdict.ok;
+    if (verify_ok && options_.inject_verify_failures > 0) {
+      // Fault injection (tests/CI): treat this verdict as a rejection so
+      // the whole failure path — postmortem capture + cold fallback —
+      // runs deterministically. The response stays correct.
+      options_.inject_verify_failures--;
+      MCFS_RECORD("resolve/inject_verify_failure",
+                  static_cast<int64_t>(trace_id), 0);
+      verify_ok = false;
+    }
+    response.verify_ok = verify_ok;
+    if (!verify_ok) {
       MCFS_COUNT("resolve/verify_rejections", 1);
       {
         std::lock_guard<std::mutex> lock(report_mutex_);
         stats_.resolve_verify_rejections++;
       }
+      RecordPostmortem("verify_rejection", trace_id, warm->epoch);
       WmaOptions cold = options_.wma;
       cold.deadline_ms = deadline_ms;
-      cold.deadline = Deadline::Infinite();
       cold.cancel = nullptr;
       cold.export_warm_seed = true;
+      cold.trace_id = trace_id;
       WallTimer cold_timer;
       result = RunWma(instance, cold);
       response.solve_seconds += cold_timer.Seconds();
@@ -546,6 +603,13 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
     const VerifyReport verdict = VerifySolution(instance, result.solution);
     response.verify_ran = true;
     response.verify_ok = verdict.ok;
+  }
+
+  if (result.solution.termination == Termination::kDeadline) {
+    // A deadline-cut tracked resolve hands back an anytime solution the
+    // next epoch builds on — exactly the situation a postmortem's recent
+    // phase history explains.
+    RecordPostmortem("warm_deadline", trace_id, warm->epoch);
   }
 
   response.solution = std::move(result.solution);
@@ -581,6 +645,10 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
 
 std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
   auto handle = std::make_shared<ResponseHandle>();
+  // Trace identity is assigned at admission so even a rejected request
+  // has a joinable id in spans / flight events / the response.
+  if (request.trace_id == 0) request.trace_id = obs::NewTraceId();
+  const uint64_t trace_id = request.trace_id;
   const char* rejection = nullptr;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -599,6 +667,7 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
       stats_.requests_rejected++;
     }
     SolveResponse response;
+    response.trace_id = trace_id;
     response.status = UnavailableError(
         std::string(rejection) + " (queue_depth = " +
         std::to_string(options_.queue_depth) + ")");
@@ -727,12 +796,27 @@ bool SolverService::WarmValidate(const WarmState& warm,
 }
 
 void SolverService::Execute(PendingRequest& pending) {
-  MCFS_SPAN("serve/request");
   const SolveRequest& request = pending.request;
+  // The trace context is installed before anything measurable happens:
+  // every span, flight event, and histogram exemplar below — including
+  // from the batch's ParallelFor workers, which inherit the id — joins
+  // back to this request, whichever batch or worker served it.
+  obs::ScopedTraceContext trace_scope(request.trace_id);
+  MCFS_SPAN("serve/request");
+  MCFS_RECORD("serve/request_begin",
+              static_cast<int64_t>(request.customers.size()), request.k);
+  // Erased by FinishRequest (every exit path runs it) *before* the
+  // handle completes, so a waiter never observes its own finished
+  // request as in flight.
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    in_flight_.push_back(request.trace_id);
+  }
   std::shared_ptr<const WarmState> warm = SnapshotWarmState();
 
   SolveResponse response;
   response.epoch = warm->epoch;
+  response.trace_id = request.trace_id;
   response.queue_seconds = NowSeconds() - pending.admitted_at;
 
   const int64_t deadline_ms = request.deadline_ms > 0
@@ -814,10 +898,12 @@ void SolverService::Execute(PendingRequest& pending) {
     return;
   }
 
+  // options_.wma.deadline is copied through deliberately (each copy has
+  // its own poll budget) — that is how tests plant AfterPolls expiries.
   WmaOptions wma = options_.wma;
   wma.deadline_ms = deadline_ms;
-  wma.deadline = Deadline::Infinite();
   wma.cancel = request.cancel;
+  wma.trace_id = request.trace_id;
   WallTimer solve_timer;
   WmaResult result = RunWma(instance, wma);
   response.solve_seconds = solve_timer.Seconds();
@@ -859,16 +945,32 @@ void SolverService::Execute(PendingRequest& pending) {
 void SolverService::FinishRequest(PendingRequest& pending,
                                   SolveResponse response) {
   const double latency = NowSeconds() - pending.admitted_at;
+  response.trace_id = pending.request.trace_id;
   MCFS_OBSERVE("serve/queue_seconds", response.queue_seconds);
   MCFS_OBSERVE("serve/solve_seconds", response.solve_seconds);
   MCFS_OBSERVE("serve/latency_seconds", latency);
+  // The report's quantiles come from here. Execute installed this
+  // request's trace context, so the bucket exemplar is its trace id.
+  latency_hist_.Observe(latency);
+  MCFS_RECORD("serve/request_end",
+              static_cast<int64_t>(response.trace_id),
+              static_cast<int64_t>(response.status.code()));
+  if (response.status.code() == StatusCode::kInfeasible) {
+    RecordPostmortem("infeasible", response.trace_id, response.epoch);
+  }
   if (response.status.ok()) {
     MCFS_COUNT("serve/requests_completed", 1);
   } else {
     MCFS_COUNT("serve/requests_failed", 1);
   }
+  const std::string tier =
+      pending.request.tier.empty() ? std::string(kDefaultTier)
+                                   : pending.request.tier;
   {
     std::lock_guard<std::mutex> lock(report_mutex_);
+    const auto in_flight_it =
+        std::find(in_flight_.begin(), in_flight_.end(), response.trace_id);
+    if (in_flight_it != in_flight_.end()) in_flight_.erase(in_flight_it);
     stats_.requests_completed++;
     if (!response.status.ok()) stats_.requests_failed++;
     stats_.queue_seconds_total += response.queue_seconds;
@@ -876,21 +978,133 @@ void SolverService::FinishRequest(PendingRequest& pending,
     stats_.solve_seconds_total += response.solve_seconds;
     if (response.cache_hit) stats_.cache_hits++;
     latency_samples_.push_back(latency);
+    for (SloState& slo : slo_states_) {
+      if (slo.policy.tier != tier) continue;
+      slo.requests++;
+      if (slo.policy.target_latency_ms > 0.0 &&
+          latency * 1000.0 > slo.policy.target_latency_ms) {
+        slo.violations++;
+        slo.last_violation_trace_id = response.trace_id;
+      }
+      break;
+    }
   }
   pending.handle->Complete(std::move(response));
 }
 
+std::vector<SloReport> SolverService::SloRowsLocked() const {
+  std::vector<SloReport> rows;
+  rows.reserve(slo_states_.size());
+  for (const SloState& state : slo_states_) {
+    SloReport row;
+    row.tier = state.policy.tier;
+    row.target_latency_ms = state.policy.target_latency_ms;
+    row.error_budget = state.policy.error_budget;
+    row.requests = state.requests;
+    row.violations = state.violations;
+    const double budget =
+        state.policy.error_budget * static_cast<double>(state.requests);
+    row.burn =
+        budget > 0.0 ? static_cast<double>(state.violations) / budget : 0.0;
+    row.last_violation_trace_id = state.last_violation_trace_id;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 ServiceReport SolverService::Report() const {
   ServiceReport report;
-  std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(report_mutex_);
     report = stats_;
-    samples = latency_samples_;
+    report.slos = SloRowsLocked();
   }
   report.epoch = epoch();
-  report.latency = SummarizeLatencies(std::move(samples));
+  report.latency = SummarizeHistogram(latency_hist_.Snapshot());
   return report;
+}
+
+ServiceSnapshot SolverService::DebugSnapshot() const {
+  ServiceSnapshot snap;
+  snap.t_us = obs::TraceNowUs();
+  snap.epoch = epoch();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    snap.queue_depth = static_cast<int>(queue_.size());
+  }
+  snap.queue_capacity = options_.queue_depth;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    snap.cache_size = static_cast<int>(cache_.size());
+  }
+  snap.cache_capacity = options_.cache_capacity;
+  // Relaxed mirror, not resolve_mutex_: a snapshot must never block
+  // behind a long ResolveTracked (that is the moment operators need it).
+  snap.tracked_customers = tracked_count_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    snap.in_flight = in_flight_;
+    snap.slos = SloRowsLocked();
+    snap.postmortems = stats_.postmortems;
+  }
+  snap.latency = SummarizeHistogram(latency_hist_.Snapshot());
+  return snap;
+}
+
+void SolverService::RecordPostmortem(const char* reason, uint64_t trace_id,
+                                     uint64_t epoch_at) {
+  // Collect events BEFORE counting, so the dump describes the failure,
+  // not the dump machinery.
+  std::ostringstream out;
+  out << "{\"reason\": \"" << obs::JsonEscape(reason) << "\""
+      << ", \"trace_id\": " << trace_id << ", \"epoch\": " << epoch_at
+      << ", \"t_us\": " << obs::TraceNowUs() << ", \"events\": "
+      << obs::FlightEventsJson(options_.postmortem_events) << "}";
+  std::string json = out.str();
+  MCFS_COUNT("serve/postmortems", 1);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.postmortems++;
+    last_postmortem_ = json;
+  }
+  if (!options_.postmortem_path.empty()) {
+    std::ofstream file(options_.postmortem_path);
+    if (file.is_open()) file << json << "\n";
+  }
+}
+
+std::string SolverService::DumpPostmortem(const std::string& reason) {
+  RecordPostmortem(reason.c_str(), obs::CurrentTraceId(), epoch());
+  return LastPostmortem();
+}
+
+std::string SolverService::LastPostmortem() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return last_postmortem_;
+}
+
+std::vector<double> SolverService::LatencySamplesForTesting() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return latency_samples_;
+}
+
+std::string ServiceSnapshot::Json() const {
+  std::ostringstream out;
+  out << "{\"epoch\": " << epoch << ", \"t_us\": " << t_us
+      << ", \"queue\": {\"depth\": " << queue_depth
+      << ", \"capacity\": " << queue_capacity << "}"
+      << ", \"cache\": {\"size\": " << cache_size
+      << ", \"capacity\": " << cache_capacity << "}"
+      << ", \"tracked_customers\": " << tracked_customers
+      << ", \"in_flight\": [";
+  for (size_t i = 0; i < in_flight.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << in_flight[i];
+  }
+  out << "], \"latency_seconds\": " << LatencySummaryJson(latency)
+      << ", \"slo\": " << SloReportsJson(slos)
+      << ", \"postmortems\": " << postmortems << "}";
+  return out.str();
 }
 
 }  // namespace mcfs

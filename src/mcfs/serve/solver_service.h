@@ -1,6 +1,7 @@
 #ifndef MCFS_SERVE_SOLVER_SERVICE_H_
 #define MCFS_SERVE_SOLVER_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,16 @@ namespace mcfs {
 // a torn mix. The epoch also stamps (and on change invalidates) the
 // solve cache that short-circuits repeated identical requests.
 
+// One latency SLO tier (DESIGN.md §4.11): requests naming `tier` are
+// held to `target_latency_ms` end to end, with `error_budget` the
+// tolerated violation fraction. Report()/DebugSnapshot() expose the
+// per-tier request/violation counts and the budget burn rate.
+struct SloPolicy {
+  std::string tier = "default";
+  double target_latency_ms = 0.0;  // 0 = no target (tier only counts)
+  double error_budget = 0.01;      // tolerated violation fraction
+};
+
 struct ServiceOptions {
   // Participants for each batch's ParallelFor (0 = MCFS_THREADS /
   // hardware default, 1 = serial). Responses are bit-identical for
@@ -64,9 +75,34 @@ struct ServiceOptions {
   // full request (customers, k, subset). 0 disables the cache.
   int cache_capacity = 128;
   // Base solver options applied to every request (seed, tie-break,
-  // threads for the nested prefetch, metrics...). Deadline/cancel
-  // fields are overridden per request.
+  // threads for the nested prefetch, metrics...). The per-request
+  // deadline_ms and cancel fields are overridden per request; the
+  // `deadline` object is NOT — it is copied into every solve (each copy
+  // gets its own poll budget), which is how the fault-injection tests
+  // plant a deterministic Deadline::AfterPolls(n) expiry inside served
+  // solves.
   WmaOptions wma;
+
+  // --- Observability v2 (DESIGN.md §4.11) ---
+  // Latency SLO tiers surfaced in Report()/DebugSnapshot(). Requests
+  // with an empty tier land on "default"; a request naming an
+  // unconfigured tier is counted nowhere (no implicit tiers).
+  std::vector<SloPolicy> slos;
+  // Turn the process-wide flight recorder on at construction (same as
+  // MCFS_FLIGHT_RECORDER=1). Postmortems still work when this is off —
+  // they just dump empty event lists.
+  bool flight_recorder = false;
+  // When nonempty, every captured postmortem is also written to this
+  // path (overwriting; the file always holds the most recent one).
+  std::string postmortem_path;
+  // Events included in a postmortem dump (most recent, across threads).
+  int postmortem_events = 128;
+  // Fault injection for tests/CI: force this many warm ResolveTracked
+  // verifier verdicts to read as rejections. Each injection exercises
+  // the full rejection path — postmortem capture + cold fallback — so
+  // the response stays correct while the failure machinery is driven
+  // deterministically.
+  int inject_verify_failures = 0;
 };
 
 // --- Delta-typed updates (DESIGN.md §4.10) ---
@@ -131,6 +167,13 @@ struct SolveRequest {
   int64_t deadline_ms = 0;
   // Optional external cancellation, polled at the solver checkpoints.
   const CancelToken* cancel = nullptr;
+  // Request-scoped trace id (DESIGN.md §4.11). 0 = the service assigns
+  // a fresh process-unique id at admission. Every span, flight event
+  // and histogram exemplar the request produces carries this id, and it
+  // comes back in SolveResponse::trace_id.
+  uint64_t trace_id = 0;
+  // SLO tier this request is held to; empty = "default".
+  std::string tier;
 };
 
 struct SolveResponse {
@@ -148,6 +191,32 @@ struct SolveResponse {
   double queue_seconds = 0.0;       // admission -> execution start
   double preprocess_seconds = 0.0;  // warm validation + instance view
   double solve_seconds = 0.0;       // SolveWma proper
+  // The trace id this request was served under (assigned at admission
+  // when the request carried none) — the join key into trace spans,
+  // flight-recorder events, and histogram exemplars.
+  uint64_t trace_id = 0;
+};
+
+// Point-in-time live introspection of a running service (DESIGN.md
+// §4.11): what an operator needs to answer "is it stuck, backed up, or
+// slow?" without stopping anything. Produced by
+// SolverService::DebugSnapshot(); serialized by bench_serve
+// --introspect-every-ms and validated in CI.
+struct ServiceSnapshot {
+  uint64_t epoch = 0;
+  int64_t t_us = 0;  // obs::TraceNowUs() at capture
+  int queue_depth = 0;
+  int queue_capacity = 0;
+  int cache_size = 0;
+  int cache_capacity = 0;
+  int64_t tracked_customers = 0;
+  // Trace ids of requests currently inside Execute/ResolveTracked.
+  std::vector<uint64_t> in_flight;
+  LatencySummary latency;
+  std::vector<SloReport> slos;
+  int64_t postmortems = 0;
+
+  std::string Json() const;
 };
 
 // Completion handle for one submitted request. Wait() blocks until the
@@ -239,6 +308,25 @@ class SolverService {
   // seconds, amortization inputs). Safe to call concurrently.
   ServiceReport Report() const;
 
+  // Live introspection (DESIGN.md §4.11): epoch, queue/cache occupancy,
+  // in-flight request trace ids, histogram latency summary, SLO burn.
+  // Safe to call concurrently with serving; takes each internal lock
+  // briefly and in the service lock order.
+  ServiceSnapshot DebugSnapshot() const;
+
+  // Captures a flight-recorder postmortem on demand (same bounded JSON
+  // the automatic triggers produce) and returns it. Also stored as
+  // LastPostmortem() and written to ServiceOptions::postmortem_path.
+  std::string DumpPostmortem(const std::string& reason);
+
+  // The most recent postmortem JSON; empty when none was captured.
+  std::string LastPostmortem() const;
+
+  // Raw end-to-end latency samples, in completion order — the
+  // brute-force reference the histogram-derived report quantiles are
+  // validated against (tests only; unbounded like the report itself).
+  std::vector<double> LatencySamplesForTesting() const;
+
  private:
   // Immutable per-epoch preprocessing shared by every request admitted
   // under that epoch. Requests hold it by shared_ptr, so an epoch bump
@@ -287,6 +375,10 @@ class SolverService {
   void Execute(PendingRequest& pending);
   // Records the phase metrics / report row and completes the handle.
   void FinishRequest(PendingRequest& pending, SolveResponse response);
+  // Builds + stores (and optionally writes) a bounded flight-recorder
+  // postmortem. `reason` must outlive the call (string literal).
+  void RecordPostmortem(const char* reason, uint64_t trace_id,
+                        uint64_t epoch_at);
   // Warm-path replica of ValidateInstance's verdict (structural checks
   // + Theorem-3 accounting against the cached components). Returns true
   // when SolveWma would accept; on false the caller re-derives the
@@ -311,6 +403,9 @@ class SolverService {
   int MarkDirty(const std::vector<uint8_t>& stream_dirty,
                 const std::vector<uint8_t>& match_dirty);
 
+  // SLO report rows with burn rates. Caller holds report_mutex_.
+  std::vector<SloReport> SloRowsLocked() const;
+
   const Graph* graph_;
   ServiceOptions options_;
 
@@ -321,20 +416,39 @@ class SolverService {
   mutable std::mutex resolve_mutex_;
   ResolveState resolve_;
   std::vector<NodeId> tracked_customers_;  // guarded by resolve_mutex_
+  // Mirror of tracked_customers_.size(), readable without resolve_mutex_
+  // — DebugSnapshot must not block behind a long ResolveTracked.
+  std::atomic<int64_t> tracked_count_{0};
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<PendingRequest> queue_;
   bool stop_ = false;
 
-  std::mutex cache_mutex_;
+  mutable std::mutex cache_mutex_;
   uint64_t cache_epoch_ = 0;
   std::map<CacheKey, CacheEntry> cache_;
   std::deque<CacheKey> cache_order_;  // insertion order for eviction
 
+  // Per-tier SLO accounting (report_mutex_).
+  struct SloState {
+    SloPolicy policy;
+    int64_t requests = 0;
+    int64_t violations = 0;
+    uint64_t last_violation_trace_id = 0;
+  };
+
   mutable std::mutex report_mutex_;
   ServiceReport stats_;
-  std::vector<double> latency_samples_;
+  std::vector<double> latency_samples_;  // brute-force quantile reference
+  std::vector<SloState> slo_states_;
+  std::vector<uint64_t> in_flight_;  // trace ids inside Execute/Resolve
+  std::string last_postmortem_;
+
+  // End-to-end latency histogram (always on — request completion is not
+  // a hot path; one Observe per request). The report's quantiles and
+  // exemplars come from here, not from sampled percentiles.
+  obs::Histogram latency_hist_{"serve/latency_seconds"};
 
   std::thread dispatcher_;
 };

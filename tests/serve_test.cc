@@ -7,12 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "mcfs/common/deadline.h"
 #include "mcfs/core/verifier.h"
 #include "mcfs/core/wma.h"
+#include "mcfs/obs/flight_recorder.h"
+#include "mcfs/obs/histogram.h"
+#include "mcfs/obs/trace.h"
 #include "mcfs/serve/solver_service.h"
 #include "tests/test_util.h"
 
@@ -302,6 +309,326 @@ TEST(ServeTest, ReportCountsAndJsonShape) {
     EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
   }
   // Non-finite doubles must never leak into the document.
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+// --- Observability v2 (DESIGN.md §4.11) ---
+
+TEST(ServeTest, ResponseTraceIdAssignedAtAdmissionAndEchoed) {
+  ServeFixture fx(30);
+  auto service = fx.MakeService();
+  SolveRequest request;
+  request.customers = fx.catalog().customers;
+  request.k = fx.catalog().k;
+  const SolveResponse assigned = service->SolveSync(request);
+  ASSERT_TRUE(assigned.status.ok());
+  EXPECT_NE(assigned.trace_id, 0u);
+  request.trace_id = 777;
+  const SolveResponse echoed = service->SolveSync(request);
+  EXPECT_EQ(echoed.trace_id, 777u);
+  // Even rejected requests get a joinable id.
+  ServiceOptions zero;
+  zero.queue_depth = 0;
+  auto full = fx.MakeService(zero);
+  SolveRequest shed;
+  shed.customers = fx.catalog().customers;
+  shed.k = 4;
+  EXPECT_NE(full->SolveSync(shed).trace_id, 0u);
+}
+
+TEST(ServeTest, EverySpanCarriesItsRequestsTraceIdAcrossServeThreads) {
+  ServeFixture fx(31);
+  const std::vector<SolveRequest> mix = MixedRequests(fx);
+
+  // Tracing-off reference (also proves tracing changes no bytes).
+  std::vector<McfsSolution> reference;
+  {
+    auto service = fx.MakeService();
+    for (const SolveRequest& request : mix) {
+      reference.push_back(service->SolveSync(request).solution);
+    }
+  }
+
+  for (const int serve_threads : {1, 2, 8}) {
+    obs::ClearTrace();
+    obs::EnableTracing(true);
+    ServiceOptions options;
+    options.serve_threads = serve_threads;
+    options.cache_capacity = 0;  // every request must really solve
+    auto service = fx.MakeService(options);
+
+    // Submit the whole mix at once so the dispatcher batches them.
+    std::vector<std::shared_ptr<ResponseHandle>> handles;
+    for (const SolveRequest& request : mix) {
+      handles.push_back(service->Submit(request));
+    }
+    std::set<uint64_t> request_ids;
+    for (size_t r = 0; r < mix.size(); ++r) {
+      const SolveResponse& response = handles[r]->Wait();
+      ASSERT_TRUE(response.status.ok());
+      EXPECT_NE(response.trace_id, 0u);
+      EXPECT_TRUE(request_ids.insert(response.trace_id).second)
+          << "duplicate trace id";
+      EXPECT_TRUE(SameSolution(response.solution, reference[r]))
+          << "tracing changed solution bytes at serve_threads "
+          << serve_threads;
+    }
+    service->Shutdown();
+    obs::EnableTracing(false);
+
+    // Attribution: every request-scoped span (serve/request and the
+    // whole solver stack under it, including ParallelFor workers)
+    // carries exactly its request's id — across batching and worker
+    // threads. Service-scoped spans (batch, warm build) carry 0.
+    std::set<uint64_t> seen_ids;
+    for (const obs::TraceEvent& event :
+         obs::CollectTraceEvents()) {
+      if (event.trace_id == 0) {
+        EXPECT_TRUE(std::string(event.name) != "serve/request");
+        continue;
+      }
+      EXPECT_EQ(request_ids.count(event.trace_id), 1u)
+          << event.name << " carries unknown trace id " << event.trace_id;
+      seen_ids.insert(event.trace_id);
+    }
+    // Every solving request produced attributed spans (the empty-
+    // customer shortcut still spans serve/request).
+    EXPECT_EQ(seen_ids, request_ids)
+        << "some request produced no attributed span at serve_threads "
+        << serve_threads;
+    obs::ClearTrace();
+  }
+}
+
+TEST(ServeTest, InjectedVerifyRejectionDumpsPostmortemAndFallsBackCold) {
+  ServeFixture fx(32);
+  ServiceOptions options;
+  options.flight_recorder = true;
+  options.inject_verify_failures = 1;
+  auto service = fx.MakeService(options);
+
+  UpdateRequest arrivals;
+  for (const NodeId customer : fx.catalog().customers) {
+    arrivals.ops.push_back({UpdateKind::kCustomerArrive, customer, 0});
+  }
+  ASSERT_TRUE(service->ApplyUpdate(arrivals).ok());
+
+  const int k = fx.catalog().k;
+  // First resolve plants the seed; the second warm-starts and hits the
+  // injected rejection — postmortem + cold fallback, correct response.
+  const SolveResponse cold_ref = service->ResolveTracked(k);
+  ASSERT_TRUE(cold_ref.status.ok());
+  EXPECT_TRUE(service->LastPostmortem().empty());
+  const SolveResponse rejected = service->ResolveTracked(k);
+  ASSERT_TRUE(rejected.status.ok());
+  EXPECT_TRUE(rejected.verify_ran);
+  EXPECT_TRUE(rejected.verify_ok);  // the cold fallback's verdict
+  EXPECT_EQ(rejected.solution.objective, cold_ref.solution.objective);
+
+  const ServiceReport report = service->Report();
+  EXPECT_EQ(report.resolve_verify_rejections, 1);
+  EXPECT_EQ(report.postmortems, 1);
+
+  const std::string postmortem = service->LastPostmortem();
+  ASSERT_FALSE(postmortem.empty());
+  EXPECT_NE(postmortem.find("\"reason\": \"verify_rejection\""),
+            std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("\"trace_id\": " +
+                            std::to_string(rejected.trace_id)),
+            std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("\"epoch\": " +
+                            std::to_string(rejected.epoch)),
+            std::string::npos)
+      << postmortem;
+  // The dump holds the recent phase transitions leading to the failure.
+  EXPECT_NE(postmortem.find("wma/run_begin"), std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("wma/phase/"), std::string::npos) << postmortem;
+  obs::EnableFlightRecorder(false);
+  obs::ClearFlightEvents();
+}
+
+TEST(ServeTest, DeadlineExceededWarmSolveDumpsPostmortem) {
+  ServeFixture fx(33);
+  ServiceOptions options;
+  options.flight_recorder = true;
+  // Poll #1 (iteration-loop top) passes, poll #2 (the augmentation
+  // boundary inside matching) expires — deterministically landing the
+  // cut where "wma/deadline_hit" is recorded. Each served solve gets
+  // its own copy of this deadline, with its own poll budget.
+  options.wma.deadline = Deadline::AfterPolls(2);
+  auto service = fx.MakeService(options);
+
+  UpdateRequest arrivals;
+  for (const NodeId customer : fx.catalog().customers) {
+    arrivals.ops.push_back({UpdateKind::kCustomerArrive, customer, 0});
+  }
+  ASSERT_TRUE(service->ApplyUpdate(arrivals).ok());
+
+  const SolveResponse cut = service->ResolveTracked(fx.catalog().k);
+  ASSERT_TRUE(cut.status.ok()) << cut.status.ToString();
+  EXPECT_EQ(cut.solution.termination, Termination::kDeadline);
+  const std::string postmortem = service->LastPostmortem();
+  ASSERT_FALSE(postmortem.empty());
+  EXPECT_NE(postmortem.find("\"reason\": \"warm_deadline\""),
+            std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("\"trace_id\": " +
+                            std::to_string(cut.trace_id)),
+            std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("wma/deadline_hit"), std::string::npos)
+      << postmortem;
+  obs::EnableFlightRecorder(false);
+  obs::ClearFlightEvents();
+}
+
+TEST(ServeTest, DebugSnapshotShapeAndJson) {
+  ServeFixture fx(34);
+  ServiceOptions options;
+  options.queue_depth = 17;
+  options.cache_capacity = 9;
+  SloPolicy slo;
+  slo.tier = "default";
+  slo.target_latency_ms = 1e9;  // never violated
+  options.slos.push_back(slo);
+  auto service = fx.MakeService(options);
+  SolveRequest request;
+  request.customers = fx.catalog().customers;
+  request.k = fx.catalog().k;
+  ASSERT_TRUE(service->SolveSync(request).status.ok());
+
+  const ServiceSnapshot snapshot = service->DebugSnapshot();
+  EXPECT_EQ(snapshot.epoch, 1u);
+  EXPECT_GT(snapshot.t_us, 0);
+  EXPECT_EQ(snapshot.queue_depth, 0);  // drained
+  EXPECT_EQ(snapshot.queue_capacity, 17);
+  EXPECT_EQ(snapshot.cache_size, 1);
+  EXPECT_EQ(snapshot.cache_capacity, 9);
+  EXPECT_EQ(snapshot.tracked_customers, 0);
+  EXPECT_TRUE(snapshot.in_flight.empty());
+  EXPECT_EQ(snapshot.latency.count, 1);
+  ASSERT_EQ(snapshot.slos.size(), 1u);
+  EXPECT_EQ(snapshot.slos[0].requests, 1);
+  EXPECT_EQ(snapshot.slos[0].violations, 0);
+
+  const std::string json = snapshot.Json();
+  for (const char* key :
+       {"\"epoch\"", "\"t_us\"", "\"queue\"", "\"depth\"", "\"capacity\"",
+        "\"cache\"", "\"size\"", "\"tracked_customers\"", "\"in_flight\"",
+        "\"latency_seconds\"", "\"p50\"", "\"p99\"", "\"p99_exemplar\"",
+        "\"slo\"", "\"burn\"", "\"postmortems\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+
+  // Tracked population shows up without taking the resolve lock.
+  UpdateRequest arrivals;
+  arrivals.ops.push_back(
+      {UpdateKind::kCustomerArrive, fx.catalog().customers[0], 0});
+  ASSERT_TRUE(service->ApplyUpdate(arrivals).ok());
+  EXPECT_EQ(service->DebugSnapshot().tracked_customers, 1);
+}
+
+TEST(ServeTest, HistogramQuantilesMatchBruteForceWithinOneBucket) {
+  ServeFixture fx(35);
+  ServiceOptions options;
+  options.cache_capacity = 0;  // every request really solves
+  auto service = fx.MakeService(options);
+  SolveRequest request;
+  request.customers = fx.catalog().customers;
+  request.k = fx.catalog().k;
+  for (int r = 0; r < 24; ++r) {
+    ASSERT_TRUE(service->SolveSync(request).status.ok());
+  }
+  const LatencySummary hist = service->Report().latency;
+  std::vector<double> samples = service->LatencySamplesForTesting();
+  const LatencySummary exact = SummarizeLatencies(samples);
+  ASSERT_EQ(hist.count, exact.count);
+  EXPECT_DOUBLE_EQ(hist.max, exact.max);  // max is tracked exactly
+  EXPECT_NEAR(hist.mean, exact.mean, 1e-12);
+  // Exact nearest-rank quantile with the histogram's own rank
+  // convention (rank = ceil(q * n), at least 1).
+  std::sort(samples.begin(), samples.end());
+  const auto exact_quantile = [&samples](double q) {
+    const int64_t n = static_cast<int64_t>(samples.size());
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1) rank = 1;
+    return samples[rank - 1];
+  };
+  struct QuantilePair {
+    double histogram, brute_force;
+  };
+  for (const QuantilePair q :
+       {QuantilePair{hist.p50, exact_quantile(0.50)},
+        QuantilePair{hist.p95, exact_quantile(0.95)},
+        QuantilePair{hist.p99, exact_quantile(0.99)}}) {
+    // Bucket-quantile contract: the estimate is the upper bound of the
+    // bucket holding the exact rank sample (clamped to the exact max),
+    // so exact <= estimate <= exact * bucket growth.
+    EXPECT_GE(q.histogram * (1.0 + 1e-12), q.brute_force);
+    EXPECT_LE(q.histogram, q.brute_force * obs::kHistogramGrowth *
+                               (1.0 + 1e-12));
+  }
+  EXPECT_NE(hist.p99_exemplar, 0u);  // tail bucket is attributed
+}
+
+TEST(ServeTest, SloBurnAccounting) {
+  ServeFixture fx(36);
+  ServiceOptions options;
+  SloPolicy strict;  // impossible target: every request violates
+  strict.tier = "default";
+  strict.target_latency_ms = 1e-9;
+  strict.error_budget = 0.5;
+  SloPolicy lax;  // unreachable target via an explicit tier
+  lax.tier = "batch";
+  lax.target_latency_ms = 1e9;
+  lax.error_budget = 0.01;
+  options.slos = {strict, lax};
+  auto service = fx.MakeService(options);
+
+  SolveRequest request;
+  request.customers = fx.catalog().customers;
+  request.k = fx.catalog().k;
+  const SolveResponse first = service->SolveSync(request);  // "default"
+  ASSERT_TRUE(first.status.ok());
+  request.tier = "batch";
+  ASSERT_TRUE(service->SolveSync(request).status.ok());
+  request.tier = "unconfigured";  // counted nowhere, no implicit tiers
+  ASSERT_TRUE(service->SolveSync(request).status.ok());
+
+  const ServiceReport report = service->Report();
+  ASSERT_EQ(report.slos.size(), 2u);
+  const SloReport& burned = report.slos[0];
+  EXPECT_EQ(burned.tier, "default");
+  EXPECT_EQ(burned.requests, 1);
+  EXPECT_EQ(burned.violations, 1);
+  // burn = violations / (budget * requests) = 1 / 0.5.
+  EXPECT_DOUBLE_EQ(burned.burn, 2.0);
+  EXPECT_EQ(burned.last_violation_trace_id, first.trace_id);
+  const SloReport& calm = report.slos[1];
+  EXPECT_EQ(calm.requests, 1);
+  EXPECT_EQ(calm.violations, 0);
+  EXPECT_DOUBLE_EQ(calm.burn, 0.0);
+  const std::string json = report.Json();
+  EXPECT_NE(json.find("\"slo\": [{\"tier\": \"default\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(ServeTest, EmptyReportLatencyIsNullNotGarbage) {
+  ServeFixture fx(37);
+  auto service = fx.MakeService();
+  const ServiceReport report = service->Report();
+  EXPECT_EQ(report.latency.count, 0);
+  const std::string json = report.Json();
+  EXPECT_NE(json.find("\"latency_seconds\": {\"count\": 0, \"mean\": null"),
+            std::string::npos)
+      << json;
   EXPECT_EQ(json.find("inf"), std::string::npos) << json;
   EXPECT_EQ(json.find("nan"), std::string::npos) << json;
 }
