@@ -51,16 +51,20 @@ int main(int argc, char** argv) {
       const char* name;
       McfsSolution solution;
     };
-    WmaOptions naive_options;
+    WmaOptions wma_options;
+    wma_options.matcher = bench.matcher;
+    WmaOptions naive_options = wma_options;
     naive_options.naive = true;
     const Start starts[] = {
-        {"WMA", RunWma(instance).solution},
+        {"WMA", RunWma(instance, wma_options).solution},
         {"WMA Naive", RunWma(instance, naive_options).solution},
-        {"Hilbert", RunHilbertBaseline(instance)},
+        {"Hilbert", RunHilbertBaseline(instance, bench.matcher)},
     };
+    LocalSearchOptions ls_options;
+    ls_options.matcher = bench.matcher;
     for (const Start& start : starts) {
       const LocalSearchResult polished =
-          ImproveByLocalSearch(instance, start.solution);
+          ImproveByLocalSearch(instance, start.solution, ls_options);
       const double gain =
           start.solution.objective - polished.solution.objective;
       table.AddRow(

@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
   }
 
   // --- dynamic strategy ---
-  DynamicMcfs dynamic(&city, facilities, capacities, k);
+  DynamicOptions dynamic_options;
+  dynamic_options.wma.matcher = bench.matcher;
+  DynamicMcfs dynamic(&city, facilities, capacities, k, dynamic_options);
   std::vector<int> ids;
   Rng removal(bench.seed + 2);
   std::vector<double> dynamic_objectives;

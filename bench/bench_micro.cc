@@ -12,6 +12,7 @@
 #include "mcfs/common/flat_map.h"
 #include "mcfs/common/random.h"
 #include "mcfs/core/set_cover.h"
+#include "mcfs/flow/cost_scaling.h"
 #include "mcfs/flow/matcher.h"
 #include "mcfs/flow/transport.h"
 #include "mcfs/graph/facility_stream.h"
@@ -75,6 +76,24 @@ void BM_IncrementalMatcher(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m);
 }
 BENCHMARK(BM_IncrementalMatcher)->Arg(64)->Arg(256);
+
+// Cost-scaling counterpart of BM_IncrementalMatcher: same lazily
+// materialized G_b, batch refine/discharge engine instead of SSPA.
+void BM_CostScalingMatcher(benchmark::State& state) {
+  const Graph& graph = CityGraph();
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const std::vector<NodeId> customers = SampleDistinctNodes(graph, m, rng);
+  const std::vector<NodeId> facilities =
+      SampleDistinctNodes(graph, m / 2, rng);
+  const std::vector<int> capacities = UniformCapacities(m / 2, 4);
+  for (auto _ : state) {
+    CostScalingMatcher matcher(&graph, customers, facilities, capacities);
+    benchmark::DoNotOptimize(matcher.MatchAll());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_CostScalingMatcher)->Arg(64)->Arg(256);
 
 // Serial vs batched-prefetch matching on a clustered 50k-node network
 // with sparse candidates: arg = thread count for PrefetchCandidates
@@ -160,6 +179,20 @@ void BM_DenseTransport(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DenseTransport)->Arg(64)->Arg(256);
+
+void BM_DenseTransportCostScaling(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int l = m / 2;
+  Rng rng(5);
+  std::vector<double> cost(static_cast<size_t>(m) * l);
+  for (double& c : cost) c = rng.Uniform(1.0, 100.0);
+  const std::vector<int> capacities(l, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveDenseTransportCostScaling(m, l, cost, capacities));
+  }
+}
+BENCHMARK(BM_DenseTransportCostScaling)->Arg(64)->Arg(256);
 
 template <typename Heap>
 void HeapWorkload(Heap& heap, Rng& rng, int ops) {

@@ -69,6 +69,11 @@ struct ChurnEpoch {
   int64_t warm_customers_reused = 0;
   int64_t warm_customers_repaired = 0;
   bool warm_final_resumed = false;
+  // The solve actually ran the warm repair path. False on epoch 0 (no
+  // seed yet) and on any epoch whose warm attempt fell back cold
+  // (verifier rejection): those rows must not enter the warm-speedup
+  // statistics, whatever the epoch number says.
+  bool warm_served = false;
   bool objective_match = false;
   bool verify_ok = false;
 };
@@ -120,6 +125,7 @@ int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
       static_cast<int>(flags.GetInt("serve-threads", bench.threads));
   options.wma.threads = bench.threads;
   options.wma.metrics = bench.metrics;
+  options.wma.matcher = bench.matcher;
   SolverService service(&city, scenario.stations, scenario.capacities,
                         options);
 
@@ -213,6 +219,7 @@ int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
     row.warm_customers_reused = warm.stats.warm_customers_reused;
     row.warm_customers_repaired = warm.stats.warm_customers_repaired;
     row.warm_final_resumed = warm.stats.warm_final_resumed;
+    row.warm_served = warm.warm_served;
     row.verify_ok = !warm.verify_ran || warm.verify_ok;
     const int64_t touched =
         row.warm_customers_reused + row.warm_customers_repaired;
@@ -261,16 +268,28 @@ int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
         static_cast<long long>(row.warm_customers_repaired),
         row.objective_match ? "objective=match" : "OBJECTIVE MISMATCH",
         row.verify_ok ? "" : " VERIFY FAIL");
+    if (row.epoch > 0 && !row.warm_served) {
+      std::printf("epoch %2d: warm attempt fell back cold (excluded from "
+                  "warm-speedup stats)\n",
+                  e);
+    }
     rows.push_back(row);
   }
 
-  // Summary over the genuinely warm epochs (epoch 0 planted the seed).
+  // Summary over the epochs that genuinely ran the warm repair path:
+  // classification follows SolveResponse::warm_served — the path the
+  // solve actually took — so epoch 0 (seed plant) and epochs whose warm
+  // attempt fell back cold never inflate the warm statistics.
   std::vector<double> churn_speedups;
   double empty_delta_speedup = 0.0;
   double repair_fraction_sum = 0.0;
   int churn_epochs = 0;
+  int cold_fallback_epochs = 0;
   for (const ChurnEpoch& row : rows) {
-    if (row.epoch == 0) continue;
+    if (!row.warm_served) {
+      if (row.epoch > 0) ++cold_fallback_epochs;
+      continue;
+    }
     if (row.empty_delta) {
       empty_delta_speedup = row.speedup;
     } else {
@@ -282,10 +301,12 @@ int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
   const double median_speedup = Median(churn_speedups);
   const ServiceReport report = service.Report();
   std::printf(
-      "median warm speedup %.2fx over %d churn epochs (empty delta "
-      "%.2fx, mean repair fraction %.3f); service: %lld warm / %lld cold "
-      "resolves, %lld verify rejections\n",
-      median_speedup, churn_epochs, empty_delta_speedup,
+      "median warm speedup %.2fx over %d warm-served churn epochs "
+      "(%d cold fallbacks excluded, empty delta %.2fx, mean repair "
+      "fraction %.3f); service: %lld warm / %lld cold resolves, %lld "
+      "verify rejections\n",
+      median_speedup, churn_epochs, cold_fallback_epochs,
+      empty_delta_speedup,
       churn_epochs == 0 ? 0.0 : repair_fraction_sum / churn_epochs,
       static_cast<long long>(report.resolves_warm),
       static_cast<long long>(report.resolves_cold),
@@ -320,6 +341,7 @@ int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
            << ", \"warm_customers_repaired\": " << row.warm_customers_repaired
            << ", \"warm_final_resumed\": "
            << (row.warm_final_resumed ? "true" : "false")
+           << ", \"warm_served\": " << (row.warm_served ? "true" : "false")
            << ", \"objective_match\": "
            << (row.objective_match ? "true" : "false")
            << ", \"verify_ok\": " << (row.verify_ok ? "true" : "false")
@@ -334,6 +356,7 @@ int RunChurnBench(const Flags& flags, const bench_util::BenchConfig& bench) {
                                 ? 0.0
                                 : repair_fraction_sum / churn_epochs)
          << ", \"churn_epochs\": " << churn_epochs
+         << ", \"cold_fallback_epochs\": " << cold_fallback_epochs
          << ", \"objective_mismatches\": " << failures
          << ", \"resolves_warm\": " << report.resolves_warm
          << ", \"resolves_cold\": " << report.resolves_cold
@@ -383,6 +406,7 @@ int main(int argc, char** argv) {
   options.max_batch = static_cast<int>(flags.GetInt("max-batch", 8));
   options.default_deadline_ms = bench.deadline_ms;
   options.verify = bench.verify;
+  options.wma.matcher = bench.matcher;
   const double slo_ms = flags.GetDouble("slo-ms", 0.0);
   if (slo_ms > 0.0) {
     SloPolicy slo;

@@ -7,7 +7,8 @@
 
 namespace mcfs {
 
-McfsSolution RunBrnnBaseline(const McfsInstance& instance) {
+McfsSolution RunBrnnBaseline(const McfsInstance& instance,
+                             MatcherBackendKind matcher) {
   const Graph& graph = *instance.graph;
   const int m = instance.m();
   const int l = instance.l();
@@ -96,7 +97,7 @@ McfsSolution RunBrnnBaseline(const McfsInstance& instance) {
   }
 
   CoverComponents(instance, selected);
-  return AssignOptimally(instance, selected);
+  return AssignOptimally(instance, selected, /*threads=*/1, matcher);
 }
 
 }  // namespace mcfs

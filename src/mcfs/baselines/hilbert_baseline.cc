@@ -16,7 +16,8 @@ namespace {
 constexpr int kHilbertOrder = 16;
 }  // namespace
 
-McfsSolution RunHilbertBaseline(const McfsInstance& instance) {
+McfsSolution RunHilbertBaseline(const McfsInstance& instance,
+                                MatcherBackendKind matcher) {
   MCFS_CHECK(instance.graph->has_coordinates())
       << "the Hilbert baseline sorts by coordinates";
   const Graph& graph = *instance.graph;
@@ -157,7 +158,7 @@ McfsSolution RunHilbertBaseline(const McfsInstance& instance) {
     SelectGreedy(instance, selected);
   }
   CoverComponents(instance, selected);
-  return AssignOptimally(instance, selected);
+  return AssignOptimally(instance, selected, /*threads=*/1, matcher);
 }
 
 }  // namespace mcfs

@@ -12,10 +12,13 @@ namespace mcfs {
 // bucket selects the unused candidate facility nearest (Euclidean) to
 // its centroid. Capacity feasibility is then repaired per component
 // (CoverComponents) and customers are assigned to the selected
-// facilities by one optimal bipartite matching.
+// facilities by one optimal bipartite matching; `matcher` picks the
+// engine for that final matching (flow/matcher_backend.h).
 //
 // Requires graph coordinates.
-McfsSolution RunHilbertBaseline(const McfsInstance& instance);
+McfsSolution RunHilbertBaseline(const McfsInstance& instance,
+                                MatcherBackendKind matcher =
+                                    MatcherBackendKind::kSspa);
 
 }  // namespace mcfs
 

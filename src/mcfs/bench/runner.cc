@@ -52,10 +52,12 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
   wma_options.collect_iteration_stats = true;
   wma_options.metrics = suite.metrics;
   wma_options.deadline_ms = suite.cell_timeout_ms;
+  wma_options.matcher = suite.matcher;
   if (suite.metrics) obs::EnableMetrics(true);
   WmaOptions naive_options = wma_options;
   naive_options.naive = true;
   ExactOptions exact_options = suite.exact_options;
+  exact_options.matcher = suite.matcher;
   if (suite.cell_timeout_ms > 0) {
     exact_options.time_limit_seconds =
         std::min(exact_options.time_limit_seconds,
@@ -85,19 +87,33 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
   std::vector<std::function<AlgoOutcome()>> cells;
   if (suite.with_brnn) {
     cells.push_back([&] {
-      return RunAlgorithm("BRNN", RunBrnnBaseline, instance, verify);
+      return RunAlgorithm(
+          "BRNN",
+          [&](const McfsInstance& inst) {
+            return RunBrnnBaseline(inst, suite.matcher);
+          },
+          instance, verify);
     });
   }
   if (suite.with_hilbert) {
     cells.push_back([&] {
-      return RunAlgorithm("Hilbert", RunHilbertBaseline, instance, verify);
+      return RunAlgorithm(
+          "Hilbert",
+          [&](const McfsInstance& inst) {
+            return RunHilbertBaseline(inst, suite.matcher);
+          },
+          instance, verify);
     });
   }
   if (suite.with_greedy_kmedian) {
     cells.push_back([&] {
       return RunAlgorithm(
           "Greedy k-med",
-          [](const McfsInstance& inst) { return RunGreedyKMedian(inst); },
+          [&](const McfsInstance& inst) {
+            GreedyKMedianOptions kmed_options;
+            kmed_options.matcher = suite.matcher;
+            return RunGreedyKMedian(inst, kmed_options);
+          },
           instance, verify);
     });
   }
@@ -122,7 +138,9 @@ std::vector<AlgoOutcome> RunSuite(const McfsInstance& instance,
           "WMA+LS",
           [&](const McfsInstance& inst) {
             const McfsSolution wma = RunWma(inst, wma_options).solution;
-            return ImproveByLocalSearch(inst, wma).solution;
+            LocalSearchOptions ls_options;
+            ls_options.matcher = suite.matcher;
+            return ImproveByLocalSearch(inst, wma, ls_options).solution;
           },
           instance, verify);
     });

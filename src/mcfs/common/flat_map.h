@@ -62,8 +62,14 @@ class FlatMap {
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return slots_.size(); }
 
-  // Ensures `expected` entries fit without a growth rehash.
+  // Ensures `expected` entries fit without a growth rehash. A map that
+  // later outgrows its most recent hint counts one
+  // exec/alloc/flatmap_hint_misses on the first post-hint growth — the
+  // signal that a caller's sizing model (e.g. a stream's G_b density
+  // estimate) undershot and the table paid a rehash it was hinted to
+  // avoid.
   void Reserve(size_t expected) {
+    hinted_ = true;
     const size_t needed = expected + expected / 2 + 1;  // keep load <= 2/3
     if (needed <= slots_.size()) return;
     Rehash(flat_internal::NextPowerOfTwo(
@@ -111,6 +117,7 @@ class FlatMap {
         i = (i + 1) & mask_;
       }
     }
+    CountHintMiss();
     Rehash(slots_.empty() ? flat_internal::kMinCapacity : slots_.size() * 2);
     size_t i = IndexFor(key);
     while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
@@ -137,6 +144,15 @@ class FlatMap {
     return flat_internal::MixHash(static_cast<uint64_t>(key)) & mask_;
   }
 
+  // Growth rehash reached after a Reserve hint: the hint undershot.
+  // Counted once per hint so the metric reads "maps whose sizing model
+  // was wrong", not "doublings paid" (that is flatmap_grows).
+  void CountHintMiss() {
+    if (!hinted_) return;
+    hinted_ = false;
+    MCFS_COUNT("exec/alloc/flatmap_hint_misses", 1);
+  }
+
   void Rehash(size_t new_capacity) {
     MCFS_COUNT("exec/alloc/flatmap_grows", 1);
     MCFS_COUNT("exec/alloc/flatmap_slots_rehashed",
@@ -155,6 +171,7 @@ class FlatMap {
   std::vector<Slot> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  bool hinted_ = false;
 };
 
 // StampedMap<Key, V>: reusable scratch map whose Clear() is O(1) — each
@@ -177,7 +194,9 @@ class StampedMap {
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return slots_.size(); }
 
+  // Same hint-miss accounting as FlatMap::Reserve.
   void Reserve(size_t expected) {
+    hinted_ = true;
     const size_t needed = expected + expected / 2 + 1;  // keep load <= 2/3
     if (needed <= slots_.size()) return;
     Rehash(flat_internal::NextPowerOfTwo(
@@ -231,6 +250,7 @@ class StampedMap {
         break;  // at the load limit: grow, then insert below
       }
     }
+    CountHintMiss();
     Rehash(slots_.empty() ? flat_internal::kMinCapacity : slots_.size() * 2);
     size_t i = IndexFor(key);
     while (slots_[i].stamp == epoch_) i = (i + 1) & mask_;
@@ -261,6 +281,13 @@ class StampedMap {
     return flat_internal::MixHash(static_cast<uint64_t>(key)) & mask_;
   }
 
+  // See FlatMap::CountHintMiss.
+  void CountHintMiss() {
+    if (!hinted_) return;
+    hinted_ = false;
+    MCFS_COUNT("exec/alloc/flatmap_hint_misses", 1);
+  }
+
   void Rehash(size_t new_capacity) {
     MCFS_COUNT("exec/alloc/flatmap_grows", 1);
     MCFS_COUNT("exec/alloc/flatmap_slots_rehashed",
@@ -283,6 +310,7 @@ class StampedMap {
   std::vector<Slot> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  bool hinted_ = false;
   Stamp epoch_ = 1;  // slots default to stamp 0 == free
 };
 

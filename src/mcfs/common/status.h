@@ -20,6 +20,7 @@ enum class StatusCode {
   kDeadlineExceeded = 3,   // cooperative time budget expired
   kIoError = 4,            // filesystem-level failure (open/short write)
   kUnavailable = 5,        // resource at capacity (admission queue full)
+  kUnsupported = 6,        // capability the chosen backend does not offer
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -36,6 +37,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
   }
   return "UNKNOWN";
 }
@@ -90,6 +93,9 @@ inline Status IoError(std::string message) {
 }
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status UnsupportedError(std::string message) {
+  return Status(StatusCode::kUnsupported, std::move(message));
 }
 
 // Either a value or an error status. Accessing value() on an error is a

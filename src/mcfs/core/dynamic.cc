@@ -64,7 +64,9 @@ const McfsSolution& DynamicMcfs::Resolve(bool* reselected) {
 
   // Fast path: keep the facilities, redo the assignment.
   if (have_baseline_ && !last_selected_.empty()) {
-    McfsSolution kept = AssignOptimally(instance, last_selected_);
+    McfsSolution kept =
+        AssignOptimally(instance, last_selected_, options_.wma.threads,
+                        options_.wma.matcher);
     const double per_customer =
         kept.feasible ? kept.objective / instance.m() : kInfDistance;
     if (kept.feasible &&

@@ -8,6 +8,7 @@
 
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/flow/matcher.h"
+#include "mcfs/flow/matcher_backend.h"
 #include "mcfs/graph/dijkstra.h"
 
 namespace mcfs {
@@ -116,18 +117,43 @@ bool IsFeasible(const McfsInstance& instance) {
 }
 
 McfsSolution AssignOptimally(const McfsInstance& instance,
-                             const std::vector<int>& selected,
-                             int threads) {
+                             const std::vector<int>& selected, int threads,
+                             MatcherBackendKind matcher) {
   std::vector<NodeId> nodes;
   std::vector<int> capacities;
   nodes.reserve(selected.size());
+  int64_t total_capacity = 0;
   for (const int j : selected) {
     nodes.push_back(instance.facility_nodes[j]);
     capacities.push_back(instance.capacities[j]);
+    total_capacity += instance.capacities[j];
   }
-  IncrementalMatcher matcher(instance.graph, instance.customers, nodes,
-                             capacities);
-  return AssignWithMatcher(instance, selected, matcher, threads);
+  MatchShape shape;
+  shape.customers = instance.m();
+  shape.facilities = static_cast<int64_t>(selected.size());
+  shape.total_capacity = total_capacity;
+  const MatcherBackendKind resolved = ResolveMatcherBackend(matcher, shape);
+  if (resolved == MatcherBackendKind::kSspa) {
+    // Kept on the pre-registry inline path so SSPA results stay
+    // bit-identical to the seed behavior.
+    IncrementalMatcher sspa(instance.graph, instance.customers, nodes,
+                            capacities);
+    return AssignWithMatcher(instance, selected, sspa, threads);
+  }
+  const BatchMatchResult batch =
+      MakeMatcherBackend(resolved)->Match(instance.graph, instance.customers,
+                                          nodes, capacities, threads);
+  McfsSolution solution;
+  solution.selected = selected;
+  solution.assignment.assign(instance.m(), -1);
+  solution.distances.assign(instance.m(), 0.0);
+  solution.feasible = batch.all_assigned;
+  for (const MatchedPair& pair : batch.pairs) {
+    solution.assignment[pair.customer] = selected[pair.facility];
+    solution.distances[pair.customer] = pair.distance;
+    solution.objective += pair.distance;
+  }
+  return solution;
 }
 
 McfsSolution AssignWithMatcher(const McfsInstance& instance,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "mcfs/flow/matcher_backend.h"
 #include "mcfs/graph/graph.h"
 
 namespace mcfs {
@@ -72,16 +73,20 @@ ValidationResult ValidateSolution(const McfsInstance& instance,
 bool IsFeasible(const McfsInstance& instance);
 
 // Optimally assigns all customers to the given selected facilities
-// (minimum-cost transportation over the network via the incremental
-// matcher) and packages the result as a solution. If some customers
-// cannot be assigned, the solution has feasible == false and contains
-// the partial assignment. `threads` parallelizes the nearest-facility
-// stream prefetch that front-loads the matcher's network Dijkstras
-// (0 = MCFS_THREADS / hardware default, 1 = serial); the assignment is
-// identical for every thread count.
+// (minimum-cost transportation over the network) and packages the
+// result as a solution. If some customers cannot be assigned, the
+// solution has feasible == false and contains the partial assignment.
+// `threads` parallelizes the nearest-facility stream prefetch that
+// front-loads the matcher's network Dijkstras (0 = MCFS_THREADS /
+// hardware default, 1 = serial); the assignment is identical for every
+// thread count. `matcher` picks the engine from the MatcherBackend
+// registry (flow/matcher_backend.h); kAuto resolves by instance shape,
+// and both concrete engines reach the same objective.
 McfsSolution AssignOptimally(const McfsInstance& instance,
                              const std::vector<int>& selected,
-                             int threads = 1);
+                             int threads = 1,
+                             MatcherBackendKind matcher =
+                                 MatcherBackendKind::kSspa);
 
 class IncrementalMatcher;
 

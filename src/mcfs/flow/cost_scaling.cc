@@ -1,0 +1,744 @@
+#include "mcfs/flow/cost_scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/dary_heap.h"
+#include "mcfs/common/thread_pool.h"
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+
+namespace {
+
+// eps shrink factor between refine passes.
+constexpr int64_t kAlpha = 8;
+// |price| bound. A relabel or global update past this makes Solve()
+// return false so the caller can coarsen its cost scale and rebuild.
+constexpr int64_t kPriceGuard = int64_t{1} << 61;
+// Global price update cadence, in relabels since the last update.
+constexpr int64_t kGlobalUpdateMinInterval = 64;
+// Scaled arc costs stay below 2^kCostBudgetBits so a reduced cost
+// (cost plus two guarded prices) always fits int64.
+constexpr int kCostBudgetBits = 59;
+// Nearest facilities each customer materializes before the first solve.
+constexpr int kInitialFanout = 4;
+// Overflow penalty factor: Z = (max_c + 1) * min(m + 2, kOverflowChain)
+// on the cost lattice. Caps the rewiring-chain length the penalty has
+// to dominate, which in turn protects the precision of the scale.
+constexpr int64_t kOverflowChain = 1024;
+// Streams created serially before bulk creation, so the reserve-hint
+// clamp (satellite 2) has a measured G_b density to work from.
+constexpr int kPilotStreams = 32;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CostScalingFlow
+
+CostScalingFlow::CostScalingFlow(int num_nodes)
+    : num_nodes_(num_nodes),
+      arcs_(num_nodes),
+      price_(num_nodes, 0),
+      excess_(num_nodes, 0),
+      cur_(num_nodes, 0),
+      in_active_(num_nodes, 0) {
+  MCFS_CHECK_GT(num_nodes, 0);
+}
+
+int CostScalingFlow::AddArc(int tail, int head, int capacity, int64_t cost) {
+  MCFS_DCHECK(tail >= 0 && tail < num_nodes_);
+  MCFS_DCHECK(head >= 0 && head < num_nodes_);
+  MCFS_CHECK_NE(tail, head);
+  MCFS_CHECK_GE(capacity, 0);
+  Arc fwd;
+  fwd.head = head;
+  fwd.rev = static_cast<int32_t>(arcs_[head].size());
+  fwd.residual = capacity;
+  fwd.cost = cost;
+  Arc bwd;
+  bwd.head = tail;
+  bwd.rev = static_cast<int32_t>(arcs_[tail].size());
+  bwd.residual = 0;
+  bwd.cost = -cost;
+  arcs_[tail].push_back(fwd);
+  arcs_[head].push_back(bwd);
+  arc_of_id_.emplace_back(tail, static_cast<int>(arcs_[tail].size()) - 1);
+  return static_cast<int>(arc_of_id_.size()) - 1;
+}
+
+void CostScalingFlow::SetSupply(int node, int64_t supply) {
+  MCFS_CHECK(!solved_once_) << "supplies are fixed after the first Solve";
+  excess_[node] = supply;
+}
+
+void CostScalingFlow::SetCost(int arc, int64_t cost) {
+  const auto& [tail, index] = arc_of_id_[arc];
+  Arc& fwd = arcs_[tail][index];
+  fwd.cost = cost;
+  arcs_[fwd.head][fwd.rev].cost = -cost;
+}
+
+int CostScalingFlow::FlowOf(int arc) const {
+  const auto& [tail, index] = arc_of_id_[arc];
+  const Arc& fwd = arcs_[tail][index];
+  // The reverse direction starts empty and holds exactly the pushed
+  // units, so its residual *is* the forward flow.
+  return arcs_[fwd.head][fwd.rev].residual;
+}
+
+int64_t CostScalingFlow::Price(int node) const { return price_[node]; }
+
+bool CostScalingFlow::VerifyEpsOptimality(int64_t eps) const {
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (const Arc& arc : arcs_[u]) {
+      if (arc.residual <= 0) continue;
+      if (arc.cost + price_[u] - price_[arc.head] < -eps) return false;
+    }
+  }
+  return true;
+}
+
+int64_t CostScalingFlow::MaxViolation() const {
+  int64_t worst = 0;
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (const Arc& arc : arcs_[u]) {
+      if (arc.residual <= 0) continue;
+      worst = std::max(worst, -(arc.cost + price_[u] - price_[arc.head]));
+    }
+  }
+  return worst;
+}
+
+void CostScalingFlow::MarkFixedArcs(int64_t entry_eps) {
+  // Goldberg's arc fixing: with entry_eps-optimal prices — the
+  // optimality level the flow *enters* this refine with, not the finer
+  // eps it is being refined to — a direction whose reduced cost exceeds
+  // 2*n*entry_eps carries its final flow, so discharge scans skip it.
+  // The hugely-negative partner saturates right below and stays full.
+  const __int128 threshold = static_cast<__int128>(2) * num_nodes_ *
+                             static_cast<__int128>(entry_eps);
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (Arc& arc : arcs_[u]) {
+      const int64_t rc = arc.cost + price_[u] - price_[arc.head];
+      const bool fixed = static_cast<__int128>(rc) > threshold;
+      if (fixed && !arc.fixed) ++num_arcs_fixed_;
+      arc.fixed = fixed;
+    }
+  }
+}
+
+bool CostScalingFlow::Relabel(int node, int64_t eps) {
+  // Largest price that makes the argmax *usable* out-arc exactly
+  // admissible. Fixed arcs are excluded: discharge refuses to push on
+  // them, so letting one win the max would pin the price and stall the
+  // node forever. (A fixed arc left violating by the resulting deeper
+  // drops is caught by Refine's certificate check, which unfixes and
+  // re-runs.) If every residual out-arc is fixed — the heuristic
+  // over-committed — unfix this node's arcs and retry.
+  int64_t best = std::numeric_limits<int64_t>::min();
+  for (const Arc& arc : arcs_[node]) {
+    if (arc.fixed || arc.residual <= 0) continue;
+    best = std::max(best, price_[arc.head] - arc.cost);
+  }
+  if (best == std::numeric_limits<int64_t>::min()) {
+    for (Arc& arc : arcs_[node]) {
+      arc.fixed = false;
+      if (arc.residual > 0) {
+        best = std::max(best, price_[arc.head] - arc.cost);
+      }
+    }
+    cur_[node] = 0;
+  }
+  MCFS_DCHECK(best != std::numeric_limits<int64_t>::min())
+      << "relabel on a node with no residual out-arc";
+  const int64_t new_price = best - eps;
+  if (new_price <= -kPriceGuard) return false;
+  price_[node] = new_price;
+  cur_[node] = 0;
+  ++num_relabels_;
+  ++relabels_since_update_;
+  return true;
+}
+
+bool CostScalingFlow::LookAhead(int head, int64_t eps, bool* guard_ok) {
+  *guard_ok = true;
+  if (excess_[head] < 0) return true;
+  std::vector<Arc>& arcs = arcs_[head];
+  for (int& a = cur_[head]; a < static_cast<int>(arcs.size()); ++a) {
+    const Arc& arc = arcs[a];
+    if (arc.fixed || arc.residual <= 0) continue;
+    if (arc.cost + price_[head] - price_[arc.head] < 0) return true;
+  }
+  // `head` has no admissible way out. If it has any residual arc the
+  // speculative relabel drops its price by >= eps, which raises the
+  // caller's reduced cost by the same amount — often past zero, saving
+  // the push/undo round trip. With no residual arc at all the bounce
+  // through `head` is unavoidable; let the push proceed.
+  bool has_residual = false;
+  for (const Arc& arc : arcs) {
+    if (arc.residual > 0) {
+      has_residual = true;
+      break;
+    }
+  }
+  if (!has_residual) return true;
+  if (!Relabel(head, eps)) *guard_ok = false;
+  return false;
+}
+
+bool CostScalingFlow::Discharge(int node, int64_t eps) {
+  while (excess_[node] > 0) {
+    std::vector<Arc>& arcs = arcs_[node];
+    if (cur_[node] >= static_cast<int>(arcs.size())) {
+      // Out of candidates at the current price: relabel and rescan.
+      if (!Relabel(node, eps)) return false;
+      if (relabels_since_update_ >=
+          std::max<int64_t>(kGlobalUpdateMinInterval, num_nodes_)) {
+        if (!GlobalPriceUpdate(eps)) return false;
+      }
+      continue;
+    }
+    Arc& arc = arcs[cur_[node]];
+    if (arc.fixed || arc.residual <= 0 ||
+        arc.cost + price_[node] - price_[arc.head] >= 0) {
+      ++cur_[node];
+      continue;
+    }
+    bool guard_ok = true;
+    if (!LookAhead(arc.head, eps, &guard_ok)) {
+      if (!guard_ok) return false;
+      ++num_lookahead_cutoffs_;
+      continue;  // head got cheaper to leave; re-evaluate the same arc
+    }
+    const int64_t delta =
+        std::min<int64_t>(excess_[node], static_cast<int64_t>(arc.residual));
+    arc.residual -= static_cast<int32_t>(delta);
+    Partner(arc).residual += static_cast<int32_t>(delta);
+    excess_[node] -= delta;
+    excess_[arc.head] += delta;
+    ++num_pushes_;
+    if (excess_[arc.head] > 0) PushActive(arc.head);
+  }
+  return true;
+}
+
+bool CostScalingFlow::GlobalPriceUpdate(int64_t eps) {
+  relabels_since_update_ = 0;
+  struct Entry {
+    int64_t rank;
+    int32_t node;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.node < b.node;  // deterministic tie-break
+    }
+  };
+  constexpr int64_t kUnreached = std::numeric_limits<int64_t>::max();
+  std::vector<int64_t> rank(num_nodes_, kUnreached);
+  DaryHeap<Entry, 4, EntryLess> heap;
+  heap.reserve(static_cast<size_t>(num_nodes_));
+  bool any_deficit = false;
+  for (int u = 0; u < num_nodes_; ++u) {
+    if (excess_[u] < 0) {
+      rank[u] = 0;
+      heap.push({0, u});
+      any_deficit = true;
+    }
+  }
+  if (!any_deficit) return true;
+  ++num_global_updates_;
+  // Reverse multi-source Dijkstra from the deficits in eps-quantized
+  // lengths: traversing residual arc u->v backward costs
+  // max(0, floor(rc/eps) + 1) eps-units. Dropping price[u] by
+  // rank[u]*eps then keeps every residual arc at reduced cost >= -eps
+  // while excesses regain admissible paths toward the deficits.
+  int64_t max_settled = 0;
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const int v = top.node;
+    if (top.rank != rank[v]) continue;  // stale entry
+    max_settled = std::max(max_settled, top.rank);
+    // Each entry v->u in v's list pairs with the forward arc u->v.
+    for (const Arc& out : arcs_[v]) {
+      const int u = out.head;
+      const Arc& into = arcs_[u][out.rev];
+      if (into.residual <= 0) continue;
+      const int64_t rc = into.cost + price_[u] - price_[v];
+      const int64_t len = rc >= 0 ? rc / eps + 1 : 0;
+      const int64_t cand = rank[v] + len;
+      if (cand < rank[u]) {
+        rank[u] = cand;
+        heap.push({cand, u});
+      }
+    }
+  }
+  // Unreached nodes that touch any residual arc sit one step past the
+  // deepest settled rank: residual arcs into them only gain reduced
+  // cost, and no residual arc leaves them toward a reached node (it
+  // would have reached them). Fully isolated nodes keep their price.
+  const int64_t unreached_rank = max_settled + 1;
+  for (int u = 0; u < num_nodes_; ++u) {
+    int64_t r = rank[u];
+    if (r == kUnreached) {
+      bool touched = false;
+      for (const Arc& arc : arcs_[u]) {
+        if (arc.residual > 0 || arcs_[arc.head][arc.rev].residual > 0) {
+          touched = true;
+          break;
+        }
+      }
+      if (!touched) continue;
+      r = unreached_rank;
+    }
+    if (r == 0) continue;
+    const __int128 dropped = static_cast<__int128>(price_[u]) -
+                             static_cast<__int128>(r) * eps;
+    if (dropped <= -static_cast<__int128>(kPriceGuard)) return false;
+    price_[u] = static_cast<int64_t>(dropped);
+  }
+  // Prices moved globally, which can re-open arcs behind the
+  // current-arc pointers; rescans are the price of the update.
+  std::fill(cur_.begin(), cur_.end(), 0);
+  return true;
+}
+
+void CostScalingFlow::ClearFixedArcs() {
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (Arc& arc : arcs_[u]) arc.fixed = false;
+  }
+}
+
+bool CostScalingFlow::Refine(int64_t eps, int64_t entry_eps) {
+  ++num_refines_;
+  MarkFixedArcs(entry_eps);
+  if (!RefineCore(eps)) return false;
+  // Certificate check: discharge skipped the fixed arcs, so deep price
+  // drops can leave one of them violating eps-optimality. The theorem
+  // behind the fixing makes that rare; when it happens, drop the
+  // heuristic and refine again so every residual arc ends >= -eps.
+  if (MaxViolation() > eps) {
+    ClearFixedArcs();
+    if (!RefineCore(eps)) return false;
+  }
+  return true;
+}
+
+bool CostScalingFlow::RefineCore(int64_t eps) {
+  // Saturate every residual arc with negative reduced cost: the flow
+  // becomes 0-optimal w.r.t. admissibility at the cost of excesses.
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (Arc& arc : arcs_[u]) {
+      if (arc.residual > 0 && arc.cost + price_[u] - price_[arc.head] < 0) {
+        const int32_t delta = arc.residual;
+        arc.residual = 0;
+        Partner(arc).residual += delta;
+        excess_[u] -= delta;
+        excess_[arc.head] += delta;
+      }
+    }
+  }
+  std::fill(cur_.begin(), cur_.end(), 0);
+  std::fill(in_active_.begin(), in_active_.end(), uint8_t{0});
+  active_.clear();
+  for (int u = 0; u < num_nodes_; ++u) {
+    if (excess_[u] > 0) PushActive(u);
+  }
+  if (active_.empty()) return true;
+  if (!GlobalPriceUpdate(eps)) return false;
+  while (!active_.empty()) {
+    const int u = active_.back();
+    active_.pop_back();
+    in_active_[u] = 0;
+    if (!Discharge(u, eps)) return false;
+  }
+  return true;
+}
+
+bool CostScalingFlow::Solve() {
+  int64_t eps0 = 0;
+  if (!solved_once_) {
+    int64_t total_supply = 0;
+    for (int u = 0; u < num_nodes_; ++u) total_supply += excess_[u];
+    MCFS_CHECK_EQ(total_supply, 0) << "supplies must sum to zero";
+    for (int u = 0; u < num_nodes_; ++u) {
+      for (const Arc& arc : arcs_[u]) {
+        eps0 = std::max(eps0, arc.cost >= 0 ? arc.cost : -arc.cost);
+      }
+    }
+  } else {
+    // Re-solve after AddArc/SetCost edits: restart the schedule at the
+    // damage level instead of the full cost range.
+    eps0 = MaxViolation();
+  }
+  // The flow entering refine(eps) is entry_eps-optimal: eps0 at the
+  // start (fresh pseudoflows mark nothing there — the threshold sits
+  // above every reduced cost), the previous eps after that.
+  int64_t entry = std::max<int64_t>(1, eps0);
+  int64_t eps = std::max<int64_t>(1, eps0);
+  for (;;) {
+    if (!Refine(eps, entry)) return false;
+    if (eps == 1) break;
+    entry = eps;
+    eps = std::max<int64_t>(1, eps / kAlpha);
+  }
+  solved_once_ = true;
+  MCFS_DCHECK(VerifyEpsOptimality(1));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CostScalingMatcher
+
+CostScalingMatcher::CostScalingMatcher(const Graph* graph,
+                                       std::vector<NodeId> customer_nodes,
+                                       std::vector<NodeId> facility_nodes,
+                                       std::vector<int> capacities)
+    : graph_(graph),
+      m_(static_cast<int>(customer_nodes.size())),
+      l_(static_cast<int>(facility_nodes.size())),
+      num_flow_nodes_(m_ + l_ + 1),
+      customer_nodes_(std::move(customer_nodes)),
+      facility_nodes_(std::move(facility_nodes)),
+      capacities_(std::move(capacities)) {
+  MCFS_CHECK_EQ(capacities_.size(), facility_nodes_.size());
+  facility_index_of_node_.assign(graph_->NumNodes(), -1);
+  for (int j = 0; j < l_; ++j) {
+    const NodeId node = facility_nodes_[j];
+    MCFS_CHECK(node >= 0 && node < graph_->NumNodes());
+    MCFS_CHECK_EQ(facility_index_of_node_[node], -1)
+        << "two candidate facilities on node " << node;
+    facility_index_of_node_[node] = j;
+    MCFS_CHECK_GE(capacities_[j], 0);
+  }
+  streams_.resize(m_);
+  edges_of_customer_.assign(m_, 0);
+  overflow_arc_of_customer_.assign(m_, -1);
+}
+
+CostScalingMatcher::~CostScalingMatcher() = default;
+
+size_t CostScalingMatcher::StreamReserveHint() const {
+  const size_t nodes = static_cast<size_t>(graph_->NumNodes());
+  // Shape-derived base hint, same formula as the SSPA matcher's.
+  size_t hint = std::min<size_t>(
+      nodes,
+      8 + 4 * nodes / static_cast<size_t>(std::max(1, l_)));
+  // Clamp up to the measured G_b density (satellite 2): the batch
+  // waves here materialize several candidates per customer right away,
+  // and a zero-density hint makes every stream's FlatMap start at the
+  // minimum table and grow during the first discharge wave. Streams
+  // created after the pilot wave size off what was actually discovered.
+  if (streams_created_ > 0 && num_edges_materialized_ > 0) {
+    const size_t per_customer = static_cast<size_t>(
+        num_edges_materialized_ / streams_created_ + 1);
+    const size_t nodes_per_facility =
+        std::max<size_t>(1, nodes / static_cast<size_t>(std::max(1, l_)));
+    hint = std::max(hint,
+                    std::min(nodes, 8 + per_customer * nodes_per_facility));
+  }
+  return hint;
+}
+
+NearestFacilityStream& CostScalingMatcher::StreamFor(int customer) {
+  if (streams_[customer] == nullptr) {
+    streams_[customer] = std::make_unique<NearestFacilityStream>(
+        graph_, customer_nodes_[customer], &facility_index_of_node_,
+        StreamReserveHint());
+    ++streams_created_;
+  }
+  return *streams_[customer];
+}
+
+int64_t CostScalingMatcher::ScaledCost(double distance) const {
+  return std::llround(std::ldexp(distance, scale_shift_));
+}
+
+namespace {
+
+// Largest scaled unit cost that keeps the retuned overflow penalty
+// (max_c + 1) * chain * alpha inside the cost budget.
+int64_t CostBudgetInt(int64_t alpha, int64_t chain) {
+  return static_cast<int64_t>(
+             std::ldexp(1.0, kCostBudgetBits) /
+             (static_cast<double>(alpha) * static_cast<double>(chain))) -
+         1;
+}
+
+}  // namespace
+
+void CostScalingMatcher::ChooseScale() {
+  const int64_t alpha = num_flow_nodes_ + 1;
+  const int64_t chain = std::min<int64_t>(m_ + 2, kOverflowChain);
+  const double budget = static_cast<double>(CostBudgetInt(alpha, chain));
+  const double maxd = std::max(max_distance_, 1e-30);
+  int shift = scale_shift_cap_;
+  while (shift > -16 && std::ldexp(maxd, shift) > budget) --shift;
+  scale_shift_ = shift;
+}
+
+void CostScalingMatcher::BuildFlow() {
+  const int sink = m_ + l_;
+  const int64_t alpha = num_flow_nodes_ + 1;
+  flow_ = std::make_unique<CostScalingFlow>(num_flow_nodes_);
+  for (int i = 0; i < m_; ++i) flow_->SetSupply(i, 1);
+  flow_->SetSupply(sink, -static_cast<int64_t>(m_));
+  for (int j = 0; j < l_; ++j) {
+    flow_->AddArc(m_ + j, sink, capacities_[j], 0);
+  }
+  for (GbEdge& edge : edges_) {
+    edge.arc_id = flow_->AddArc(edge.customer, m_ + edge.facility, 1,
+                                ScaledCost(edge.distance) * alpha);
+  }
+  // Per-customer overflow arcs: a penalty big enough that the optimum
+  // only uses one when the customer genuinely cannot be assigned, and
+  // they guarantee every refine pass can route all excess.
+  for (int i = 0; i < m_; ++i) {
+    overflow_arc_of_customer_[i] = flow_->AddArc(i, sink, 1, 0);
+  }
+  RetuneOverflowCosts();
+}
+
+void CostScalingMatcher::RetuneOverflowCosts() {
+  const int64_t alpha = num_flow_nodes_ + 1;
+  const int64_t chain = std::min<int64_t>(m_ + 2, kOverflowChain);
+  int64_t max_c = 0;
+  for (const GbEdge& edge : edges_) {
+    max_c = std::max(max_c, ScaledCost(edge.distance));
+  }
+  const int64_t z = (max_c + 1) * chain * alpha;
+  for (int i = 0; i < m_; ++i) {
+    flow_->SetCost(overflow_arc_of_customer_[i], z);
+  }
+}
+
+int64_t CostScalingMatcher::ExtendFromStreams() {
+  const int64_t alpha = num_flow_nodes_ + 1;
+  const int64_t chain = std::min<int64_t>(m_ + 2, kOverflowChain);
+  const int64_t budget_int = CostBudgetInt(alpha, chain);
+  // With 1-optimal prices from the last Solve, an unmaterialized edge
+  // (i, j) can only improve the flow when its reduced cost is negative:
+  // any improving cycle through it uses at most n materialized arcs of
+  // reduced cost >= -1 each, and all costs sit on the alpha = (n+1)
+  // lattice, so a cycle needs the new arc below 0 to reach <= -alpha.
+  // Facility prices are bounded by maxpi over capacity-carrying
+  // facilities (a zero-capacity facility can never carry flow), and
+  // stream distances only grow — one peek per customer prunes the tail.
+  int64_t maxpi = std::numeric_limits<int64_t>::min();
+  for (int j = 0; j < l_; ++j) {
+    if (capacities_[j] > 0) maxpi = std::max(maxpi, flow_->Price(m_ + j));
+  }
+  if (maxpi == std::numeric_limits<int64_t>::min()) return 0;
+  int64_t added = 0;
+  for (int i = 0; i < m_; ++i) {
+    const int64_t pi = flow_->Price(i);
+    for (;;) {
+      const double d = StreamFor(i).PeekDistance();
+      if (d == kInfDistance) break;
+      const int64_t c_int = ScaledCost(d);
+      if (c_int > budget_int) {
+        // The next edge overflows the cost budget at this scale.
+        max_distance_ = std::max(max_distance_, d);
+        rescale_pending_ = true;
+        return added;
+      }
+      if (c_int * alpha + pi - maxpi >= 0) break;
+      std::optional<FacilityAtDistance> next = streams_[i]->Pop();
+      MCFS_DCHECK(next.has_value());
+      max_distance_ = std::max(max_distance_, next->distance);
+      GbEdge edge;
+      edge.customer = i;
+      edge.facility = next->facility;
+      edge.distance = next->distance;
+      edge.arc_id = flow_->AddArc(i, m_ + next->facility, 1,
+                                  ScaledCost(next->distance) * alpha);
+      edges_.push_back(edge);
+      ++edges_of_customer_[i];
+      ++num_edges_materialized_;
+      ++added;
+    }
+  }
+  return added;
+}
+
+bool CostScalingMatcher::MatchAll(int threads) {
+  MCFS_CHECK(!solved_) << "MatchAll is one-shot";
+  solved_ = true;
+  const int fanout = std::min(l_, kInitialFanout);
+  auto pop_initial = [&](int customer) {
+    NearestFacilityStream& stream = StreamFor(customer);
+    for (int t = 0; t < fanout; ++t) {
+      std::optional<FacilityAtDistance> next = stream.Pop();
+      if (!next.has_value()) break;
+      max_distance_ = std::max(max_distance_, next->distance);
+      edges_.push_back(GbEdge{customer, next->facility, next->distance, -1});
+      ++edges_of_customer_[customer];
+      ++num_edges_materialized_;
+    }
+  };
+  // Pilot wave: serial creation + pops so StreamReserveHint() has a
+  // measured density before the bulk of the streams get built.
+  const int pilot = std::min(m_, kPilotStreams);
+  for (int i = 0; i < pilot; ++i) pop_initial(i);
+  for (int i = pilot; i < m_; ++i) StreamFor(i);
+  if (ResolveThreadCount(threads) > 1 && fanout > 0 && pilot < m_) {
+    // Prefetch never changes what Pop() returns, so the result stays
+    // identical for every thread count.
+    ParallelFor(
+        pilot, m_, /*grain=*/1,
+        [&](int64_t i) { streams_[i]->Prefetch(fanout); }, threads);
+  }
+  for (int i = pilot; i < m_; ++i) pop_initial(i);
+
+  ChooseScale();
+  BuildFlow();
+  for (;;) {
+    RetuneOverflowCosts();
+    if (!flow_->Solve()) {
+      // Price guard tripped: coarsen the scale and restart cold.
+      ++num_rescales_;
+      scale_shift_cap_ = scale_shift_ - 4;
+      MCFS_CHECK_GE(scale_shift_cap_, -16) << "cost scale collapsed";
+      ChooseScale();
+      BuildFlow();
+      continue;
+    }
+    rescale_pending_ = false;
+    const int64_t added = ExtendFromStreams();
+    if (rescale_pending_) {
+      ++num_rescales_;
+      ChooseScale();
+      BuildFlow();
+      continue;
+    }
+    if (added == 0) break;
+    ++num_extension_rounds_;
+  }
+
+  MCFS_COUNT("cost_scaling/edges_materialized", num_edges_materialized_);
+  MCFS_COUNT("cost_scaling/extension_rounds", num_extension_rounds_);
+  MCFS_COUNT("cost_scaling/rescales", num_rescales_);
+  MCFS_COUNT("cost_scaling/refines", flow_->num_refines());
+  MCFS_COUNT("cost_scaling/pushes", flow_->num_pushes());
+  MCFS_COUNT("cost_scaling/relabels", flow_->num_relabels());
+  MCFS_COUNT("cost_scaling/global_updates", flow_->num_global_updates());
+  MCFS_COUNT("cost_scaling/arcs_fixed", flow_->num_arcs_fixed());
+  MCFS_COUNT("cost_scaling/lookahead_cutoffs",
+             flow_->num_lookahead_cutoffs());
+
+  for (int i = 0; i < m_; ++i) {
+    if (flow_->FlowOf(overflow_arc_of_customer_[i]) > 0) return false;
+  }
+  return true;
+}
+
+std::vector<MatchedPair> CostScalingMatcher::MatchedPairs() const {
+  std::vector<MatchedPair> pairs;
+  if (flow_ == nullptr) return pairs;
+  pairs.reserve(static_cast<size_t>(m_));
+  for (const GbEdge& edge : edges_) {
+    if (edge.arc_id >= 0 && flow_->FlowOf(edge.arc_id) > 0) {
+      pairs.push_back({edge.customer, edge.facility, edge.distance});
+    }
+  }
+  return pairs;
+}
+
+double CostScalingMatcher::TotalCost() const {
+  if (flow_ == nullptr) return 0.0;
+  double total = 0.0;
+  for (const GbEdge& edge : edges_) {
+    if (edge.arc_id >= 0 && flow_->FlowOf(edge.arc_id) > 0) {
+      total += edge.distance;
+    }
+  }
+  return total;
+}
+
+Status CostScalingMatcher::WarmSeedStatus() {
+  return UnsupportedError(
+      "cost_scaling matcher cannot resume a warm seed: e-scaling keeps no "
+      "augmenting-path state to adopt; fall back to a cold solve");
+}
+
+Status CostScalingMatcher::ResumeFrom(const WarmSeed& seed) const {
+  (void)seed;
+  return WarmSeedStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Dense transportation oracle
+
+std::optional<TransportResult> SolveDenseTransportCostScaling(
+    int m, int l, const std::vector<double>& cost,
+    const std::vector<int>& capacities) {
+  MCFS_CHECK_EQ(cost.size(), static_cast<size_t>(m) * static_cast<size_t>(l));
+  MCFS_CHECK_EQ(capacities.size(), static_cast<size_t>(l));
+  TransportResult result;
+  result.cost = 0.0;
+  result.assignment.assign(m, -1);
+  if (m == 0) return result;
+  const int num_nodes = m + l + 1;
+  const int sink = m + l;
+  const int64_t alpha = num_nodes + 1;
+  const int64_t chain = std::min<int64_t>(m + 2, kOverflowChain);
+  const int64_t budget_int = CostBudgetInt(alpha, chain);
+  double maxd = 0.0;
+  for (double c : cost) {
+    if (c == kInfDistance) continue;
+    MCFS_CHECK_GE(c, 0.0);
+    maxd = std::max(maxd, c);
+  }
+  int shift = 40;
+  while (shift > -16 &&
+         std::ldexp(std::max(maxd, 1e-30), shift) >
+             static_cast<double>(budget_int)) {
+    --shift;
+  }
+  for (;;) {
+    CostScalingFlow flow(num_nodes);
+    for (int i = 0; i < m; ++i) flow.SetSupply(i, 1);
+    flow.SetSupply(sink, -static_cast<int64_t>(m));
+    for (int j = 0; j < l; ++j) flow.AddArc(m + j, sink, capacities[j], 0);
+    std::vector<int> arc_of_pair(static_cast<size_t>(m) * l, -1);
+    int64_t max_c = 0;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < l; ++j) {
+        const double c = cost[static_cast<size_t>(i) * l + j];
+        if (c == kInfDistance) continue;
+        const int64_t c_int = std::llround(std::ldexp(c, shift));
+        max_c = std::max(max_c, c_int);
+        arc_of_pair[static_cast<size_t>(i) * l + j] =
+            flow.AddArc(i, m + j, 1, c_int * alpha);
+      }
+    }
+    std::vector<int> overflow(m);
+    const int64_t z = (max_c + 1) * chain * alpha;
+    for (int i = 0; i < m; ++i) overflow[i] = flow.AddArc(i, sink, 1, z);
+    if (!flow.Solve()) {
+      shift -= 4;
+      MCFS_CHECK_GE(shift, -16) << "cost scale collapsed";
+      continue;
+    }
+    for (int i = 0; i < m; ++i) {
+      if (flow.FlowOf(overflow[i]) > 0) return std::nullopt;
+      for (int j = 0; j < l; ++j) {
+        const int arc = arc_of_pair[static_cast<size_t>(i) * l + j];
+        if (arc >= 0 && flow.FlowOf(arc) > 0) {
+          result.assignment[i] = j;
+          result.cost += cost[static_cast<size_t>(i) * l + j];
+          break;
+        }
+      }
+      MCFS_CHECK_GE(result.assignment[i], 0);
+    }
+    return result;
+  }
+}
+
+}  // namespace mcfs

@@ -1,0 +1,250 @@
+#ifndef MCFS_FLOW_COST_SCALING_H_
+#define MCFS_FLOW_COST_SCALING_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mcfs/common/status.h"
+#include "mcfs/flow/matcher.h"
+#include "mcfs/flow/transport.h"
+#include "mcfs/graph/facility_stream.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Goldberg–Tarjan cost-scaling min-cost flow on an explicit residual
+// arc list, in the style of Flowlessly's refine/discharge loop
+// (SNIPPETS.md snippet 3): e-scaling with push-lookahead (speculative
+// relabel of the head before committing a push), arc fixing (arcs whose
+// reduced-cost magnitude proves their flow final are skipped in
+// discharge scans), and periodic global price updates (a reverse
+// Dijkstra from the deficits in e-quantized lengths).
+//
+// Costs are int64. For exact termination the caller must supply every
+// arc cost as a multiple of (num_nodes + 1): the final refine runs at
+// eps = 1, and 1-optimality with costs on that lattice implies an
+// exactly optimal flow. Prices are guarded against int64 overflow; a
+// Solve() that trips the guard returns false and the caller re-scales
+// its costs down and retries (see CostScalingMatcher).
+class CostScalingFlow {
+ public:
+  explicit CostScalingFlow(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  // Adds arc tail->head (capacity >= 0) plus its paired residual
+  // reverse. Returns an arc id for FlowOf/SetCost.
+  int AddArc(int tail, int head, int capacity, int64_t cost);
+
+  // Declares node supply (positive) or demand (negative). Must be set
+  // before the first Solve; supplies must sum to zero.
+  void SetSupply(int node, int64_t supply);
+
+  // Re-prices an existing arc (both residual directions). Used between
+  // extension rounds to retune the overflow-arc penalty as longer real
+  // edges materialize.
+  void SetCost(int arc, int64_t cost);
+
+  // Runs the refine/discharge schedule until the flow is feasible and
+  // exactly optimal for the current arc set. Incremental: a re-Solve
+  // after AddArc/SetCost keeps the existing flow and prices and only
+  // repairs what the edits broke. Returns false when the price guard
+  // tripped (caller re-scales costs and rebuilds); flow state is
+  // unspecified after a failed Solve.
+  bool Solve();
+
+  // Flow currently on arc `arc` (0..capacity).
+  int FlowOf(int arc) const;
+  // Node price (dual) after Solve.
+  int64_t Price(int node) const;
+
+  // True when every residual arc has reduced cost >= -eps. After the
+  // final refine this holds at eps = 1, and with all costs on the
+  // (num_nodes + 1) lattice that certifies exact optimality: any
+  // improving residual cycle would cost <= -(num_nodes + 1), but
+  // 1-optimality bounds every cycle at >= -num_nodes.
+  bool VerifyEpsOptimality(int64_t eps) const;
+
+  // --- instrumentation (deterministic: the solver is serial) ---
+  int64_t num_refines() const { return num_refines_; }
+  int64_t num_pushes() const { return num_pushes_; }
+  int64_t num_relabels() const { return num_relabels_; }
+  int64_t num_global_updates() const { return num_global_updates_; }
+  int64_t num_arcs_fixed() const { return num_arcs_fixed_; }
+  int64_t num_lookahead_cutoffs() const { return num_lookahead_cutoffs_; }
+
+ private:
+  struct Arc {
+    int32_t head = 0;      // node this direction enters
+    int32_t rev = 0;       // index of the paired arc in arcs_[head]
+    int32_t residual = 0;  // remaining capacity of this direction
+    // Discharge scans skip fixed arcs: |reduced cost| > 2*n*eps at
+    // refine start proves the arc's flow is final for this and every
+    // later (smaller) eps. Re-derived at each refine.
+    bool fixed = false;
+    int64_t cost = 0;      // forward: +c, paired reverse: -c
+  };
+
+  int64_t ReducedCost(int tail, const Arc& arc) const {
+    return arc.cost + price_[tail] - price_[arc.head];
+  }
+  Arc& Partner(const Arc& arc) { return arcs_[arc.head][arc.rev]; }
+
+  // One full refine pass: fix provably-final arcs (sound against the
+  // entry_eps-optimality the flow enters with), saturate negative arcs,
+  // then discharge all active nodes to eps-optimality. If skipping the
+  // fixed arcs left any of them violating, unfixes everything and runs
+  // a second pass so the eps-optimality certificate always holds on
+  // every residual arc. Returns false on price-guard trip.
+  bool Refine(int64_t eps, int64_t entry_eps);
+  // The saturate/discharge core of one refine pass.
+  bool RefineCore(int64_t eps);
+  bool Discharge(int node, int64_t eps);
+  // Push-lookahead: true when pushing into `head` makes sense (it holds
+  // a deficit, has an admissible out-arc, or cannot relabel). Otherwise
+  // speculatively relabels `head` — which raises the caller's reduced
+  // cost by >= eps — and returns false so the caller re-evaluates.
+  // Sets *guard_ok = false when the speculative relabel trips the guard.
+  bool LookAhead(int head, int64_t eps, bool* guard_ok);
+  // Relabels `node` (price decrease creating an admissible arc).
+  // Returns false when the new price would breach the guard.
+  bool Relabel(int node, int64_t eps);
+  // Reverse multi-source Dijkstra from the deficits in eps-quantized
+  // lengths; drops prices so excesses see admissible paths again.
+  bool GlobalPriceUpdate(int64_t eps);
+  void MarkFixedArcs(int64_t entry_eps);
+  void ClearFixedArcs();
+  // Largest eps-optimality violation (-reduced cost) over residual
+  // arcs; 0 when already 0-optimal. Seeds the refine schedule.
+  int64_t MaxViolation() const;
+
+  void PushActive(int node) {
+    if (!in_active_[node]) {
+      in_active_[node] = true;
+      active_.push_back(node);
+    }
+  }
+
+  int num_nodes_;
+  std::vector<std::vector<Arc>> arcs_;      // per-node adjacency
+  std::vector<std::pair<int, int>> arc_of_id_;  // arc id -> (tail, index)
+  std::vector<int64_t> price_;
+  std::vector<int64_t> excess_;
+  std::vector<int> cur_;                    // current-arc pointers
+  std::vector<int> active_;                 // discharge worklist (LIFO)
+  std::vector<uint8_t> in_active_;
+  bool solved_once_ = false;
+
+  int64_t num_refines_ = 0;
+  int64_t num_pushes_ = 0;
+  int64_t num_relabels_ = 0;
+  int64_t num_global_updates_ = 0;
+  int64_t num_arcs_fixed_ = 0;
+  int64_t num_lookahead_cutoffs_ = 0;
+  int64_t relabels_since_update_ = 0;
+};
+
+// Batch unit-demand assignment via cost scaling, the CostScalingMatcher
+// behind MatcherBackendKind::kCostScaling (DESIGN.md §4.12). Consumes
+// the same lazily-materialized G_b edges as the SSPA matcher through
+// NearestFacilityStream: it solves on the materialized prefix, then
+// uses the optimal prices to prove which undiscovered edges can be
+// pruned (reduced cost of any edge at the customer's next stream
+// distance already non-negative) and extends + re-refines until the
+// matching is optimal for the full bipartite graph. Distances are
+// scaled to the int64 cost lattice with a dynamic power-of-two scale;
+// the committed objective is re-read from the true double weights.
+class CostScalingMatcher {
+ public:
+  // Same contract as IncrementalMatcher's constructor: distinct
+  // facility nodes, repeatable customer nodes, capacities >= 0.
+  CostScalingMatcher(const Graph* graph, std::vector<NodeId> customer_nodes,
+                     std::vector<NodeId> facility_nodes,
+                     std::vector<int> capacities);
+  ~CostScalingMatcher();
+
+  // Solves the full assignment (one unit per customer). Returns false
+  // when some customer could not be assigned (component capacity
+  // short); those customers are simply absent from MatchedPairs().
+  // `threads` parallelizes only the candidate-stream prefetch.
+  bool MatchAll(int threads = 1);
+
+  int num_customers() const { return m_; }
+  int num_facilities() const { return l_; }
+
+  std::vector<MatchedPair> MatchedPairs() const;
+  double TotalCost() const;
+
+  // The typed warm-seed refusal (kUnsupported): cost scaling has no
+  // incremental resume — callers holding a WarmSeed must fall back to
+  // a cold solve (the warm-seed compatibility matrix, DESIGN.md §4.12).
+  static Status WarmSeedStatus();
+  Status ResumeFrom(const WarmSeed& seed) const;
+
+  // --- instrumentation ---
+  int64_t num_edges_materialized() const { return num_edges_materialized_; }
+  int64_t num_extension_rounds() const { return num_extension_rounds_; }
+  int64_t num_rescales() const { return num_rescales_; }
+  const CostScalingFlow* flow_for_testing() const { return flow_.get(); }
+
+ private:
+  struct GbEdge {
+    int customer = -1;
+    int facility = -1;
+    double distance = 0.0;
+    int arc_id = -1;  // arc id inside flow_, -1 before the build
+  };
+
+  NearestFacilityStream& StreamFor(int customer);
+  size_t StreamReserveHint() const;
+  // Pops every stream edge whose scaled cost could still be attractive
+  // under the current prices; returns the number of new G_b edges.
+  int64_t ExtendFromStreams();
+  // (Re)builds flow_ from scratch at the current scale with all
+  // materialized edges; keeps no prior prices (used after a rescale).
+  void BuildFlow();
+  int64_t ScaledCost(double distance) const;
+  void ChooseScale();
+  void RetuneOverflowCosts();
+
+  const Graph* graph_;
+  int m_;
+  int l_;
+  int num_flow_nodes_;  // m_ + l_ + 1 (sink)
+  std::vector<NodeId> customer_nodes_;
+  std::vector<NodeId> facility_nodes_;
+  std::vector<int> capacities_;
+  std::vector<int> facility_index_of_node_;
+  std::vector<std::unique_ptr<NearestFacilityStream>> streams_;
+  int64_t streams_created_ = 0;
+  std::vector<GbEdge> edges_;
+  std::vector<int> overflow_arc_of_customer_;
+  std::vector<int64_t> edges_of_customer_;  // materialized count, hints
+
+  std::unique_ptr<CostScalingFlow> flow_;
+  int scale_shift_ = 0;        // S = 2^scale_shift_ (can be negative)
+  int scale_shift_cap_ = 40;   // lowered 4 bits per price-guard trip
+  double max_distance_ = 0.0;  // largest distance seen on any stream
+  bool rescale_pending_ = false;
+  bool solved_ = false;
+
+  int64_t num_edges_materialized_ = 0;
+  int64_t num_extension_rounds_ = 0;
+  int64_t num_rescales_ = 0;
+};
+
+// Dense transportation counterpart of SolveDenseTransport
+// (flow/transport.h) on the cost-scaling engine, for the exact solver's
+// lower bounds: same inputs, same optimum, same infeasibility contract
+// (nullopt when no full assignment exists; cost[i][j] == kInfDistance
+// forbids the pair). Objective is exact for the int-scaled costs and
+// within the documented m/S rounding band of the double optimum.
+std::optional<TransportResult> SolveDenseTransportCostScaling(
+    int m, int l, const std::vector<double>& cost,
+    const std::vector<int>& capacities);
+
+}  // namespace mcfs
+
+#endif  // MCFS_FLOW_COST_SCALING_H_

@@ -1,0 +1,151 @@
+#include "mcfs/flow/matcher_backend.h"
+
+#include <cstdlib>
+
+#include "mcfs/common/check.h"
+#include "mcfs/common/thread_pool.h"
+#include "mcfs/flow/cost_scaling.h"
+
+namespace mcfs {
+namespace {
+
+// Crossover thresholds of the `auto` model, fitted on the committed
+// BENCH_matcher_backends.json sweep (see DESIGN.md §4.12): e-scaling
+// overtakes SSPA only once the matching is *near-saturated* — with
+// occupancy at ~1.0 every late customer rewires a long augmenting
+// chain, so SSPA pays repeated label-correcting passes while the
+// refine/discharge waves amortize that work across the whole batch.
+// Below ~0.96 occupancy SSPA's first candidates mostly stick and its
+// lazy per-customer searches touch a fraction of the arcs a global
+// refine pass must scan (measured 4-8x faster on the sparse preset).
+// The batch must also be wide enough (customers, facilities) that the
+// scaling engine's fixed per-refine costs amortize; the sweep's
+// "crossover" cells (m~560-620, l~35-40, occ 0.97-1.0) are the
+// boundary, where cost scaling wins by only ~1.2-1.5x.
+constexpr int64_t kAutoMinFacilities = 32;
+constexpr int64_t kAutoMinCustomers = 512;
+constexpr double kAutoMinOccupancy = 0.96;
+
+class SspaBackend : public MatcherBackend {
+ public:
+  MatcherBackendKind kind() const override {
+    return MatcherBackendKind::kSspa;
+  }
+
+  BatchMatchResult Match(const Graph* graph,
+                         const std::vector<NodeId>& customer_nodes,
+                         const std::vector<NodeId>& facility_nodes,
+                         const std::vector<int>& capacities,
+                         int threads) override {
+    // Mirrors core/instance.cc AssignWithMatcher on a fresh matcher
+    // step for step, so routing AssignOptimally through the registry
+    // stays bit-identical to the pre-registry code path.
+    IncrementalMatcher matcher(graph, customer_nodes, facility_nodes,
+                               capacities);
+    const int m = matcher.num_customers();
+    if (ResolveThreadCount(threads) > 1) {
+      std::vector<int> counts(m, 2);
+      matcher.PrefetchCandidates(counts, threads);
+    }
+    BatchMatchResult result;
+    result.all_assigned = true;
+    for (int i = 0; i < m; ++i) {
+      if (!matcher.FindPair(i)) result.all_assigned = false;
+    }
+    result.pairs = matcher.MatchedPairs();
+    result.total_cost = matcher.TotalCost();
+    return result;
+  }
+
+  Status AcceptsWarmSeed() const override { return OkStatus(); }
+};
+
+class CostScalingBackend : public MatcherBackend {
+ public:
+  MatcherBackendKind kind() const override {
+    return MatcherBackendKind::kCostScaling;
+  }
+
+  BatchMatchResult Match(const Graph* graph,
+                         const std::vector<NodeId>& customer_nodes,
+                         const std::vector<NodeId>& facility_nodes,
+                         const std::vector<int>& capacities,
+                         int threads) override {
+    CostScalingMatcher matcher(graph, customer_nodes, facility_nodes,
+                               capacities);
+    BatchMatchResult result;
+    result.all_assigned = matcher.MatchAll(threads);
+    result.pairs = matcher.MatchedPairs();
+    result.total_cost = matcher.TotalCost();
+    return result;
+  }
+
+  Status AcceptsWarmSeed() const override {
+    return CostScalingMatcher::WarmSeedStatus();
+  }
+};
+
+}  // namespace
+
+const char* MatcherBackendName(MatcherBackendKind kind) {
+  switch (kind) {
+    case MatcherBackendKind::kSspa:
+      return "sspa";
+    case MatcherBackendKind::kCostScaling:
+      return "cost_scaling";
+    case MatcherBackendKind::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+StatusOr<MatcherBackendKind> ParseMatcherBackend(const std::string& name) {
+  std::string normalized = name;
+  for (char& c : normalized) {
+    if (c == '-') c = '_';
+  }
+  if (normalized == "sspa") return MatcherBackendKind::kSspa;
+  if (normalized == "cost_scaling") return MatcherBackendKind::kCostScaling;
+  if (normalized == "auto") return MatcherBackendKind::kAuto;
+  return InvalidInputError("unknown matcher backend \"" + name +
+                           "\" (expected sspa | cost_scaling | auto)");
+}
+
+MatcherBackendKind MatcherBackendFromEnv(MatcherBackendKind fallback) {
+  const char* env = std::getenv("MCFS_MATCHER");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  StatusOr<MatcherBackendKind> parsed = ParseMatcherBackend(env);
+  MCFS_CHECK(parsed.ok()) << "MCFS_MATCHER: " << parsed.status().ToString();
+  return *parsed;
+}
+
+MatcherBackendKind ResolveMatcherBackend(MatcherBackendKind requested,
+                                         const MatchShape& shape) {
+  if (requested != MatcherBackendKind::kAuto) return requested;
+  // Warm shapes stay on SSPA regardless of size: cost scaling refuses
+  // exported seeds, and a cold re-solve would forfeit more than the
+  // refine passes recover.
+  if (shape.warm) return MatcherBackendKind::kSspa;
+  if (shape.facilities >= kAutoMinFacilities &&
+      shape.customers >= kAutoMinCustomers &&
+      shape.Occupancy() >= kAutoMinOccupancy) {
+    return MatcherBackendKind::kCostScaling;
+  }
+  return MatcherBackendKind::kSspa;
+}
+
+std::unique_ptr<MatcherBackend> MakeMatcherBackend(MatcherBackendKind kind) {
+  switch (kind) {
+    case MatcherBackendKind::kSspa:
+      return std::make_unique<SspaBackend>();
+    case MatcherBackendKind::kCostScaling:
+      return std::make_unique<CostScalingBackend>();
+    case MatcherBackendKind::kAuto:
+      break;
+  }
+  MCFS_CHECK(false) << "MakeMatcherBackend: kAuto must be resolved with "
+                       "ResolveMatcherBackend before construction";
+  return nullptr;
+}
+
+}  // namespace mcfs

@@ -92,7 +92,9 @@ std::string ServiceReport::Json() const {
   std::ostringstream out;
   out << "{\"service\": {\"epoch\": " << epoch
       << ", \"epochs_built\": " << epochs_built
-      << ", \"warm_build_seconds\": " << JsonNumber(warm_build_seconds) << "}"
+      << ", \"warm_build_seconds\": " << JsonNumber(warm_build_seconds)
+      << ", \"matcher_backend\": \""
+      << (matcher_backend.empty() ? "sspa" : matcher_backend) << "\"}"
       << ", \"requests\": {\"admitted\": " << requests_admitted
       << ", \"rejected\": " << requests_rejected
       << ", \"completed\": " << requests_completed

@@ -66,8 +66,9 @@ void ResponseHandle::Complete(SolveResponse response) {
 // SolverService
 
 bool SolverService::CacheKey::operator<(const CacheKey& other) const {
-  return std::tie(k, customers, facility_subset) <
-         std::tie(other.k, other.customers, other.facility_subset);
+  return std::tie(k, matcher, customers, facility_subset) <
+         std::tie(other.k, other.matcher, other.customers,
+                  other.facility_subset);
 }
 
 SolverService::SolverService(const Graph* graph,
@@ -623,6 +624,8 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
   std::fill(resolve_.match_dirty.begin(), resolve_.match_dirty.end(), 0);
 
   const bool counted_warm = warm_started && !fell_back_cold;
+  response.warm_attempted = warm_started;
+  response.warm_served = counted_warm;
   if (counted_warm) {
     MCFS_COUNT("resolve/warm_repairs", 1);
   } else {
@@ -858,11 +861,22 @@ void SolverService::Execute(PendingRequest& pending) {
     return;
   }
 
+  // Resolve the engine for this request's shape once: the same resolved
+  // kind keys the response cache and runs the solve, so an auto-picked
+  // engine never serves a cache entry another engine produced.
+  MatchShape request_shape;
+  request_shape.customers = static_cast<int64_t>(instance.m());
+  request_shape.facilities = static_cast<int64_t>(instance.l());
+  for (const int c : instance.capacities) request_shape.total_capacity += c;
+  const MatcherBackendKind request_matcher =
+      ResolveMatcherBackend(options_.wma.matcher, request_shape);
+
   if (cacheable) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (cache_epoch_ == warm->epoch) {
-      const auto it = cache_.find(
-          CacheKey{request.customers, request.k, request.facility_subset});
+      const auto it = cache_.find(CacheKey{request.customers, request.k,
+                                           request.facility_subset,
+                                           request_matcher});
       if (it != cache_.end()) {
         const CacheEntry& entry = it->second;
         response.solution = entry.solution;
@@ -904,6 +918,7 @@ void SolverService::Execute(PendingRequest& pending) {
   wma.deadline_ms = deadline_ms;
   wma.cancel = request.cancel;
   wma.trace_id = request.trace_id;
+  wma.matcher = request_matcher;
   WallTimer solve_timer;
   WmaResult result = RunWma(instance, wma);
   response.solve_seconds = solve_timer.Seconds();
@@ -925,7 +940,8 @@ void SolverService::Execute(PendingRequest& pending) {
   if (cacheable && response.solution.termination == Termination::kConverged) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (cache_epoch_ == warm->epoch) {
-      CacheKey key{request.customers, request.k, request.facility_subset};
+      CacheKey key{request.customers, request.k, request.facility_subset,
+                   request_matcher};
       const auto inserted = cache_.emplace(
           key, CacheEntry{response.solution, response.stats,
                           response.verify_ran, response.verify_ok});
@@ -1020,6 +1036,7 @@ ServiceReport SolverService::Report() const {
     report.slos = SloRowsLocked();
   }
   report.epoch = epoch();
+  report.matcher_backend = MatcherBackendName(options_.wma.matcher);
   report.latency = SummarizeHistogram(latency_hist_.Snapshot());
   return report;
 }

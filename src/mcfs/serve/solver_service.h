@@ -188,6 +188,13 @@ struct SolveResponse {
   bool cache_hit = false;
   bool verify_ran = false;
   bool verify_ok = false;
+  // ResolveTracked only: a warm seed was on offer for this solve, and
+  // whether the served solution actually came from the warm repair path
+  // (false when the verifier vetoed it and the solve fell back cold, or
+  // when no seed was usable). bench_serve --churn classifies rows by
+  // warm_served — the path taken — never by warm_attempted.
+  bool warm_attempted = false;
+  bool warm_served = false;
   double queue_seconds = 0.0;       // admission -> execution start
   double preprocess_seconds = 0.0;  // warm validation + instance view
   double solve_seconds = 0.0;       // SolveWma proper
@@ -351,11 +358,17 @@ class SolverService {
     double admitted_at = 0.0;  // TraceNowUs-based, seconds
   };
 
-  // Cache key: the full request identity (no hashing collisions).
+  // Cache key: the full request identity (no hashing collisions). The
+  // resolved matcher backend is part of the identity: with
+  // options.wma.matcher == kAuto the engine depends on the request's
+  // shape, and a cached entry must only be served to requests the same
+  // engine would have produced (timings and stats are engine-specific
+  // even though objectives agree).
   struct CacheKey {
     std::vector<NodeId> customers;
     int k;
     std::vector<int> facility_subset;
+    MatcherBackendKind matcher = MatcherBackendKind::kSspa;
     bool operator<(const CacheKey& other) const;
   };
   struct CacheEntry {

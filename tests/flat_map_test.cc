@@ -193,5 +193,47 @@ TEST(FlatMapTest, AllocCountersFireWhenMetricsEnabled) {
   EXPECT_GT(snapshot.counters.at("exec/alloc/scratch_reuses"), 0);
 }
 
+// A Reserve hint that undershoots counts exactly one hint miss on the
+// first post-hint growth ("maps whose sizing model was wrong", not
+// "doublings paid"); a hint that holds counts none, and an unhinted map
+// counts none no matter how often it grows.
+TEST(FlatMapTest, HintMissCountedOncePerUndershotReserve) {
+  auto misses_after = [](auto&& body) {
+    obs::EnableMetrics(true);
+    obs::ResetMetrics();
+    body();
+    const obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+    obs::EnableMetrics(false);
+    obs::ResetMetrics();
+    const auto it =
+        snapshot.counters.find("exec/alloc/flatmap_hint_misses");
+    return it == snapshot.counters.end() ? int64_t{0} : it->second;
+  };
+
+  EXPECT_EQ(misses_after([] {
+              FlatMap<int32_t, double> map;
+              map.Reserve(4);  // rounds to the minimum table
+              for (int32_t key = 0; key < 1000; ++key) map[key] = 1.0;
+            }),
+            1);
+  EXPECT_EQ(misses_after([] {
+              FlatMap<int32_t, double> map;
+              map.Reserve(1000);
+              for (int32_t key = 0; key < 1000; ++key) map[key] = 1.0;
+            }),
+            0);
+  EXPECT_EQ(misses_after([] {
+              FlatMap<int32_t, double> map;  // never hinted
+              for (int32_t key = 0; key < 1000; ++key) map[key] = 1.0;
+            }),
+            0);
+  EXPECT_EQ(misses_after([] {
+              StampedMap<int32_t, double> map;
+              map.Reserve(4);
+              for (int32_t key = 0; key < 1000; ++key) map[key] = 1.0;
+            }),
+            1);
+}
+
 }  // namespace
 }  // namespace mcfs

@@ -117,6 +117,43 @@ TEST_F(IntegrationTest, BikePipelineMatchesExactOnSmallK) {
   }
 }
 
+// Backend cross-check on the production pipeline: both matching
+// engines, at every supported thread count, must agree on the full
+// solve's objective (1e-9 relative) and pass the independent verifier.
+TEST_F(IntegrationTest, MatcherBackendsAgreeAndVerifyAcrossThreadCounts) {
+  YelpSimOptions yelp;
+  yelp.num_venues = 80;
+  yelp.num_customers = 120;
+  yelp.seed = 7;
+  const CoworkingScenario scenario = GenerateCoworkingScenario(City(), yelp);
+  McfsInstance instance;
+  instance.graph = &City();
+  instance.customers = scenario.customers;
+  instance.facility_nodes = scenario.venues;
+  instance.capacities = scenario.capacities;
+  instance.k = 25;
+  ASSERT_TRUE(IsFeasible(instance));
+
+  WmaOptions sspa_options;
+  sspa_options.threads = 1;
+  const WmaResult sspa = RunWma(instance, sspa_options);
+  ASSERT_TRUE(sspa.solution.feasible);
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    WmaOptions cs_options;
+    cs_options.matcher = MatcherBackendKind::kCostScaling;
+    cs_options.threads = threads;
+    const WmaResult cs = RunWma(instance, cs_options);
+    ASSERT_TRUE(cs.solution.feasible);
+    EXPECT_EQ(cs.stats.matcher_backend, "cost_scaling");
+    EXPECT_EQ(cs.solution.selected, sspa.solution.selected);
+    EXPECT_NEAR(cs.solution.objective, sspa.solution.objective,
+                1e-9 * (1.0 + sspa.solution.objective));
+    const VerifyReport report = VerifySolution(instance, cs.solution);
+    EXPECT_TRUE(report.ok) << report.ToString();
+  }
+}
+
 TEST_F(IntegrationTest, DeterministicAcrossRuns) {
   YelpSimOptions yelp;
   yelp.num_venues = 40;

@@ -1,11 +1,17 @@
 // Property tests on the incremental matcher's internal invariants: the
 // potentials must keep every materialized edge dual-feasible after each
 // FindPair (Theorem 1's machinery), across random instances, interleaved
-// demands, and tight capacities.
+// demands, and tight capacities — plus the cross-backend contract that
+// the SSPA and cost-scaling engines agree on every batch assignment.
+
+#include <cmath>
+#include <numeric>
 
 #include <gtest/gtest.h>
 
+#include "mcfs/core/instance.h"
 #include "mcfs/flow/matcher.h"
+#include "mcfs/flow/matcher_backend.h"
 #include "tests/test_util.h"
 
 namespace mcfs {
@@ -78,6 +84,50 @@ TEST(MatcherInvariantTest, CostIsMonotoneInDemand) {
     previous_marginal = marginal;
   }
 }
+
+// Both matching engines solve the same min-cost flow; on any instance
+// they must agree on assignment cardinality, and on fully-assigned
+// instances the objectives must match to 1e-9 relative — at every
+// thread count, since threading never changes either engine's result.
+class BackendEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalenceTest, CostScalingMatchesSspaAtEveryThreadCount) {
+  Rng rng(7100 + GetParam());
+  const int n = 40 + static_cast<int>(rng.UniformInt(0, 120));
+  const int m = 6 + static_cast<int>(rng.UniformInt(0, 18));
+  const int l = 3 + static_cast<int>(rng.UniformInt(0, 9));
+  const int max_capacity = 1 + static_cast<int>(rng.UniformInt(0, 4));
+  const int parts = 1 + GetParam() % 2;
+  RandomInstance ri =
+      MakeRandomInstance(n, m, l, l, max_capacity, rng, parts);
+  std::vector<int> selected(l);
+  std::iota(selected.begin(), selected.end(), 0);
+
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const McfsSolution sspa = AssignOptimally(
+        ri.instance, selected, threads, MatcherBackendKind::kSspa);
+    const McfsSolution cs = AssignOptimally(
+        ri.instance, selected, threads, MatcherBackendKind::kCostScaling);
+    EXPECT_EQ(sspa.feasible, cs.feasible);
+    int sspa_assigned = 0, cs_assigned = 0;
+    for (const int a : sspa.assignment) sspa_assigned += a >= 0 ? 1 : 0;
+    for (const int a : cs.assignment) cs_assigned += a >= 0 ? 1 : 0;
+    EXPECT_EQ(sspa_assigned, cs_assigned);
+    if (sspa.feasible) {
+      EXPECT_NEAR(cs.objective, sspa.objective,
+                  1e-9 * (1.0 + std::abs(sspa.objective)));
+    } else {
+      // Saturated instances: both engines assign the maximum number of
+      // customers; cost scaling may find a cheaper max-cardinality set.
+      EXPECT_LE(cs.objective,
+                sspa.objective + 1e-9 * (1.0 + std::abs(sspa.objective)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, BackendEquivalenceTest,
+                         ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace mcfs
