@@ -25,6 +25,20 @@
 // resolve deadline-terminates and auto-dumps a flight-recorder
 // postmortem to PATH (the JSON CI validates).
 //
+// Fault tolerance (DESIGN.md §4.13): --fault-plan "seed=42,
+// deadline_cut=0.1,..." installs a seeded deterministic fault schedule
+// in the service; --allow-degraded (default on when a plan is set) opts
+// requests into degraded-mode answers. Clients retry kUnavailable
+// rejections with jittered exponential backoff (--backoff-base-ms /
+// --backoff-max-ms / --max-retries), floored at the server's
+// retry_after_ms hint, and the outcome table classifies every request
+// as converged / degraded / deadline-cut / shed / failed.
+// --checkpoint-path PATH saves a warm-state checkpoint after the load
+// and restores it into a fresh service (the simulated restart), gating
+// on epoch continuity. --restore-from PATH adopts a checkpoint written
+// by an earlier process before taking load — the recovery half of the
+// save -> kill -> restore drill CI runs under ASan.
+//
 // Churn mode (--churn): replays hourly bike_sim deltas against one
 // long-lived service — per epoch, ~--churn-rate of the tracked bikes
 // depart/arrive, a few station capacities shift, and occasionally a
@@ -46,8 +60,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "mcfs/common/fault_plan.h"
 #include "mcfs/common/timer.h"
 #include "mcfs/graph/road_network.h"
+#include "mcfs/serve/checkpoint.h"
 #include "mcfs/serve/solver_service.h"
 #include "mcfs/workload/bike_sim.h"
 #include "mcfs/workload/workload.h"
@@ -416,6 +432,26 @@ int main(int argc, char** argv) {
     options.slos.push_back(std::move(slo));
   }
 
+  // Fault-tolerant serving (DESIGN.md §4.13): a seeded fault schedule
+  // plus the client-side retry policy for the sheds it produces.
+  const std::string fault_plan_spec = flags.GetString("fault-plan", "");
+  std::shared_ptr<FaultPlan> fault_plan;
+  if (!fault_plan_spec.empty()) {
+    const StatusOr<FaultPlanSpec> parsed = FaultPlan::Parse(fault_plan_spec);
+    if (!parsed.ok()) {
+      std::printf("bad --fault-plan: %s\n",
+                  parsed.status().ToString().c_str());
+      return 1;
+    }
+    fault_plan = std::make_shared<FaultPlan>(parsed.value());
+    options.fault_plan = fault_plan;
+  }
+  const bool allow_degraded =
+      flags.GetBool("allow-degraded", fault_plan != nullptr);
+  const int64_t backoff_base_ms = flags.GetInt("backoff-base-ms", 2);
+  const int64_t backoff_max_ms = flags.GetInt("backoff-max-ms", 250);
+  const int max_retries = static_cast<int>(flags.GetInt("max-retries", 6));
+
   // The request mix: varying customer counts around an occupancy the
   // instances stay feasible at, repeated `repeat` times so the service
   // path also shows cache amortization.
@@ -425,6 +461,7 @@ int main(int argc, char** argv) {
     SolveRequest request;
     request.customers = SampleNodesWithReplacement(city, m, rng);
     request.k = k;
+    request.allow_degraded = allow_degraded;
     mix.push_back(std::move(request));
   }
   std::vector<SolveRequest> requests;
@@ -459,6 +496,22 @@ int main(int argc, char** argv) {
   // --- service (warm) path: closed-loop clients over a shared index ---
   SolverService service(&city, facilities, capacities, options);
 
+  // --restore-from adopts a checkpoint written by an earlier process
+  // before taking load. A rejected file would mean serving cold, which
+  // is exactly what the recovery drill must not silently accept.
+  const std::string restore_from = flags.GetString("restore-from", "");
+  if (!restore_from.empty()) {
+    const Status adopted = service.RestoreFrom(restore_from);
+    if (!adopted.ok()) {
+      std::printf("restore from %s failed: %s\n", restore_from.c_str(),
+                  adopted.ToString().c_str());
+      return 1;
+    }
+    std::printf("(restored warm state from %s; resuming at epoch %llu)\n",
+                restore_from.c_str(),
+                static_cast<unsigned long long>(service.epoch()));
+  }
+
   // Live introspection sampler: one DebugSnapshot JSON line per tick
   // while the load runs, plus a final one after the queue drains (so the
   // file is non-empty even when the load finishes inside one tick).
@@ -483,12 +536,41 @@ int main(int argc, char** argv) {
 
   std::vector<SolveResponse> responses(n);
   std::atomic<int> next{0};
+  std::atomic<int64_t> retries_total{0};
   timer.Restart();
   std::vector<std::thread> workers;
   for (int c = 0; c < std::max(1, clients); ++c) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, c] {
+      // Per-client jitter stream: deterministic, but de-synchronized
+      // across clients so retries never stampede in lockstep.
+      Rng jitter(bench.seed + 100 + static_cast<uint64_t>(c));
       for (int r = next.fetch_add(1); r < n; r = next.fetch_add(1)) {
-        responses[r] = service.SolveSync(requests[r]);
+        for (int attempt = 0;; ++attempt) {
+          auto handle = service.Submit(requests[r]);
+          // Bounded waits, never a blind Wait(): a wedged dispatcher
+          // shows up as repeated timeouts instead of a silent hang.
+          while (!handle->WaitFor(10'000)) {
+          }
+          responses[r] = handle->Wait();
+          const SolveResponse& response = responses[r];
+          if (response.status.code() != StatusCode::kUnavailable ||
+              attempt >= max_retries) {
+            break;
+          }
+          // retry_after_ms == 0 marks a futile retry (shutdown, or a
+          // degradation ladder that bottomed out) — stop immediately.
+          if (response.retry_after_ms == 0) break;
+          retries_total.fetch_add(1);
+          // Jittered exponential backoff floored at the server's hint:
+          // sleep uniform in [ceiling/2, ceiling].
+          int64_t ceiling = backoff_base_ms << std::min(attempt, 16);
+          ceiling = std::min(ceiling, backoff_max_ms);
+          ceiling = std::max(ceiling, response.retry_after_ms);
+          const int64_t delay =
+              ceiling <= 1 ? ceiling
+                           : jitter.UniformInt((ceiling + 1) / 2, ceiling);
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
       }
     });
   }
@@ -501,11 +583,41 @@ int main(int argc, char** argv) {
                 introspect_out.c_str());
   }
 
+  // Outcome classes: converged answers are cross-checked bit-identical
+  // to the direct reference; degraded answers carry their own contract
+  // (always verified, quality-bounded) instead; deadline-cut full-tier
+  // answers and kUnavailable sheds have no bit reference and are
+  // surfaced as their own classes rather than folded into mismatches.
+  int64_t converged = 0, degraded = 0, anytime_cut = 0, shed = 0, failed = 0;
   int mismatches = 0;
   for (int r = 0; r < n; ++r) {
     const SolveResponse& response = responses[r];
-    if (!response.status.ok() ||
-        response.solution.selected != reference[r].selected ||
+    if (!response.status.ok()) {
+      if (response.status.code() == StatusCode::kUnavailable) {
+        ++shed;  // client gave up after the retry budget
+      } else {
+        ++failed;
+        std::printf("FAILED request %d: %s\n", r,
+                    response.status.ToString().c_str());
+      }
+      continue;
+    }
+    if (response.tier == "degraded") {
+      ++degraded;
+      if (!response.verify_ran || !response.verify_ok ||
+          response.quality_bound < 1.0) {
+        ++mismatches;
+        std::printf(
+            "MISMATCH on degraded request %d: unverified or unbounded\n", r);
+      }
+      continue;
+    }
+    if (response.solution.termination != Termination::kConverged) {
+      ++anytime_cut;
+      continue;
+    }
+    ++converged;
+    if (response.solution.selected != reference[r].selected ||
         response.solution.assignment != reference[r].assignment ||
         response.solution.objective != reference[r].objective ||
         (response.verify_ran && !response.verify_ok)) {
@@ -541,6 +653,23 @@ int main(int argc, char** argv) {
       static_cast<long long>(report.cache_hits),
       static_cast<long long>(report.batches), report.max_batch_size);
 
+  std::printf(
+      "outcomes: %lld converged, %lld degraded, %lld deadline-cut, "
+      "%lld shed, %lld failed; %lld client retries\n",
+      static_cast<long long>(converged), static_cast<long long>(degraded),
+      static_cast<long long>(anytime_cut), static_cast<long long>(shed),
+      static_cast<long long>(failed),
+      static_cast<long long>(retries_total.load()));
+  if (fault_plan != nullptr) {
+    std::printf("service fault-tolerance: shed=%lld degraded=%lld "
+                "fallbacks=%lld faults_injected=%lld\n",
+                static_cast<long long>(report.requests_shed),
+                static_cast<long long>(report.degraded_responses),
+                static_cast<long long>(report.degraded_fallbacks),
+                static_cast<long long>(report.faults_injected));
+    std::printf("fault plan: %s\n", fault_plan->Json().c_str());
+  }
+
   for (const SloReport& slo : report.slos) {
     std::printf(
         "slo %s: %lld/%lld over %.1fms target, budget burn %.2f\n",
@@ -557,6 +686,41 @@ int main(int argc, char** argv) {
       report.WriteJson(service_report_out)) {
     std::printf("(service report written to %s)\n",
                 service_report_out.c_str());
+  }
+
+  // Warm-state checkpoint + restore probe (--checkpoint-path): save the
+  // serving state, restore it into a fresh service — the simulated
+  // restart — and gate on epoch continuity.
+  const std::string checkpoint_path = flags.GetString("checkpoint-path", "");
+  if (!checkpoint_path.empty()) {
+    Status saved = service.CheckpointTo(checkpoint_path);
+    if (!saved.ok()) {
+      // Typed failures (including injected kCheckpointIo faults) are
+      // retried once — the recovery path the fault plan exists to prove.
+      std::printf("checkpoint attempt failed (%s); retrying\n",
+                  saved.ToString().c_str());
+      saved = service.CheckpointTo(checkpoint_path);
+    }
+    if (!saved.ok()) {
+      std::printf("checkpoint failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    SolverService restored(&city, facilities, capacities, options);
+    const Status restore = restored.RestoreFrom(checkpoint_path);
+    if (!restore.ok()) {
+      std::printf("restore failed: %s\n", restore.ToString().c_str());
+      return 1;
+    }
+    if (restored.epoch() != service.epoch()) {
+      std::printf("restore epoch mismatch: %llu vs %llu\n",
+                  static_cast<unsigned long long>(restored.epoch()),
+                  static_cast<unsigned long long>(service.epoch()));
+      return 1;
+    }
+    std::printf("(checkpoint saved to %s; restore probe resumed epoch "
+                "%llu)\n",
+                checkpoint_path.c_str(),
+                static_cast<unsigned long long>(restored.epoch()));
   }
 
   // Deterministic postmortem probe (CI validates the dumped JSON): a
@@ -592,9 +756,10 @@ int main(int argc, char** argv) {
   }
   bench_util::FlushArtifacts(flags);
 
-  if (mismatches > 0) {
-    std::printf("%d response(s) diverged from the direct reference\n",
-                mismatches);
+  if (mismatches > 0 || failed > 0) {
+    std::printf("%d response(s) diverged from the direct reference, "
+                "%lld failed outright\n",
+                mismatches, static_cast<long long>(failed));
     return 1;
   }
   return 0;

@@ -1,0 +1,147 @@
+#include "mcfs/common/fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "mcfs/obs/metrics.h"
+
+namespace mcfs {
+
+namespace {
+
+// SplitMix64 finalizer: a high-quality 64 -> 64 mixer, so the firing
+// decision is an evenly distributed pure function of (seed, kind, i).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char* const kKindNames[kNumFaultKinds] = {
+    "deadline_cut", "verify_reject", "queue_pulse", "checkpoint_io"};
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  return kKindNames[static_cast<int>(kind)];
+}
+
+FaultPlan::FaultPlan(const FaultPlanSpec& spec) : spec_(spec) {
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    polls_[k].store(0, std::memory_order_relaxed);
+    fires_[k].store(0, std::memory_order_relaxed);
+  }
+}
+
+StatusOr<FaultPlanSpec> FaultPlan::Parse(const std::string& text) {
+  FaultPlanSpec spec;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return InvalidInputError("fault plan token '" + token +
+                               "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "seed") {
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidInputError("fault plan seed '" + value +
+                                 "' is not an unsigned integer");
+      }
+      spec.seed = static_cast<uint64_t>(parsed);
+      continue;
+    }
+    int kind = -1;
+    bool is_max = false;
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      if (key == kKindNames[k]) {
+        kind = k;
+      } else if (key == std::string(kKindNames[k]) + "_max") {
+        kind = k;
+        is_max = true;
+      }
+    }
+    if (kind < 0) {
+      return InvalidInputError("unknown fault plan key '" + key + "'");
+    }
+    if (is_max) {
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidInputError("fault plan cap '" + key + "=" + value +
+                                 "' is not an integer");
+      }
+      spec.max_fires[kind] = static_cast<int64_t>(parsed);
+    } else {
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return InvalidInputError("fault plan rate '" + key + "=" + value +
+                                 "' is not a number");
+      }
+      if (!(parsed >= 0.0 && parsed <= 1.0)) {
+        return InvalidInputError("fault plan rate '" + key + "=" + value +
+                                 "' outside [0, 1]");
+      }
+      spec.rate[kind] = parsed;
+    }
+  }
+  return spec;
+}
+
+bool FaultPlan::ShouldFire(FaultKind kind) {
+  const int k = static_cast<int>(kind);
+  const int64_t index = polls_[k].fetch_add(1, std::memory_order_relaxed);
+  if (spec_.rate[k] <= 0.0) return false;
+  // Decision for poll `index`: uniform in [0, 1) from the mixed bits.
+  const uint64_t bits =
+      Mix64(spec_.seed ^ Mix64(static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ULL +
+                               static_cast<uint64_t>(index)));
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  if (u >= spec_.rate[k]) return false;
+  // Enforce the fire budget exactly: claim a slot, give it back if the
+  // budget was already spent.
+  const int64_t claimed = fires_[k].fetch_add(1, std::memory_order_relaxed);
+  if (spec_.max_fires[k] >= 0 && claimed >= spec_.max_fires[k]) {
+    fires_[k].fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  MCFS_COUNT("fault/fires", 1);
+  return true;
+}
+
+int64_t FaultPlan::polls(FaultKind kind) const {
+  return polls_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+}
+
+int64_t FaultPlan::fires(FaultKind kind) const {
+  return fires_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+}
+
+int64_t FaultPlan::total_fires() const {
+  int64_t total = 0;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    total += fires_[k].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FaultPlan::Json() const {
+  std::ostringstream out;
+  out << "{\"seed\": " << spec_.seed << ", \"kinds\": [";
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    if (k > 0) out << ", ";
+    out << "{\"kind\": \"" << kKindNames[k] << "\", \"rate\": " << spec_.rate[k]
+        << ", \"max_fires\": " << spec_.max_fires[k]
+        << ", \"polls\": " << polls_[k].load(std::memory_order_relaxed)
+        << ", \"fires\": " << fires_[k].load(std::memory_order_relaxed) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace mcfs

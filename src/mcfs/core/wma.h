@@ -31,6 +31,12 @@ struct WmaWarmSeed {
   WarmSeed final_assign;
 };
 
+// Exact equality (bitwise on doubles) — see flow/matcher.h; used to
+// hold checkpoint round trips to byte identity.
+inline bool operator==(const WmaWarmSeed& a, const WmaWarmSeed& b) {
+  return a.trajectory == b.trajectory && a.final_assign == b.final_assign;
+}
+
 // Options for the Wide Matching Algorithm.
 struct WmaOptions {
   // Use the greedy "WMA Naive" matching instead of the exact

@@ -55,6 +55,23 @@ struct WarmSeed {
   bool empty() const { return customers.empty() && facility_nodes.empty(); }
 };
 
+// Exact (bitwise on doubles) equality — the contract a serialized seed
+// round trip is held to (serve/checkpoint): a restored seed must replay
+// warm answers byte-identical to the process that exported it.
+inline bool operator==(const WarmSeedEdge& a, const WarmSeedEdge& b) {
+  return a.facility_node == b.facility_node && a.weight == b.weight &&
+         a.matched == b.matched;
+}
+inline bool operator==(const WarmSeedCustomer& a, const WarmSeedCustomer& b) {
+  return a.node == b.node && a.potential == b.potential && a.edges == b.edges &&
+         a.buffered == b.buffered && a.stream_exhausted == b.stream_exhausted &&
+         a.has_next == b.has_next && a.next_distance == b.next_distance;
+}
+inline bool operator==(const WarmSeed& a, const WarmSeed& b) {
+  return a.customers == b.customers && a.facility_nodes == b.facility_nodes &&
+         a.facility_potentials == b.facility_potentials;
+}
+
 // Incremental optimal bipartite matcher between customers and candidate
 // facilities anchored in a network — the FindPair routine of the paper
 // (Algorithm 2), i.e., a Successive Shortest Path Algorithm over the

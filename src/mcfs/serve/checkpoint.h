@@ -1,0 +1,51 @@
+#ifndef MCFS_SERVE_CHECKPOINT_H_
+#define MCFS_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcfs/common/status.h"
+#include "mcfs/core/wma.h"
+#include "mcfs/graph/graph.h"
+
+namespace mcfs {
+
+// Warm-state checkpoint (DESIGN.md §4.13): everything a restarted
+// process needs to keep serving the epoch it died in — the catalog, the
+// tracked customer population, and the previous ResolveTracked's
+// exported warm seed — without the graph itself (the graph is loaded
+// from its own file and validated against the checkpoint on restore).
+//
+// On-disk format: versioned line-oriented text ("MCFSCKPT 1" magic),
+// doubles serialized as raw IEEE-754 bit patterns (hex) so a restored
+// seed replays *byte-identical* warm answers, closed by an FNV-1a 64
+// checksum over every payload byte. Truncated, corrupted,
+// version-mismatched, or checksum-failing files are rejected with a
+// typed kIoError naming the line — the caller falls back to a clean
+// cold start, never to half-restored state.
+
+struct ServiceCheckpoint {
+  uint64_t epoch = 0;
+  std::vector<NodeId> facility_nodes;
+  std::vector<int> capacities;
+  std::vector<NodeId> tracked_customers;
+  // Budget the seed was exported under; meaningful when has_seed.
+  int seed_k = 0;
+  bool has_seed = false;
+  WmaWarmSeed seed;
+};
+
+// Writes the checkpoint atomically enough for a single writer: payload
+// first, checksum line last, so a torn write is always detectable.
+Status WriteServiceCheckpoint(const ServiceCheckpoint& checkpoint,
+                              const std::string& path);
+
+// Parses and checksum-verifies `path`. Every defect — unopenable file,
+// bad magic or version, short file, malformed field, checksum mismatch
+// — comes back as kIoError with a line diagnosis.
+StatusOr<ServiceCheckpoint> ReadServiceCheckpoint(const std::string& path);
+
+}  // namespace mcfs
+
+#endif  // MCFS_SERVE_CHECKPOINT_H_

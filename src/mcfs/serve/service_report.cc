@@ -99,6 +99,8 @@ std::string ServiceReport::Json() const {
       << ", \"rejected\": " << requests_rejected
       << ", \"completed\": " << requests_completed
       << ", \"failed\": " << requests_failed
+      << ", \"shed\": " << requests_shed
+      << ", \"degraded\": " << degraded_responses
       << ", \"cache_hits\": " << cache_hits
       << ", \"deadline_terminations\": " << deadline_terminations << "}"
       << ", \"batches\": {\"count\": " << batches
@@ -123,6 +125,13 @@ std::string ServiceReport::Json() const {
       << ", \"warm_seconds\": " << JsonNumber(resolve_warm_seconds)
       << ", \"cold_seconds\": " << JsonNumber(resolve_cold_seconds) << "}"
       << ", \"postmortems\": " << postmortems
+      << ", \"fault_tolerance\": {\"degraded_responses\": "
+      << degraded_responses << ", \"degraded_fallbacks\": " << degraded_fallbacks
+      << ", \"requests_shed\": " << requests_shed
+      << ", \"checkpoints\": {\"saved\": " << checkpoints_saved
+      << ", \"restored\": " << checkpoints_restored
+      << ", \"failures\": " << checkpoint_failures << "}"
+      << ", \"faults_injected\": " << faults_injected << "}"
       << ", \"amortization\": {\"cold_preprocess_seconds_per_request\": "
       << JsonNumber(cold_estimate)
       << ", \"warm_preprocess_seconds_per_request\": "

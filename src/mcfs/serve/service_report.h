@@ -61,6 +61,10 @@ struct ServiceReport {
   int64_t requests_rejected = 0;  // queue full / shut down
   int64_t requests_completed = 0;
   int64_t requests_failed = 0;  // completed with a non-OK status
+  // Admission-time overload sheds (DESIGN.md §4.13): estimated queue
+  // wait already exceeded the request deadline, or a fault-injected
+  // queue pulse. Distinct from requests_rejected (hard queue-full).
+  int64_t requests_shed = 0;
   int64_t cache_hits = 0;
   int64_t deadline_terminations = 0;
 
@@ -89,6 +93,14 @@ struct ServiceReport {
   // Flight-recorder postmortems captured (verifier rejections,
   // kInternal/kInfeasible responses, deadline-exceeded warm solves).
   int64_t postmortems = 0;
+
+  // --- Fault-tolerant serving (DESIGN.md §4.13) ---
+  int64_t degraded_responses = 0;  // responses served tier=degraded
+  int64_t degraded_fallbacks = 0;  // of those, synthesized baselines
+  int64_t checkpoints_saved = 0;
+  int64_t checkpoints_restored = 0;
+  int64_t checkpoint_failures = 0;  // failed saves + failed restores
+  int64_t faults_injected = 0;      // FaultPlan fires acted on in-serve
 
   LatencySummary latency;
   std::vector<SloReport> slos;  // one row per configured tier

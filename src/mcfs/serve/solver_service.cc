@@ -1,20 +1,26 @@
 #include "mcfs/serve/solver_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <sstream>
 #include <tuple>
 #include <utility>
 
+#include "mcfs/baselines/greedy_kmedian.h"
+#include "mcfs/baselines/hilbert_baseline.h"
 #include "mcfs/common/check.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/common/timer.h"
 #include "mcfs/core/validate.h"
 #include "mcfs/core/verifier.h"
+#include "mcfs/graph/dijkstra.h"
 #include "mcfs/obs/flight_recorder.h"
 #include "mcfs/obs/metrics.h"
 #include "mcfs/obs/trace.h"
+#include "mcfs/serve/checkpoint.h"
 
 namespace mcfs {
 
@@ -45,6 +51,13 @@ const SolveResponse& ResponseHandle::Wait() const {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return done_; });
   return response_;
+}
+
+bool ResponseHandle::WaitFor(int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (timeout_ms <= 0) return done_;
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this] { return done_; });
 }
 
 bool ResponseHandle::Done() const {
@@ -79,6 +92,13 @@ SolverService::SolverService(const Graph* graph,
   MCFS_CHECK(graph_ != nullptr) << "SolverService needs a graph";
   MCFS_CHECK_EQ(facility_nodes.size(), capacities.size());
   if (options_.flight_recorder) obs::EnableFlightRecorder(true);
+  effective_parallelism_ = std::max(
+      1, std::min(options_.max_batch < 1 ? 1 : options_.max_batch,
+                  ResolveThreadCount(options_.serve_threads)));
+  if (options_.expected_solve_ms > 0.0) {
+    ewma_service_seconds_.store(options_.expected_solve_ms * 1e-3,
+                                std::memory_order_relaxed);
+  }
   slo_states_.reserve(options_.slos.size());
   for (const SloPolicy& policy : options_.slos) {
     SloState state;
@@ -646,6 +666,137 @@ SolveResponse SolverService::ResolveTracked(int k, int64_t deadline_ms,
   return response;
 }
 
+Status SolverService::CheckpointTo(const std::string& path) {
+  MCFS_SPAN("serve/checkpoint_save");
+  // Lock order: update -> resolve. The catalog, tracked population, and
+  // seed move together; serving continues around the snapshot.
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  if (options_.fault_plan != nullptr &&
+      options_.fault_plan->ShouldFire(FaultKind::kCheckpointIo)) {
+    MCFS_RECORD("serve/fault_checkpoint_io", 0, 0);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.checkpoint_failures++;
+    stats_.faults_injected++;
+    return IoError("fault-injected checkpoint write failure: " + path);
+  }
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  ServiceCheckpoint checkpoint;
+  checkpoint.epoch = warm->epoch;
+  checkpoint.facility_nodes = warm->facility_nodes;
+  checkpoint.capacities = warm->capacities;
+  checkpoint.tracked_customers = tracked_customers_;
+  // The seed travels only when its dirty bits are all clean: a dirty
+  // seed needs the invalidation masks to repair safely, and those are
+  // transient in-process state. A restore without the seed is just a
+  // cold first resolve — correct, only slower.
+  const auto clean = [](const std::vector<uint8_t>& bits) {
+    return std::all_of(bits.begin(), bits.end(),
+                       [](uint8_t b) { return b == 0; });
+  };
+  if (resolve_.seed != nullptr && clean(resolve_.stream_dirty) &&
+      clean(resolve_.match_dirty)) {
+    checkpoint.has_seed = true;
+    checkpoint.seed_k = resolve_.seed_k;
+    checkpoint.seed = *resolve_.seed;
+  }
+  const Status status = WriteServiceCheckpoint(checkpoint, path);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    if (status.ok()) {
+      stats_.checkpoints_saved++;
+    } else {
+      stats_.checkpoint_failures++;
+    }
+  }
+  if (status.ok()) MCFS_COUNT("serve/checkpoints_saved", 1);
+  return status;
+}
+
+Status SolverService::RestoreFrom(const std::string& path) {
+  MCFS_SPAN("serve/checkpoint_restore");
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+  std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+  const auto fail = [this](Status status) {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.checkpoint_failures++;
+    return status;
+  };
+  StatusOr<ServiceCheckpoint> loaded = ReadServiceCheckpoint(path);
+  if (!loaded.ok()) return fail(loaded.status());
+  ServiceCheckpoint checkpoint = std::move(loaded).value();
+  // Validate against the live graph before touching any state: a
+  // checkpoint from a different network is corruption from this
+  // service's point of view, and BuildWarmState would CHECK-crash on it.
+  const int num_nodes = graph_->NumNodes();
+  std::vector<uint8_t> seen(static_cast<size_t>(num_nodes), 0);
+  for (size_t j = 0; j < checkpoint.facility_nodes.size(); ++j) {
+    const NodeId node = checkpoint.facility_nodes[j];
+    if (node < 0 || node >= num_nodes) {
+      return fail(IoError("checkpoint does not match the service graph: "
+                          "facility node " +
+                          std::to_string(node) + " out of range [0, " +
+                          std::to_string(num_nodes) + ")"));
+    }
+    if (seen[node] != 0) {
+      return fail(IoError(
+          "corrupted checkpoint: duplicate facility node " +
+          std::to_string(node)));
+    }
+    seen[node] = 1;
+    if (checkpoint.capacities[j] < 0) {
+      return fail(IoError("corrupted checkpoint: negative capacity " +
+                          std::to_string(checkpoint.capacities[j]) +
+                          " (facility " + std::to_string(j) + ")"));
+    }
+  }
+  for (const NodeId node : checkpoint.tracked_customers) {
+    if (node < 0 || node >= num_nodes) {
+      return fail(IoError("checkpoint does not match the service graph: "
+                          "tracked customer node " +
+                          std::to_string(node) + " out of range [0, " +
+                          std::to_string(num_nodes) + ")"));
+    }
+  }
+  // Commit: republish the warm state at the checkpointed epoch (epoch
+  // continuity across restart), adopt population + seed, clear the
+  // dirty bits (the checkpointed seed is clean by construction) and the
+  // response cache. Intended as a startup-time operation — concurrent
+  // in-flight requests finish under the snapshot they admitted with.
+  PublishWarmState(BuildWarmState(checkpoint.epoch,
+                                  std::move(checkpoint.facility_nodes),
+                                  std::move(checkpoint.capacities)));
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.clear();
+    cache_order_.clear();
+    cache_epoch_ = checkpoint.epoch;
+  }
+  tracked_customers_ = std::move(checkpoint.tracked_customers);
+  tracked_count_.store(static_cast<int64_t>(tracked_customers_.size()),
+                       std::memory_order_relaxed);
+  resolve_.seed =
+      checkpoint.has_seed
+          ? std::make_shared<WmaWarmSeed>(std::move(checkpoint.seed))
+          : nullptr;
+  resolve_.seed_k = checkpoint.seed_k;
+  std::fill(resolve_.stream_dirty.begin(), resolve_.stream_dirty.end(), 0);
+  std::fill(resolve_.match_dirty.begin(), resolve_.match_dirty.end(), 0);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.checkpoints_restored++;
+  }
+  MCFS_COUNT("serve/checkpoints_restored", 1);
+  return OkStatus();
+}
+
+int64_t SolverService::RetryAfterMs(size_t queue_len) const {
+  const double ewma = ewma_service_seconds_.load(std::memory_order_relaxed);
+  const double drain_ms = static_cast<double>(queue_len) * ewma * 1000.0 /
+                          static_cast<double>(effective_parallelism_);
+  return std::max<int64_t>(1, std::llround(drain_ms * 0.5));
+}
+
 std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
   auto handle = std::make_shared<ResponseHandle>();
   // Trace identity is assigned at admission so even a rejected request
@@ -653,27 +804,72 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
   if (request.trace_id == 0) request.trace_id = obs::NewTraceId();
   const uint64_t trace_id = request.trace_id;
   const char* rejection = nullptr;
+  std::string shed_reason;  // nonempty = admission-time overload shed
+  bool fault_fired = false;
+  int64_t retry_after_ms = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stop_) {
+      // No retry hint: retrying a shut-down service cannot succeed.
       rejection = "service is shut down";
     } else if (static_cast<int>(queue_.size()) >= options_.queue_depth) {
       rejection = "admission queue full";
+      retry_after_ms = RetryAfterMs(queue_.size());
+    } else if (options_.fault_plan != nullptr &&
+               options_.fault_plan->ShouldFire(FaultKind::kQueuePulse)) {
+      shed_reason = "fault-injected queue-overflow pulse";
+      fault_fired = true;
+      retry_after_ms = RetryAfterMs(queue_.size() + 1);
     } else {
-      queue_.push_back({std::move(request), handle, NowSeconds()});
+      // Queue-delay-aware shedding (DESIGN.md §4.13): when the work
+      // already waiting is estimated to outlast this request's own
+      // deadline, admitting it only burns a queue slot on a response
+      // that will arrive dead. Reject now, with a drain-time hint.
+      const int64_t deadline_ms = request.deadline_ms > 0
+                                      ? request.deadline_ms
+                                      : options_.default_deadline_ms;
+      const double ewma =
+          ewma_service_seconds_.load(std::memory_order_relaxed);
+      if (deadline_ms > 0 && ewma > 0.0 && !queue_.empty()) {
+        const double est_wait_ms =
+            static_cast<double>(queue_.size()) * ewma * 1000.0 /
+            static_cast<double>(effective_parallelism_);
+        if (est_wait_ms > static_cast<double>(deadline_ms)) {
+          shed_reason = "estimated queue wait " +
+                        std::to_string(std::llround(est_wait_ms)) +
+                        " ms exceeds the request deadline " +
+                        std::to_string(deadline_ms) + " ms";
+          retry_after_ms = RetryAfterMs(queue_.size());
+        }
+      }
+      if (shed_reason.empty()) {
+        queue_.push_back({std::move(request), handle, NowSeconds()});
+      }
     }
   }
-  if (rejection != nullptr) {
-    MCFS_COUNT("serve/requests_rejected", 1);
+  if (rejection != nullptr || !shed_reason.empty()) {
+    const bool shed = !shed_reason.empty();
+    if (shed) {
+      MCFS_COUNT("serve/requests_shed", 1);
+    } else {
+      MCFS_COUNT("serve/requests_rejected", 1);
+    }
     {
       std::lock_guard<std::mutex> lock(report_mutex_);
-      stats_.requests_rejected++;
+      if (shed) {
+        stats_.requests_shed++;
+      } else {
+        stats_.requests_rejected++;
+      }
+      if (fault_fired) stats_.faults_injected++;
     }
     SolveResponse response;
     response.trace_id = trace_id;
+    response.retry_after_ms = retry_after_ms;
     response.status = UnavailableError(
-        std::string(rejection) + " (queue_depth = " +
-        std::to_string(options_.queue_depth) + ")");
+        shed ? shed_reason
+             : std::string(rejection) + " (queue_depth = " +
+                   std::to_string(options_.queue_depth) + ")");
     handle->Complete(std::move(response));
     return handle;
   }
@@ -919,6 +1115,18 @@ void SolverService::Execute(PendingRequest& pending) {
   wma.cancel = request.cancel;
   wma.trace_id = request.trace_id;
   wma.matcher = request_matcher;
+  bool fault_deadline = false;
+  if (options_.fault_plan != nullptr &&
+      options_.fault_plan->ShouldFire(FaultKind::kDeadlineCut)) {
+    // Deterministic mid-solve expiry at a solver checkpoint — the
+    // generalized AfterPolls hook. The solve degrades to its anytime
+    // answer exactly as a real wall-clock deadline would.
+    fault_deadline = true;
+    wma.deadline_ms = 0;
+    wma.deadline = Deadline::AfterPolls(2);
+    MCFS_RECORD("serve/fault_deadline_cut",
+                static_cast<int64_t>(request.trace_id), 0);
+  }
   WallTimer solve_timer;
   WmaResult result = RunWma(instance, wma);
   response.solve_seconds = solve_timer.Seconds();
@@ -931,13 +1139,42 @@ void SolverService::Execute(PendingRequest& pending) {
     stats_.deadline_terminations++;
   }
 
-  if (options_.verify) {
+  bool injected_reject = false;
+  if (options_.fault_plan != nullptr &&
+      options_.fault_plan->ShouldFire(FaultKind::kVerifyReject)) {
+    // Treat the verdict below as a rejection (the solution itself is
+    // fine) so the rejection machinery — postmortem capture, degraded
+    // fallback — runs deterministically.
+    injected_reject = true;
+    MCFS_RECORD("serve/fault_verify_reject",
+                static_cast<int64_t>(request.trace_id), 0);
+  }
+  if (fault_deadline || injected_reject) {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.faults_injected +=
+        (fault_deadline ? 1 : 0) + (injected_reject ? 1 : 0);
+  }
+  // Degraded-opted deadline-cut answers are verified too: the anytime
+  // solution only serves (as tier=degraded) once the independent
+  // verifier blesses it.
+  const bool verify_degrade_candidate =
+      request.allow_degraded &&
+      response.solution.termination == Termination::kDeadline;
+  if (options_.verify || injected_reject || verify_degrade_candidate) {
     const VerifyReport verdict = VerifySolution(instance, response.solution);
     response.verify_ran = true;
-    response.verify_ok = verdict.ok;
+    response.verify_ok = verdict.ok && !injected_reject;
   }
 
-  if (cacheable && response.solution.termination == Termination::kConverged) {
+  if (request.allow_degraded &&
+      ((response.verify_ran && !response.verify_ok) ||
+       response.solution.termination == Termination::kDeadline)) {
+    DegradeResponse(instance, request_matcher, warm->epoch,
+                    response.verify_ran && !response.verify_ok, &response);
+  }
+
+  if (cacheable && response.tier == "full" &&
+      response.solution.termination == Termination::kConverged) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     if (cache_epoch_ == warm->epoch) {
       CacheKey key{request.customers, request.k, request.facility_subset,
@@ -958,9 +1195,97 @@ void SolverService::Execute(PendingRequest& pending) {
   FinishRequest(pending, std::move(response));
 }
 
+McfsSolution SolverService::DegradedFallback(const McfsInstance& instance,
+                                             MatcherBackendKind matcher) const {
+  MCFS_SPAN("serve/degraded_fallback");
+  if (instance.graph->has_coordinates()) {
+    return RunHilbertBaseline(instance, matcher);
+  }
+  GreedyKMedianOptions greedy;
+  greedy.matcher = matcher;
+  return RunGreedyKMedian(instance, greedy);
+}
+
+double SolverService::DegradedQualityBound(const McfsInstance& instance,
+                                           double objective) const {
+  // Lower bound on any solution's objective: every customer served by
+  // its nearest catalog facility, with capacities and the budget k
+  // relaxed away. One multi-source Dijkstra over the graph — a
+  // failure-path-only cost.
+  const MultiSourceResult nearest =
+      MultiSourceDijkstra(*instance.graph, instance.facility_nodes);
+  double lower = 0.0;
+  for (const NodeId c : instance.customers) {
+    const double d = nearest.distance[c];
+    if (std::isfinite(d)) lower += d;
+  }
+  if (objective <= lower) return 1.0;
+  if (lower <= 0.0) return 0.0;  // degenerate: no informative bound
+  return objective / lower;
+}
+
+void SolverService::DegradeResponse(const McfsInstance& instance,
+                                    MatcherBackendKind matcher,
+                                    uint64_t epoch_at, bool rejected,
+                                    SolveResponse* response) {
+  MCFS_SPAN("serve/degrade");
+  // Rung 1: the anytime best-so-far answer, which the caller already
+  // ran through the independent verifier — unless that verdict (or an
+  // injected rejection) marked it untrusted wholesale.
+  bool synthesized = false;
+  if (rejected || !response->solution.feasible) {
+    // Rung 2: synthesize a fresh feasible answer from the baseline and
+    // verify it from first principles. Degraded answers never serve
+    // unchecked.
+    WallTimer fallback_timer;
+    McfsSolution fallback = DegradedFallback(instance, matcher);
+    response->solve_seconds += fallback_timer.Seconds();
+    const VerifyReport verdict = VerifySolution(instance, fallback);
+    if (!fallback.feasible || !verdict.ok) {
+      // Ladder exhausted: fail closed with a typed status. A validated
+      // feasible instance should never land here.
+      response->status =
+          UnavailableError("degraded fallback failed verification");
+      response->verify_ran = true;
+      response->verify_ok = false;
+      RecordPostmortem("degraded_exhausted", response->trace_id, epoch_at);
+      return;
+    }
+    // Keep the primary attempt's failure marker: a synthesized answer
+    // never claims the convergence it replaced.
+    fallback.termination = response->solution.termination;
+    response->solution = std::move(fallback);
+    synthesized = true;
+  }
+  response->tier = "degraded";
+  response->verify_ran = true;
+  response->verify_ok = true;
+  response->quality_bound =
+      DegradedQualityBound(instance, response->solution.objective);
+  RecordPostmortem(
+      rejected ? "degraded_verify_rejection" : "degraded_deadline",
+      response->trace_id, epoch_at);
+  MCFS_COUNT("serve/degraded_responses", 1);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.degraded_responses++;
+    if (synthesized) stats_.degraded_fallbacks++;
+  }
+}
+
 void SolverService::FinishRequest(PendingRequest& pending,
                                   SolveResponse response) {
   const double latency = NowSeconds() - pending.admitted_at;
+  // Teach the admission-time overload control what a request costs
+  // (EWMA of the execution phases; queue wait excluded — it is the
+  // quantity being estimated). Races between completions just lose an
+  // update; the estimator only needs to be roughly right.
+  const double service_seconds =
+      response.preprocess_seconds + response.solve_seconds;
+  const double prev = ewma_service_seconds_.load(std::memory_order_relaxed);
+  ewma_service_seconds_.store(
+      prev <= 0.0 ? service_seconds : 0.8 * prev + 0.2 * service_seconds,
+      std::memory_order_relaxed);
   response.trace_id = pending.request.trace_id;
   MCFS_OBSERVE("serve/queue_seconds", response.queue_seconds);
   MCFS_OBSERVE("serve/solve_seconds", response.solve_seconds);
@@ -1063,6 +1388,9 @@ ServiceSnapshot SolverService::DebugSnapshot() const {
     snap.in_flight = in_flight_;
     snap.slos = SloRowsLocked();
     snap.postmortems = stats_.postmortems;
+    snap.degraded = stats_.degraded_responses;
+    snap.shed = stats_.requests_shed;
+    snap.checkpoints = stats_.checkpoints_saved + stats_.checkpoints_restored;
   }
   snap.latency = SummarizeHistogram(latency_hist_.Snapshot());
   return snap;
@@ -1120,7 +1448,9 @@ std::string ServiceSnapshot::Json() const {
   }
   out << "], \"latency_seconds\": " << LatencySummaryJson(latency)
       << ", \"slo\": " << SloReportsJson(slos)
-      << ", \"postmortems\": " << postmortems << "}";
+      << ", \"postmortems\": " << postmortems
+      << ", \"degraded\": " << degraded << ", \"shed\": " << shed
+      << ", \"checkpoints\": " << checkpoints << "}";
   return out.str();
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mcfs/common/deadline.h"
+#include "mcfs/common/fault_plan.h"
 #include "mcfs/common/status.h"
 #include "mcfs/core/instance.h"
 #include "mcfs/core/wma.h"
@@ -103,6 +104,19 @@ struct ServiceOptions {
   // the response stays correct while the failure machinery is driven
   // deterministically.
   int inject_verify_failures = 0;
+
+  // --- Fault-tolerant serving (DESIGN.md §4.13) ---
+  // Seeded deterministic fault schedule (common/fault_plan.h), polled
+  // at the failure-injection sites: pre-solve (deadline cut), post-
+  // solve (verifier rejection), admission (queue-overflow pulse), and
+  // checkpoint write (IO error). Shared so the chaos harness can read
+  // fire counts after the run. Null = no injection (zero overhead).
+  std::shared_ptr<FaultPlan> fault_plan;
+  // Seeds the queue-delay estimator (overload control) before the first
+  // completion: expected per-request service time in ms. 0 = the
+  // estimator starts blind and shedding begins only after the first
+  // completed request taught it a service time.
+  double expected_solve_ms = 0.0;
 };
 
 // --- Delta-typed updates (DESIGN.md §4.10) ---
@@ -174,6 +188,14 @@ struct SolveRequest {
   uint64_t trace_id = 0;
   // SLO tier this request is held to; empty = "default".
   std::string tier;
+  // Opt into degraded-mode answers (DESIGN.md §4.13): when this solve
+  // deadline-cuts or the verifier rejects it, the service walks the
+  // degradation ladder — anytime answer if it verifies, else a
+  // synthesized Hilbert/greedy baseline fallback — and responds with
+  // SolveResponse::tier == "degraded" plus a quality bound instead of
+  // surfacing the failure. Degraded answers are always verifier-checked
+  // and never cached. Off = the pre-existing fail-closed behavior.
+  bool allow_degraded = false;
 };
 
 struct SolveResponse {
@@ -202,6 +224,19 @@ struct SolveResponse {
   // when the request carried none) — the join key into trace spans,
   // flight-recorder events, and histogram exemplars.
   uint64_t trace_id = 0;
+  // "full" for the normal path; "degraded" when the answer came off the
+  // degradation ladder (allow_degraded requests only; DESIGN.md §4.13).
+  std::string tier = "full";
+  // Degraded responses only: upper bound on objective / optimum,
+  // derived from the capacity- and budget-relaxed lower bound (every
+  // customer at its nearest catalog facility, one multi-source
+  // Dijkstra). 0 when not degraded, or when the bound is degenerate
+  // (lower bound 0 with a positive objective).
+  double quality_bound = 0.0;
+  // kUnavailable responses: suggested client backoff before retrying,
+  // derived from the estimated queue drain time. 0 on non-kUnavailable
+  // responses and on shutdown rejections (a retry cannot succeed).
+  int64_t retry_after_ms = 0;
 };
 
 // Point-in-time live introspection of a running service (DESIGN.md
@@ -222,6 +257,11 @@ struct ServiceSnapshot {
   LatencySummary latency;
   std::vector<SloReport> slos;
   int64_t postmortems = 0;
+  // Fault-tolerance counters (DESIGN.md §4.13): degraded-tier responses
+  // served, admission-time sheds, and checkpoints saved + restored.
+  int64_t degraded = 0;
+  int64_t shed = 0;
+  int64_t checkpoints = 0;
 
   std::string Json() const;
 };
@@ -232,6 +272,11 @@ struct ServiceSnapshot {
 class ResponseHandle {
  public:
   const SolveResponse& Wait() const;
+  // Bounded wait: true once the response is ready (Wait() then returns
+  // without blocking), false when `timeout_ms` elapsed first. A
+  // non-positive timeout is an instantaneous poll. The escape hatch a
+  // caller needs against a wedged dispatcher — Wait() alone can hang.
+  bool WaitFor(int64_t timeout_ms) const;
   bool Done() const;
 
  private:
@@ -306,6 +351,23 @@ class SolverService {
   size_t tracked_customer_count() const;
 
   uint64_t epoch() const;
+
+  // --- Warm-state checkpoint/restore (DESIGN.md §4.13) ---
+  // Writes a versioned, checksummed snapshot of the catalog, the
+  // tracked customer population, and the exported warm seed (when the
+  // dirty bits say it is still clean) to `path`. Serialized against
+  // updates and resolves; serving continues around it. Failures
+  // (including fault-injected kCheckpointIo) return typed kIoError.
+  Status CheckpointTo(const std::string& path);
+
+  // Restores a checkpoint into this service: republishes the warm state
+  // at the checkpointed epoch (epoch continuity across process
+  // restart), adopts the tracked population and warm seed, and clears
+  // the response cache. The checkpoint is validated against the current
+  // graph first; any defect — unreadable, truncated, corrupted,
+  // version-mismatched, or graph-incompatible — returns typed kIoError
+  // and leaves the service untouched (a clean cold start).
+  Status RestoreFrom(const std::string& path);
 
   // Stops admission, drains the queue, joins the dispatcher. Idempotent
   // (also run by the destructor).
@@ -388,6 +450,26 @@ class SolverService {
   void Execute(PendingRequest& pending);
   // Records the phase metrics / report row and completes the handle.
   void FinishRequest(PendingRequest& pending, SolveResponse response);
+  // Walks the degradation ladder (DESIGN.md §4.13) for an allow_degraded
+  // request whose solve deadline-cut or verify-rejected: serve the
+  // anytime answer if the independent verifier blesses it, else
+  // synthesize a baseline fallback — always re-verified, never cached,
+  // postmortem recorded. `rejected` marks the candidate untrusted.
+  void DegradeResponse(const McfsInstance& instance,
+                       MatcherBackendKind matcher, uint64_t epoch_at,
+                       bool rejected, SolveResponse* response);
+  // Feasible fallback answer against the instance: Hilbert sweep when
+  // the graph has coordinates, greedy k-median otherwise.
+  McfsSolution DegradedFallback(const McfsInstance& instance,
+                                MatcherBackendKind matcher) const;
+  // objective / (capacity- and budget-relaxed lower bound); 0 when the
+  // bound is degenerate. One MultiSourceDijkstra over the graph.
+  double DegradedQualityBound(const McfsInstance& instance,
+                              double objective) const;
+  // Suggested client backoff for a kUnavailable rejection: half the
+  // estimated queue drain time at the current service-time estimate,
+  // never less than 1 ms.
+  int64_t RetryAfterMs(size_t queue_len) const;
   // Builds + stores (and optionally writes) a bounded flight-recorder
   // postmortem. `reason` must outlive the call (string literal).
   void RecordPostmortem(const char* reason, uint64_t trace_id,
@@ -421,6 +503,12 @@ class SolverService {
 
   const Graph* graph_;
   ServiceOptions options_;
+  // Effective batch parallelism (min of max_batch and the resolved
+  // serve_threads) — the divisor in the queue-delay estimate.
+  int effective_parallelism_ = 1;
+  // EWMA of per-request service seconds (preprocess + solve), updated
+  // at completion, read lock-free at admission by the overload control.
+  std::atomic<double> ewma_service_seconds_{0.0};
 
   mutable std::mutex state_mutex_;  // guards the warm_state_ pointer
   std::mutex update_mutex_;  // serializes whole catalog updates

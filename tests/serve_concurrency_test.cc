@@ -124,6 +124,72 @@ TEST(ServeConcurrencyTest, ConcurrentClientsGetBitIdenticalResponses) {
   EXPECT_EQ(report.requests_failed, 0);
 }
 
+// Submit racing Shutdown: no matter where the race lands, every handle
+// completes — with a real response or a typed kUnavailable rejection —
+// and WaitFor never has to ride out its full timeout. The regression
+// this pins down is a handle leaked mid-shutdown that Wait() would
+// block on forever.
+TEST(ServeConcurrencyTest, SubmitRacingShutdownCompletesEveryHandle) {
+  Rng rng(34);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(150, 40, 20, 8, 12, rng);
+
+  for (const int serve_threads : {1, 2, 8}) {
+    SCOPED_TRACE("serve_threads=" + std::to_string(serve_threads));
+    ServiceOptions options;
+    options.serve_threads = serve_threads;
+    options.cache_capacity = 0;
+    SolverService service(ri.instance.graph, ri.instance.facility_nodes,
+                          ri.instance.capacities, options);
+
+    constexpr int kClients = 4;
+    constexpr int kRequestsPerClient = 12;
+    std::vector<std::shared_ptr<ResponseHandle>> handles(
+        kClients * kRequestsPerClient);
+    std::atomic<int> submitted{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          handles[t * kRequestsPerClient + r] = service.Submit(
+              {ri.instance.customers, ri.instance.k, {}, 0, nullptr});
+          submitted.fetch_add(1);
+        }
+      });
+    }
+    // Let the race develop, then slam the door while Submits are still
+    // arriving.
+    while (submitted.load() < kClients * kRequestsPerClient / 2) {
+      std::this_thread::yield();
+    }
+    service.Shutdown();
+    for (std::thread& client : clients) client.join();
+
+    int completed = 0, rejected = 0;
+    for (size_t i = 0; i < handles.size(); ++i) {
+      ASSERT_NE(handles[i], nullptr);
+      ASSERT_TRUE(handles[i]->WaitFor(60'000)) << "handle " << i << " hung";
+      const SolveResponse& response = handles[i]->Wait();
+      if (response.status.ok()) {
+        ++completed;
+      } else {
+        // The only failure the race may produce is the typed rejection.
+        ASSERT_EQ(response.status.code(), StatusCode::kUnavailable)
+            << response.status.ToString();
+        EXPECT_EQ(response.retry_after_ms, 0);  // shut down: retry is futile
+        ++rejected;
+      }
+    }
+    EXPECT_EQ(completed + rejected, kClients * kRequestsPerClient);
+
+    const ServiceReport report = service.Report();
+    EXPECT_EQ(report.requests_admitted + report.requests_rejected +
+                  report.requests_shed,
+              kClients * kRequestsPerClient);
+    EXPECT_EQ(report.requests_completed, completed);
+  }
+}
+
 TEST(ServeConcurrencyTest, HandleCanBeAwaitedFromSeveralThreads) {
   Rng rng(33);
   testing_util::RandomInstance ri =

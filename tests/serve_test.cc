@@ -679,6 +679,149 @@ TEST(ServeTest, EmptyReportLatencyIsNullNotGarbage) {
   EXPECT_EQ(json.find("nan"), std::string::npos) << json;
 }
 
+// --- Fault-tolerant serving (DESIGN.md §4.13) ---
+
+TEST(ServeTest, WaitForBoundsTheWaitAndThenAgreesWithWait) {
+  // A solve big enough that the instantaneous poll right after Submit
+  // cannot observe a completed handle.
+  Rng rng(38);
+  testing_util::RandomInstance ri =
+      testing_util::MakeRandomInstance(1200, 320, 60, 30, 14, rng);
+  SolverService service(ri.instance.graph, ri.instance.facility_nodes,
+                        ri.instance.capacities, {});
+  auto handle =
+      service.Submit({ri.instance.customers, ri.instance.k, {}, 0, nullptr});
+  EXPECT_FALSE(handle->WaitFor(0));  // instantaneous poll, not started yet
+  ASSERT_TRUE(handle->WaitFor(120'000)) << "request hung";
+  EXPECT_TRUE(handle->Done());
+  EXPECT_TRUE(handle->WaitFor(0));  // completed: the poll now agrees
+  EXPECT_TRUE(handle->Wait().status.ok());
+}
+
+TEST(ServeTest, DeadlineCutDegradedRequestServesVerifiedFallback) {
+  ServeFixture fx(39);
+  ServiceOptions options;
+  options.cache_capacity = 8;
+  // Every served solve deadline-cuts deterministically (same planting
+  // as the postmortem test above).
+  options.wma.deadline = Deadline::AfterPolls(2);
+  auto service = fx.MakeService(options);
+
+  SolveRequest request;
+  request.customers = fx.catalog().customers;
+  request.k = fx.catalog().k;
+
+  // Without the opt-in, the pre-existing behavior: an OK anytime answer
+  // on the full tier, unverified.
+  const SolveResponse opted_out = service->SolveSync(request);
+  ASSERT_TRUE(opted_out.status.ok()) << opted_out.status.ToString();
+  EXPECT_EQ(opted_out.solution.termination, Termination::kDeadline);
+  EXPECT_EQ(opted_out.tier, "full");
+  EXPECT_EQ(opted_out.quality_bound, 0.0);
+
+  request.allow_degraded = true;
+  const SolveResponse degraded = service->SolveSync(request);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_EQ(degraded.tier, "degraded");
+  EXPECT_TRUE(degraded.verify_ran);
+  EXPECT_TRUE(degraded.verify_ok);
+  EXPECT_TRUE(degraded.solution.feasible);
+  EXPECT_GE(degraded.quality_bound, 1.0);
+  EXPECT_TRUE(VerifySolution(fx.RequestInstance(request), degraded.solution).ok)
+      << "degraded answer must be independently feasible";
+  // The ladder leaves a postmortem trail naming the degradation cause.
+  EXPECT_NE(service->LastPostmortem().find("degraded_deadline"),
+            std::string::npos)
+      << service->LastPostmortem();
+
+  // Degraded answers are never cached: the repeat is a fresh solve.
+  const SolveResponse repeat = service->SolveSync(request);
+  ASSERT_TRUE(repeat.status.ok());
+  EXPECT_FALSE(repeat.cache_hit);
+  EXPECT_EQ(repeat.tier, "degraded");
+
+  const ServiceReport report = service->Report();
+  EXPECT_GE(report.degraded_responses, 2);
+  EXPECT_EQ(report.cache_hits, 0);
+  const std::string json = report.Json();
+  for (const char* key :
+       {"\"fault_tolerance\"", "\"degraded_responses\"",
+        "\"degraded_fallbacks\"", "\"requests_shed\"", "\"checkpoints\"",
+        "\"faults_injected\"", "\"shed\"", "\"degraded\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+}
+
+TEST(ServeTest, QueueFullRejectionCarriesRetryAfterHint) {
+  ServeFixture fx(40);
+  ServiceOptions options;
+  options.queue_depth = 0;
+  options.expected_solve_ms = 25.0;
+  auto service = fx.MakeService(options);
+  const SolveResponse rejected =
+      service->SolveSync({fx.catalog().customers, 4, {}, 0, nullptr});
+  ASSERT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status.message().find("admission queue full"),
+            std::string::npos);
+  // Overloaded-but-alive rejections always carry a usable backoff hint.
+  EXPECT_GE(rejected.retry_after_ms, 1);
+
+  // Shutdown rejections do not: a retry against a stopped service is
+  // futile, and the 0 tells clients to give up rather than spin.
+  service->Shutdown();
+  const SolveResponse dead =
+      service->SolveSync({fx.catalog().customers, 4, {}, 0, nullptr});
+  ASSERT_EQ(dead.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dead.retry_after_ms, 0);
+}
+
+TEST(ServeTest, QueueDelayShedRejectsDoomedRequestsAtAdmission) {
+  ServeFixture fx(41);
+  // An absurd seeded service-time estimate: any queued request means
+  // the estimated wait dwarfs a 1 ms deadline, so admission must shed
+  // rather than let the request time out in line.
+  ServiceOptions options;
+  options.serve_threads = 1;
+  options.max_batch = 1;
+  options.cache_capacity = 0;
+  options.queue_depth = 2048;  // only the shed may reject
+  options.expected_solve_ms = 1e7;
+  auto service = fx.MakeService(options);
+
+  SolveRequest patient;  // no deadline: never shed, keeps the queue busy
+  patient.customers = fx.catalog().customers;
+  patient.k = fx.catalog().k;
+  SolveRequest hurried = patient;
+  hurried.deadline_ms = 1;
+
+  // Race note: the dispatcher may drain the queue between our Submits,
+  // in which case the hurried request is admitted (an empty queue sheds
+  // nothing). Keep feeding until one lands behind a queued request.
+  bool shed_seen = false;
+  std::vector<std::shared_ptr<ResponseHandle>> handles;
+  for (int attempt = 0; attempt < 200 && !shed_seen; ++attempt) {
+    for (int b = 0; b < 4; ++b) handles.push_back(service->Submit(patient));
+    auto handle = service->Submit(hurried);
+    handles.push_back(handle);
+    if (handle->Done() && !handle->Wait().status.ok()) {
+      const SolveResponse& shed = handle->Wait();
+      ASSERT_EQ(shed.status.code(), StatusCode::kUnavailable);
+      EXPECT_NE(shed.status.message().find("exceeds the request deadline"),
+                std::string::npos)
+          << shed.status.message();
+      EXPECT_GE(shed.retry_after_ms, 1);
+      shed_seen = true;
+    }
+  }
+  EXPECT_TRUE(shed_seen);
+  for (const auto& handle : handles) {
+    ASSERT_TRUE(handle->WaitFor(120'000));
+  }
+  const ServiceReport report = service->Report();
+  EXPECT_GE(report.requests_shed, 1);
+  EXPECT_EQ(report.requests_rejected, 0);  // sheds are their own class
+}
+
 TEST(ServeTest, LatencySummaryQuantiles) {
   EXPECT_EQ(SummarizeLatencies({}).count, 0);
   const LatencySummary one = SummarizeLatencies({2.0});
