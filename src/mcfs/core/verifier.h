@@ -25,6 +25,16 @@ struct VerifyOptions {
   // even if the solution flags itself infeasible. Off by default so
   // best-effort solutions on infeasible instances can still be checked.
   bool require_all_assigned = false;
+  // Distance re-derivation strategy. The default runs one full Dijkstra
+  // per selected facility — thorough, but O(k) full searches. `targeted`
+  // instead runs one early-exit point-to-point search per distinct
+  // customer node, settled only until the assigned facility is reached
+  // (or the claimed distance is provably exceeded). Work is bounded by
+  // the claimed distance's ball around each customer, which makes it
+  // cheap enough for the serving fast path; every structural claim
+  // (selection, assignment validity, capacities, objective sum) is
+  // checked identically in both modes.
+  bool targeted = false;
 };
 
 struct VerifyReport {

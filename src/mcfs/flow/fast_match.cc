@@ -1,0 +1,99 @@
+#include "mcfs/flow/fast_match.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcfs/graph/dijkstra.h"
+#include "mcfs/obs/metrics.h"
+#include "mcfs/obs/trace.h"
+
+namespace mcfs {
+
+FastMatchResult FastGreedyMatch(const Graph& graph,
+                                const std::vector<NodeId>& customers,
+                                const std::vector<NodeId>& facility_nodes,
+                                const std::vector<int>& capacities,
+                                const std::vector<int>& selected,
+                                const FastMatchOptions& options) {
+  MCFS_SPAN("fast_match/run");
+  const int m = static_cast<int>(customers.size());
+  FastMatchResult result;
+  result.assignment.assign(m, -1);
+  result.distances.assign(m, 0.0);
+  if (m == 0) {
+    result.all_assigned = true;
+    return result;
+  }
+  if (selected.empty()) return result;
+
+  std::vector<int> remaining(selected.size());
+  for (size_t s = 0; s < selected.size(); ++s) {
+    remaining[s] = capacities[selected[s]];
+  }
+
+  std::vector<int> unassigned(m);
+  for (int i = 0; i < m; ++i) unassigned[i] = i;
+
+  const int max_rounds = options.max_rounds > 0
+                             ? options.max_rounds
+                             : static_cast<int>(selected.size()) + 1;
+  for (int round = 0; round < max_rounds && !unassigned.empty(); ++round) {
+    // Sources: the selected facilities that still have free capacity.
+    std::vector<NodeId> sources;
+    std::vector<int> source_slot;  // index into `selected` per source
+    sources.reserve(selected.size());
+    for (size_t s = 0; s < selected.size(); ++s) {
+      if (remaining[s] > 0) {
+        sources.push_back(facility_nodes[selected[s]]);
+        source_slot.push_back(static_cast<int>(s));
+      }
+    }
+    if (sources.empty()) break;
+    const MultiSourceResult nearest = MultiSourceDijkstra(graph, sources);
+
+    // Nearest-first, ties by customer index: one sort per round is the
+    // O(M log M) piece; everything else is linear. Unreachable
+    // customers stay unassigned — sources only shrink across rounds, so
+    // they can never become reachable later.
+    struct Ranked {
+      double distance;
+      int customer;
+    };
+    std::vector<Ranked> order;
+    order.reserve(unassigned.size());
+    for (const int i : unassigned) {
+      const double d = nearest.distance[customers[i]];
+      if (std::isfinite(d)) order.push_back({d, i});
+    }
+    if (order.empty()) break;
+    result.rounds = round + 1;
+    std::sort(order.begin(), order.end(),
+              [](const Ranked& a, const Ranked& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.customer < b.customer;
+              });
+
+    // The first ranked customer always lands (its nearest source has
+    // capacity by construction), so every round makes progress.
+    for (const Ranked& r : order) {
+      const int slot = source_slot[nearest.nearest_index[customers[r.customer]]];
+      if (remaining[slot] > 0) {
+        remaining[slot]--;
+        result.assignment[r.customer] = selected[slot];
+        result.distances[r.customer] = r.distance;
+        result.total_cost += r.distance;
+      }
+    }
+    std::vector<int> next_unassigned;
+    next_unassigned.reserve(unassigned.size());
+    for (const int i : unassigned) {
+      if (result.assignment[i] < 0) next_unassigned.push_back(i);
+    }
+    unassigned = std::move(next_unassigned);
+  }
+  result.all_assigned = unassigned.empty();
+  MCFS_COUNT("fast_match/rounds", result.rounds);
+  return result;
+}
+
+}  // namespace mcfs

@@ -101,6 +101,7 @@ std::string ServiceReport::Json() const {
       << ", \"failed\": " << requests_failed
       << ", \"shed\": " << requests_shed
       << ", \"degraded\": " << degraded_responses
+      << ", \"fast\": " << fast_responses
       << ", \"cache_hits\": " << cache_hits
       << ", \"deadline_terminations\": " << deadline_terminations << "}"
       << ", \"batches\": {\"count\": " << batches
@@ -125,6 +126,16 @@ std::string ServiceReport::Json() const {
       << ", \"warm_seconds\": " << JsonNumber(resolve_warm_seconds)
       << ", \"cold_seconds\": " << JsonNumber(resolve_cold_seconds) << "}"
       << ", \"postmortems\": " << postmortems
+      << ", \"tiered\": {\"fast_responses\": " << fast_responses
+      << ", \"fast_fallthroughs\": " << fast_fallthroughs
+      << ", \"refines_enqueued\": " << refines_enqueued
+      << ", \"refine_runs\": " << refine_runs
+      << ", \"refine_upgrades\": " << refine_upgrades
+      << ", \"refine_discards\": " << refine_discards << "}"
+      << ", \"latency_by_tier\": {\"fast\": "
+      << LatencySummaryJson(latency_fast)
+      << ", \"full\": " << LatencySummaryJson(latency_full)
+      << ", \"degraded\": " << LatencySummaryJson(latency_degraded) << "}"
       << ", \"fault_tolerance\": {\"degraded_responses\": "
       << degraded_responses << ", \"degraded_fallbacks\": " << degraded_fallbacks
       << ", \"requests_shed\": " << requests_shed

@@ -102,7 +102,23 @@ struct ServiceReport {
   int64_t checkpoint_failures = 0;  // failed saves + failed restores
   int64_t faults_injected = 0;      // FaultPlan fires acted on in-serve
 
+  // --- Tiered serving (DESIGN.md §4.14) ---
+  int64_t fast_responses = 0;     // responses served tier=fast
+  int64_t fast_fallthroughs = 0;  // fast attempts that fell to the queue
+  int64_t refines_enqueued = 0;   // background refinements queued
+  int64_t refine_runs = 0;        // background refinements completed
+  int64_t refine_upgrades = 0;    // cache entries upgraded in place
+  // Refinements whose target vanished first: the epoch moved, the entry
+  // was evicted, or a full solve already overtook the upgrade.
+  int64_t refine_discards = 0;
+
   LatencySummary latency;
+  // Latency split by the tier the response was served at (DESIGN.md
+  // §4.14) — the fast-vs-converged p99 comparison the tiered bench
+  // gates on. Tiers with no traffic carry count == 0 (JSON nulls).
+  LatencySummary latency_fast;
+  LatencySummary latency_full;
+  LatencySummary latency_degraded;
   std::vector<SloReport> slos;  // one row per configured tier
 
   std::string Json() const;

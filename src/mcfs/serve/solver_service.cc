@@ -1,6 +1,11 @@
 #include "mcfs/serve/solver_service.h"
 
 #include <algorithm>
+#ifdef __linux__
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -14,8 +19,10 @@
 #include "mcfs/common/check.h"
 #include "mcfs/common/thread_pool.h"
 #include "mcfs/common/timer.h"
+#include "mcfs/core/repair.h"
 #include "mcfs/core/validate.h"
 #include "mcfs/core/verifier.h"
+#include "mcfs/flow/fast_match.h"
 #include "mcfs/graph/dijkstra.h"
 #include "mcfs/obs/flight_recorder.h"
 #include "mcfs/obs/metrics.h"
@@ -27,6 +34,17 @@ namespace mcfs {
 namespace {
 
 double NowSeconds() { return static_cast<double>(obs::TraceNowUs()) * 1e-6; }
+
+// Lowers the calling thread's CPU priority by `nice` (see
+// ServiceOptions::background_nice). Raising niceness needs no
+// privileges; errors are ignored — the setting is best-effort latency
+// isolation, never correctness.
+void ApplyBackgroundNice(int nice) {
+  if (nice <= 0) return;
+#ifdef __linux__
+  setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)), nice);
+#endif
+}
 
 const char kDefaultTier[] = "default";
 
@@ -43,6 +61,21 @@ ScopeExit<F> OnScopeExit(F fn) {
 }
 
 }  // namespace
+
+double UpdateEwma(std::atomic<double>& ewma, double sample) {
+  // Compare-exchange loop: two completions landing together must both
+  // take effect. The old load-then-store read-modify-write let one
+  // overwrite the other, silently under-counting service time and
+  // skewing the queue-delay shedding estimate under exactly the load
+  // that makes shedding matter.
+  double prev = ewma.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev <= 0.0 ? sample : 0.8 * prev + 0.2 * sample;
+  } while (!ewma.compare_exchange_weak(prev, next, std::memory_order_relaxed,
+                                       std::memory_order_relaxed));
+  return next;
+}
 
 // --------------------------------------------------------------------------
 // ResponseHandle
@@ -109,6 +142,7 @@ SolverService::SolverService(const Graph* graph,
   PublishWarmState(
       BuildWarmState(1, std::move(facility_nodes), std::move(capacities)));
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  refiner_ = std::thread([this] { RefinerLoop(); });
 }
 
 SolverService::~SolverService() { Shutdown(); }
@@ -149,6 +183,12 @@ std::shared_ptr<const SolverService::WarmState> SolverService::BuildWarmState(
   for (std::vector<int>& caps : state->component_caps_sorted) {
     std::sort(caps.begin(), caps.end(), std::greater<int>());
   }
+  // Nearest catalog facility per node (DESIGN.md §4.14): one
+  // multi-source Dijkstra per epoch buys the instant responder its
+  // selection signal and the quality-bound denominator without any
+  // per-request graph work.
+  state->nearest_facility =
+      MultiSourceDijkstra(*graph_, state->facility_nodes);
   state->build_seconds = timer.Seconds();
   MCFS_COUNT("serve/epoch_rebuilds", 1);
   MCFS_OBSERVE("serve/warm_build_seconds", state->build_seconds);
@@ -806,12 +846,15 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
   const char* rejection = nullptr;
   std::string shed_reason;  // nonempty = admission-time overload shed
   bool fault_fired = false;
+  bool stopped = false;    // rejection came from a shut-down service
+  bool fast_path = false;  // answer inline via the instant responder
   int64_t retry_after_ms = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stop_) {
       // No retry hint: retrying a shut-down service cannot succeed.
       rejection = "service is shut down";
+      stopped = true;
     } else if (static_cast<int>(queue_.size()) >= options_.queue_depth) {
       rejection = "admission queue full";
       retry_after_ms = RetryAfterMs(queue_.size());
@@ -821,6 +864,23 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
       fault_fired = true;
       retry_after_ms = RetryAfterMs(queue_.size() + 1);
     } else {
+      // Tight-SLA admission (DESIGN.md §4.14): when the estimated queue
+      // drain plus one full solve cannot fit the request's latency
+      // budget — or the estimator is still blind — the request is
+      // answered inline by the instant responder instead of queuing
+      // behind full-solve batches (the wait alone would blow the SLA).
+      // Checked before shedding: an SLA request the queue would starve
+      // is exactly what the fast tier exists for.
+      if (request.max_latency_ms > 0) {
+        const double ewma =
+            ewma_service_seconds_.load(std::memory_order_relaxed);
+        const double est_ms =
+            ewma * 1000.0 *
+            (1.0 + static_cast<double>(queue_.size()) /
+                       static_cast<double>(effective_parallelism_));
+        fast_path = ewma <= 0.0 ||
+                    est_ms > static_cast<double>(request.max_latency_ms);
+      }
       // Queue-delay-aware shedding (DESIGN.md §4.13): when the work
       // already waiting is estimated to outlast this request's own
       // deadline, admitting it only burns a queue slot on a response
@@ -830,7 +890,7 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
                                       : options_.default_deadline_ms;
       const double ewma =
           ewma_service_seconds_.load(std::memory_order_relaxed);
-      if (deadline_ms > 0 && ewma > 0.0 && !queue_.empty()) {
+      if (!fast_path && deadline_ms > 0 && ewma > 0.0 && !queue_.empty()) {
         const double est_wait_ms =
             static_cast<double>(queue_.size()) * ewma * 1000.0 /
             static_cast<double>(effective_parallelism_);
@@ -842,7 +902,7 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
           retry_after_ms = RetryAfterMs(queue_.size());
         }
       }
-      if (shed_reason.empty()) {
+      if (!fast_path && shed_reason.empty()) {
         queue_.push_back({std::move(request), handle, NowSeconds()});
       }
     }
@@ -866,6 +926,10 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
     SolveResponse response;
     response.trace_id = trace_id;
     response.retry_after_ms = retry_after_ms;
+    // The one rejection retrying can never outwait (satellite of
+    // DESIGN.md §4.14): clients key "stop retrying" on this flag, not
+    // on retry_after_ms == 0 — a live-but-idle service also hints 0.
+    response.shutdown = stopped;
     response.status = UnavailableError(
         shed ? shed_reason
              : std::string(rejection) + " (queue_depth = " +
@@ -878,7 +942,53 @@ std::shared_ptr<ResponseHandle> SolverService::Submit(SolveRequest request) {
     std::lock_guard<std::mutex> lock(report_mutex_);
     stats_.requests_admitted++;
   }
-  queue_cv_.notify_one();
+  if (!fast_path) {
+    queue_cv_.notify_one();
+    return handle;
+  }
+  // Instant responder (DESIGN.md §4.14), inline on the submitting
+  // thread: the queue is the latency the SLA cannot afford.
+  PendingRequest pending{std::move(request), handle, NowSeconds()};
+  if (FastServe(pending)) return handle;
+  // The fast attempt could not produce a verified feasible answer; fall
+  // through to the queued full solve (fidelity over the SLA). The queue
+  // is re-checked — admission raced other submitters while we tried.
+  MCFS_COUNT("serve/fast_fallthroughs", 1);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.fast_fallthroughs++;
+  }
+  bool requeued = false;
+  stopped = false;
+  int64_t hint_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_) {
+      stopped = true;
+    } else if (static_cast<int>(queue_.size()) >= options_.queue_depth) {
+      hint_ms = RetryAfterMs(queue_.size());
+    } else {
+      queue_.push_back(std::move(pending));
+      requeued = true;
+    }
+  }
+  if (requeued) {
+    queue_cv_.notify_one();
+    return handle;
+  }
+  MCFS_COUNT("serve/requests_rejected", 1);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.requests_rejected++;
+  }
+  SolveResponse response;
+  response.trace_id = trace_id;
+  response.retry_after_ms = hint_ms;
+  response.shutdown = stopped;
+  response.status = UnavailableError(
+      std::string(stopped ? "service is shut down" : "admission queue full") +
+      " (queue_depth = " + std::to_string(options_.queue_depth) + ")");
+  handle->Complete(std::move(response));
   return handle;
 }
 
@@ -893,9 +1003,20 @@ void SolverService::Shutdown() {
   }
   queue_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  // The refiner stops only after the dispatcher drained: queued full
+  // solves can still plant upgrades, and every fast answer's promised
+  // refinement runs before the service goes dark (drain-on-shutdown,
+  // same contract as the admission queue).
+  {
+    std::lock_guard<std::mutex> lock(refine_mutex_);
+    refine_stop_ = true;
+  }
+  refine_cv_.notify_all();
+  if (refiner_.joinable()) refiner_.join();
 }
 
 void SolverService::DispatcherLoop() {
+  ApplyBackgroundNice(options_.background_nice);
   for (;;) {
     std::vector<PendingRequest> batch;
     {
@@ -1068,22 +1189,37 @@ void SolverService::Execute(PendingRequest& pending) {
       ResolveMatcherBackend(options_.wma.matcher, request_shape);
 
   if (cacheable) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_epoch_ == warm->epoch) {
-      const auto it = cache_.find(CacheKey{request.customers, request.k,
-                                           request.facility_subset,
-                                           request_matcher});
-      if (it != cache_.end()) {
-        const CacheEntry& entry = it->second;
-        response.solution = entry.solution;
-        response.stats = entry.stats;
-        response.verify_ran = entry.verify_ran;
-        response.verify_ok = entry.verify_ok;
-        response.cache_hit = true;
-        MCFS_COUNT("serve/cache_hits", 1);
-        FinishRequest(pending, std::move(response));
-        return;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (cache_epoch_ == warm->epoch) {
+        const auto it = cache_.find(CacheKey{request.customers, request.k,
+                                             request.facility_subset,
+                                             request_matcher});
+        if (it != cache_.end()) {
+          const CacheEntry& entry = it->second;
+          response.solution = entry.solution;
+          response.stats = entry.stats;
+          response.verify_ran = entry.verify_ran;
+          response.verify_ok = entry.verify_ok;
+          // Hits carry the tier of the entry they hit: an upgraded-in-
+          // place entry serves "full" (bound cleared), a still-awaiting-
+          // refinement entry serves "fast" with its recorded bound.
+          response.tier = entry.tier;
+          response.quality_bound = entry.quality_bound;
+          response.cache_hit = true;
+          hit = true;
+        }
       }
+    }
+    // Completion happens outside cache_mutex_: FinishRequest fulfills
+    // the handle, and a woken client can preempt this thread (single-
+    // core boxes especially) — holding the lock through that wake
+    // convoys every concurrent lookup behind a descheduled holder.
+    if (hit) {
+      MCFS_COUNT("serve/cache_hits", 1);
+      FinishRequest(pending, std::move(response));
+      return;
     }
   }
 
@@ -1170,25 +1306,57 @@ void SolverService::Execute(PendingRequest& pending) {
       ((response.verify_ran && !response.verify_ok) ||
        response.solution.termination == Termination::kDeadline)) {
     DegradeResponse(instance, request_matcher, warm->epoch,
-                    response.verify_ran && !response.verify_ok, &response);
+                    response.verify_ran && !response.verify_ok,
+                    request.facility_subset.empty()
+                        ? &warm->nearest_facility
+                        : nullptr,
+                    &response);
   }
 
   if (cacheable && response.tier == "full" &&
       response.solution.termination == Termination::kConverged) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_epoch_ == warm->epoch) {
-      CacheKey key{request.customers, request.k, request.facility_subset,
-                   request_matcher};
-      const auto inserted = cache_.emplace(
-          key, CacheEntry{response.solution, response.stats,
-                          response.verify_ran, response.verify_ok});
-      if (inserted.second) {
-        cache_order_.push_back(std::move(key));
-        while (static_cast<int>(cache_.size()) > options_.cache_capacity) {
-          cache_.erase(cache_order_.front());
-          cache_order_.pop_front();
+    bool overtook_fast = false;
+    // Built outside the lock: this thread may be running at
+    // background_nice, and a preemption inside cache_mutex_ would
+    // convoy the inline fast tier behind a starved holder.
+    CacheKey key{request.customers, request.k, request.facility_subset,
+                 request_matcher};
+    CacheEntry full_entry{response.solution, response.stats,
+                          response.verify_ran, response.verify_ok, "full",
+                          0.0, request.trace_id};
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (cache_epoch_ == warm->epoch) {
+        // try_emplace keeps full_entry intact when the key is taken, so
+        // the upgrade below can move from it instead of re-copying the
+        // solution while holding the lock.
+        const auto inserted = cache_.try_emplace(key, std::move(full_entry));
+        if (inserted.second) {
+          cache_order_.push_back(std::move(key));
+          while (static_cast<int>(cache_.size()) > options_.cache_capacity) {
+            cache_.erase(cache_order_.front());
+            cache_order_.pop_front();
+          }
+        } else if (inserted.first->second.tier == "fast") {
+          // A queued full solve on the same identity overtook the
+          // background refinement: upgrade in place now (same key, same
+          // epoch, planting trace id kept) — the refiner will find the
+          // entry already converged and discard its task.
+          CacheEntry& entry = inserted.first->second;
+          const uint64_t planting_trace = entry.trace_id;
+          entry = std::move(full_entry);
+          entry.trace_id = planting_trace;
+          overtook_fast = true;
         }
       }
+    }
+    if (overtook_fast) {
+      MCFS_COUNT("serve/tier_upgrades", 1);
+      MCFS_RECORD("serve/cache_upgrade",
+                  static_cast<int64_t>(request.trace_id),
+                  static_cast<int64_t>(warm->epoch));
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      stats_.refine_upgrades++;
     }
   }
 
@@ -1206,27 +1374,38 @@ McfsSolution SolverService::DegradedFallback(const McfsInstance& instance,
   return RunGreedyKMedian(instance, greedy);
 }
 
-double SolverService::DegradedQualityBound(const McfsInstance& instance,
-                                           double objective) const {
+double SolverService::NearestFacilityQualityBound(
+    const McfsInstance& instance, double objective,
+    const MultiSourceResult* nearest) const {
   // Lower bound on any solution's objective: every customer served by
-  // its nearest catalog facility, with capacities and the budget k
-  // relaxed away. One multi-source Dijkstra over the graph — a
-  // failure-path-only cost.
-  const MultiSourceResult nearest =
-      MultiSourceDijkstra(*instance.graph, instance.facility_nodes);
+  // its nearest instance facility, with capacities and the budget k
+  // relaxed away. Full-catalog callers pass the epoch's precomputed
+  // multi-source result; subset callers pay one MultiSourceDijkstra.
+  MultiSourceResult computed;
+  if (nearest == nullptr) {
+    computed = MultiSourceDijkstra(*instance.graph, instance.facility_nodes);
+    nearest = &computed;
+  }
   double lower = 0.0;
   for (const NodeId c : instance.customers) {
-    const double d = nearest.distance[c];
+    const double d = nearest->distance[c];
     if (std::isfinite(d)) lower += d;
   }
   if (objective <= lower) return 1.0;
-  if (lower <= 0.0) return 0.0;  // degenerate: no informative bound
+  // Degenerate: every customer co-located with a facility makes the
+  // relaxed bound 0 while capacity overflow can still force a positive
+  // objective. objective / 0 would be inf (JSON nulls it, comparisons
+  // and SLO accounting misread it) — report the defined sentinel
+  // instead, distinguishable from both real bounds (>= 1) and "no
+  // bound computed" (0).
+  if (lower <= 0.0) return kDegenerateQualityBound;
   return objective / lower;
 }
 
 void SolverService::DegradeResponse(const McfsInstance& instance,
                                     MatcherBackendKind matcher,
                                     uint64_t epoch_at, bool rejected,
+                                    const MultiSourceResult* nearest,
                                     SolveResponse* response) {
   MCFS_SPAN("serve/degrade");
   // Rung 1: the anytime best-so-far answer, which the caller already
@@ -1260,8 +1439,8 @@ void SolverService::DegradeResponse(const McfsInstance& instance,
   response->tier = "degraded";
   response->verify_ran = true;
   response->verify_ok = true;
-  response->quality_bound =
-      DegradedQualityBound(instance, response->solution.objective);
+  response->quality_bound = NearestFacilityQualityBound(
+      instance, response->solution.objective, nearest);
   RecordPostmortem(
       rejected ? "degraded_verify_rejection" : "degraded_deadline",
       response->trace_id, epoch_at);
@@ -1273,19 +1452,425 @@ void SolverService::DegradeResponse(const McfsInstance& instance,
   }
 }
 
+bool SolverService::FastServe(PendingRequest& pending) {
+  const SolveRequest& request = pending.request;
+  obs::ScopedTraceContext trace_scope(request.trace_id);
+  MCFS_SPAN("serve/fast");
+  MCFS_RECORD("serve/fast_begin",
+              static_cast<int64_t>(request.customers.size()), request.k);
+  // The instant responder must never block behind a background thread
+  // that was descheduled inside a critical section (a nice'd dispatcher
+  // holding a lock can starve for a full scheduler round — priority
+  // inversion that lands straight in the fast tier's p99). Every lock
+  // this path takes before its latency is recorded is therefore a
+  // try-lock, and contention skips the optional work: the in-flight
+  // marker is diagnostic, a skipped cache lookup is a cache miss, and a
+  // skipped plant just means a later occurrence plants instead.
+  {
+    std::unique_lock<std::mutex> lock(report_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) in_flight_.push_back(request.trace_id);
+  }
+  // Fallthrough exits bypass FinishRequest, so they retire the
+  // in-flight marker themselves before handing the request back.
+  auto retire = [&] {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    const auto it =
+        std::find(in_flight_.begin(), in_flight_.end(), request.trace_id);
+    if (it != in_flight_.end()) in_flight_.erase(it);
+  };
+
+  // The instant responder leans on the epoch's precomputed
+  // nearest-facility distances; a catalog subset would need its own
+  // multi-source Dijkstra — no longer instant — so subset requests take
+  // the full path.
+  if (!request.facility_subset.empty()) {
+    retire();
+    return false;
+  }
+
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+
+  SolveResponse response;
+  response.epoch = warm->epoch;
+  response.trace_id = request.trace_id;
+  response.queue_seconds = NowSeconds() - pending.admitted_at;
+
+  const int64_t deadline_ms = request.deadline_ms > 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+  const bool cacheable = options_.cache_capacity > 0 && deadline_ms == 0 &&
+                         request.cancel == nullptr;
+
+  McfsInstance instance;
+  instance.graph = graph_;
+  instance.customers = request.customers;
+  instance.k = request.k;
+  instance.facility_nodes = warm->facility_nodes;
+  instance.capacities = warm->capacities;
+
+  MatchShape request_shape;
+  request_shape.customers = static_cast<int64_t>(instance.m());
+  request_shape.facilities = static_cast<int64_t>(instance.l());
+  for (const int c : instance.capacities) request_shape.total_capacity += c;
+  const MatcherBackendKind request_matcher =
+      ResolveMatcherBackend(options_.wma.matcher, request_shape);
+
+  if (cacheable) {
+    bool hit = false;
+    {
+      // try-lock: a contended cache is treated as a miss rather than a
+      // wait — recomputing a 0.5ms fast answer beats blocking behind a
+      // possibly-descheduled background holder.
+      std::unique_lock<std::mutex> lock(cache_mutex_, std::try_to_lock);
+      if (lock.owns_lock() && cache_epoch_ == warm->epoch) {
+        const auto it = cache_.find(CacheKey{request.customers, request.k,
+                                             request.facility_subset,
+                                             request_matcher});
+        if (it != cache_.end()) {
+          const CacheEntry& entry = it->second;
+          response.solution = entry.solution;
+          response.stats = entry.stats;
+          response.verify_ran = entry.verify_ran;
+          response.verify_ok = entry.verify_ok;
+          response.tier = entry.tier;
+          response.quality_bound = entry.quality_bound;
+          response.cache_hit = true;
+          hit = true;
+        }
+      }
+    }
+    // Finish outside cache_mutex_ — same wake-preemption convoy hazard
+    // as Execute's hit path; the fast tier is the one that pays for it.
+    if (hit) {
+      MCFS_COUNT("serve/cache_hits", 1);
+      FinishRequest(pending, std::move(response));
+      return true;
+    }
+  }
+
+  WallTimer preprocess_timer;
+  if (!WarmValidate(*warm, instance, request.facility_subset)) {
+    // Definitive: the full path would reject with the same canonical
+    // status — no point burning a queue slot to find out.
+    response.status = ValidateInstance(instance);
+    MCFS_CHECK(!response.status.ok())
+        << "warm validation rejected an instance the cold path accepts";
+    response.preprocess_seconds = preprocess_timer.Seconds();
+    FinishRequest(pending, std::move(response));
+    return true;
+  }
+  response.preprocess_seconds = preprocess_timer.Seconds();
+
+  if (instance.m() == 0) {
+    // SolveWma's trivial shortcut, replicated exactly.
+    response.solution.feasible = true;
+    FinishRequest(pending, std::move(response));
+    return true;
+  }
+
+  // Selection: demand-ranked top-k over the precomputed nearest map —
+  // each facility is scored by how many request customers it is nearest
+  // to (ties by catalog index, deterministic) — then component-coverage
+  // repair and the bounded-work greedy matcher.
+  WallTimer solve_timer;
+  const int catalog = static_cast<int>(instance.l());
+  const int budget = std::min(request.k, catalog);
+  std::vector<int64_t> demand(catalog, 0);
+  for (const NodeId c : instance.customers) {
+    const int f = warm->nearest_facility.nearest_index[c];
+    if (f >= 0) demand[f]++;
+  }
+  std::vector<int> order(catalog);
+  for (int j = 0; j < catalog; ++j) order[j] = j;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (demand[a] != demand[b]) return demand[a] > demand[b];
+    return a < b;
+  });
+  std::vector<int> selected(order.begin(), order.begin() + budget);
+  if (!CoverComponents(instance, selected)) {
+    retire();
+    return false;
+  }
+  const FastMatchResult match =
+      FastGreedyMatch(*graph_, instance.customers, instance.facility_nodes,
+                      instance.capacities, selected);
+  if (!match.all_assigned) {
+    retire();
+    return false;
+  }
+  McfsSolution solution;
+  solution.selected = std::move(selected);
+  solution.assignment = match.assignment;
+  solution.distances = match.distances;
+  solution.objective = match.total_cost;
+  solution.feasible = true;
+  solution.termination = Termination::kConverged;
+  // Always verified from first principles — a fast answer that cannot
+  // be proven feasible is not served fast, it is solved for real. The
+  // targeted strategy keeps the check sub-millisecond: per-customer
+  // early-exit searches instead of one full Dijkstra per facility.
+  VerifyOptions fast_verify;
+  fast_verify.targeted = true;
+  const VerifyReport verdict = VerifySolution(instance, solution, fast_verify);
+  if (!verdict.ok) {
+    retire();
+    return false;
+  }
+  response.solve_seconds = solve_timer.Seconds();
+  response.verify_ran = true;
+  response.verify_ok = true;
+  response.tier = "fast";
+  response.quality_bound = NearestFacilityQualityBound(
+      instance, solution.objective, &warm->nearest_facility);
+  response.solution = std::move(solution);
+
+  // Plant the cache entry at tier "fast" and queue its background
+  // refinement (same key, same epoch, same trace id). refine == false
+  // answers are final and never cached, mirroring degraded answers.
+  if (cacheable && request.refine) {
+    CacheKey key{request.customers, request.k, request.facility_subset,
+                 request_matcher};
+    // The entry is built (solution copied) before taking the lock so
+    // the critical section is a map move-insert, and the acquisition is
+    // a try-lock: losing a plant to contention only defers caching and
+    // refinement to the identity's next occurrence.
+    CacheEntry planted_entry{response.solution, response.stats, true, true,
+                             "fast", response.quality_bound,
+                             request.trace_id};
+    bool planted = false;
+    {
+      std::unique_lock<std::mutex> lock(cache_mutex_, std::try_to_lock);
+      if (lock.owns_lock() && cache_epoch_ == warm->epoch) {
+        const auto inserted = cache_.emplace(key, std::move(planted_entry));
+        if (inserted.second) {
+          cache_order_.push_back(key);
+          while (static_cast<int>(cache_.size()) > options_.cache_capacity) {
+            cache_.erase(cache_order_.front());
+            cache_order_.pop_front();
+          }
+          planted = true;
+        }
+      }
+    }
+    if (planted) {
+      bool enqueued = false;
+      {
+        std::lock_guard<std::mutex> lock(refine_mutex_);
+        if (!refine_stop_) {
+          // Dedup by (key, epoch): N identical fast answers need one
+          // refinement. (Planting already required an empty slot, so a
+          // duplicate here means a racing eviction + re-plant.)
+          bool duplicate = false;
+          for (const RefineTask& task : refine_queue_) {
+            if (task.epoch == warm->epoch && !(task.key < key) &&
+                !(key < task.key)) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) {
+            refine_queue_.push_back(
+                RefineTask{std::move(key), warm->epoch, request.trace_id});
+            enqueued = true;
+          }
+        }
+      }
+      if (enqueued) {
+        refine_cv_.notify_one();
+        MCFS_COUNT("serve/refines_enqueued", 1);
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        stats_.refines_enqueued++;
+      }
+    }
+  }
+  MCFS_COUNT("serve/tier_fast", 1);
+  FinishRequest(pending, std::move(response));
+  return true;
+}
+
+void SolverService::RefinerLoop() {
+  ApplyBackgroundNice(options_.background_nice);
+  for (;;) {
+    RefineTask task;
+    {
+      std::unique_lock<std::mutex> lock(refine_mutex_);
+      refine_cv_.wait(
+          lock, [this] { return refine_stop_ || !refine_queue_.empty(); });
+      // Drain-on-shutdown: every fast answer's promised refinement runs.
+      if (refine_queue_.empty()) return;
+      task = std::move(refine_queue_.front());
+      refine_queue_.pop_front();
+      // Covers the pop-to-completion window so DrainRefinements has no
+      // gap to race through ("queue empty" alone is not "idle").
+      refine_active_ = true;
+    }
+    RunRefinement(task);
+    {
+      std::lock_guard<std::mutex> lock(refine_mutex_);
+      refine_active_ = false;
+    }
+    refine_cv_.notify_all();
+  }
+}
+
+void SolverService::RunRefinement(const RefineTask& task) {
+  // Same trace id as the fast answer it refines: spans, flight events,
+  // and the upgraded entry all join back to the original request.
+  obs::ScopedTraceContext trace_scope(task.trace_id);
+  MCFS_SPAN("serve/refine");
+  const auto discard = [&] {
+    MCFS_COUNT("serve/refine_discards", 1);
+    MCFS_RECORD("serve/refine_discard", static_cast<int64_t>(task.trace_id),
+                static_cast<int64_t>(task.epoch));
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.refine_discards++;
+  };
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  if (warm->epoch != task.epoch) {
+    // The catalog moved on; the entry this refinement would upgrade was
+    // invalidated with its epoch. Solving against the new catalog would
+    // answer a different question.
+    discard();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(task.key);
+    if (cache_epoch_ != task.epoch || it == cache_.end() ||
+        it->second.tier != "fast") {
+      // Evicted, invalidated, or a queued full solve already overtook
+      // the upgrade — nothing left to refine.
+      discard();
+      return;
+    }
+  }
+  // Re-materialize the instance from the key under the epoch's catalog
+  // (fast plants are full-catalog by construction) and run the solve
+  // the SLA preempted, converged and deadline-free.
+  McfsInstance instance;
+  instance.graph = graph_;
+  instance.customers = task.key.customers;
+  instance.k = task.key.k;
+  instance.facility_nodes = warm->facility_nodes;
+  instance.capacities = warm->capacities;
+  WmaOptions wma = options_.wma;
+  wma.deadline_ms = 0;
+  wma.cancel = nullptr;
+  wma.trace_id = task.trace_id;
+  wma.matcher = task.key.matcher;
+  WallTimer solve_timer;
+  WmaResult result = RunWma(instance, wma);
+  // Fast completions are excluded from the admission estimator;
+  // refinements are where the fast tier teaches it what the full solve
+  // it displaced actually costs.
+  UpdateEwma(ewma_service_seconds_, solve_timer.Seconds());
+  MCFS_COUNT("serve/refine_runs", 1);
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.refine_runs++;
+  }
+  if (!result.solution.feasible ||
+      result.solution.termination != Termination::kConverged) {
+    // Only converged answers upgrade a cache entry (the same condition
+    // Execute's insert enforces). The fast answer stays served.
+    discard();
+    return;
+  }
+  bool verify_ran = false;
+  bool verify_ok = false;
+  if (options_.verify) {
+    const VerifyReport refined_verdict =
+        VerifySolution(instance, result.solution);
+    verify_ran = true;
+    verify_ok = refined_verdict.ok;
+  }
+  bool upgraded = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(task.key);
+    if (cache_epoch_ == task.epoch && it != cache_.end() &&
+        it->second.tier == "fast") {
+      // Upgrade in place: same key, same epoch; the trace id of the
+      // planting fast answer is kept — the refined entry is that
+      // request's converged continuation, not a new identity.
+      CacheEntry& entry = it->second;
+      entry.solution = std::move(result.solution);
+      entry.stats = std::move(result.stats);
+      entry.verify_ran = verify_ran;
+      entry.verify_ok = verify_ok;
+      entry.tier = "full";
+      entry.quality_bound = 0.0;
+      upgraded = true;
+    }
+  }
+  if (upgraded) {
+    MCFS_COUNT("serve/tier_upgrades", 1);
+    MCFS_RECORD("serve/cache_upgrade", static_cast<int64_t>(task.trace_id),
+                static_cast<int64_t>(task.epoch));
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    stats_.refine_upgrades++;
+  } else {
+    discard();
+  }
+}
+
+void SolverService::DrainRefinements() {
+  std::unique_lock<std::mutex> lock(refine_mutex_);
+  refine_cv_.wait(
+      lock, [this] { return refine_queue_.empty() && !refine_active_; });
+}
+
+CacheProbe SolverService::ProbeCache(const SolveRequest& request) const {
+  CacheProbe probe;
+  std::shared_ptr<const WarmState> warm = SnapshotWarmState();
+  // Same key derivation as Execute: the shape-resolved engine is part
+  // of the identity, so the probe must resolve it the same way.
+  MatchShape shape;
+  shape.customers = static_cast<int64_t>(request.customers.size());
+  if (request.facility_subset.empty()) {
+    shape.facilities = static_cast<int64_t>(warm->facility_nodes.size());
+    for (const int c : warm->capacities) shape.total_capacity += c;
+  } else {
+    shape.facilities = static_cast<int64_t>(request.facility_subset.size());
+    for (const int idx : request.facility_subset) {
+      if (idx >= 0 && idx < static_cast<int>(warm->capacities.size())) {
+        shape.total_capacity += warm->capacities[idx];
+      }
+    }
+  }
+  const MatcherBackendKind matcher =
+      ResolveMatcherBackend(options_.wma.matcher, shape);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(CacheKey{request.customers, request.k,
+                                       request.facility_subset, matcher});
+  if (it == cache_.end()) return probe;
+  probe.present = true;
+  probe.tier = it->second.tier;
+  probe.epoch = cache_epoch_;
+  probe.trace_id = it->second.trace_id;
+  probe.quality_bound = it->second.quality_bound;
+  probe.verify_ok = it->second.verify_ok;
+  return probe;
+}
+
 void SolverService::FinishRequest(PendingRequest& pending,
                                   SolveResponse response) {
   const double latency = NowSeconds() - pending.admitted_at;
-  // Teach the admission-time overload control what a request costs
-  // (EWMA of the execution phases; queue wait excluded — it is the
-  // quantity being estimated). Races between completions just lose an
-  // update; the estimator only needs to be roughly right.
-  const double service_seconds =
-      response.preprocess_seconds + response.solve_seconds;
-  const double prev = ewma_service_seconds_.load(std::memory_order_relaxed);
-  ewma_service_seconds_.store(
-      prev <= 0.0 ? service_seconds : 0.8 * prev + 0.2 * service_seconds,
-      std::memory_order_relaxed);
+  // Teach the admission-time overload control what a *full* request
+  // costs (EWMA of the execution phases; queue wait excluded — it is
+  // the quantity being estimated). Fast-tier completions are excluded:
+  // their sub-millisecond samples would teach the estimator that full
+  // solves are cheap, flip the next SLA decision to the queue, miss it,
+  // and oscillate — background refinements feed the full-solve estimate
+  // instead (RunRefinement). Cache hits are excluded too: they report
+  // near-zero preprocess+solve time, and a burst of hits would collapse
+  // the estimate until every SLA request believed the full path fit its
+  // budget. The CAS loop in UpdateEwma keeps concurrent completions
+  // from losing each other's updates.
+  if (response.tier != "fast" && !response.cache_hit) {
+    UpdateEwma(ewma_service_seconds_,
+               response.preprocess_seconds + response.solve_seconds);
+  }
   response.trace_id = pending.request.trace_id;
   MCFS_OBSERVE("serve/queue_seconds", response.queue_seconds);
   MCFS_OBSERVE("serve/solve_seconds", response.solve_seconds);
@@ -1293,6 +1878,17 @@ void SolverService::FinishRequest(PendingRequest& pending,
   // The report's quantiles come from here. Execute installed this
   // request's trace context, so the bucket exemplar is its trace id.
   latency_hist_.Observe(latency);
+  // Per-tier split (DESIGN.md §4.14), served responses only — the tier
+  // of a rejection is meaningless and would pollute the comparison.
+  if (response.status.ok()) {
+    if (response.tier == "fast") {
+      latency_fast_hist_.Observe(latency);
+    } else if (response.tier == "degraded") {
+      latency_degraded_hist_.Observe(latency);
+    } else {
+      latency_full_hist_.Observe(latency);
+    }
+  }
   MCFS_RECORD("serve/request_end",
               static_cast<int64_t>(response.trace_id),
               static_cast<int64_t>(response.status.code()));
@@ -1314,6 +1910,9 @@ void SolverService::FinishRequest(PendingRequest& pending,
     if (in_flight_it != in_flight_.end()) in_flight_.erase(in_flight_it);
     stats_.requests_completed++;
     if (!response.status.ok()) stats_.requests_failed++;
+    if (response.status.ok() && response.tier == "fast") {
+      stats_.fast_responses++;
+    }
     stats_.queue_seconds_total += response.queue_seconds;
     stats_.preprocess_seconds_total += response.preprocess_seconds;
     stats_.solve_seconds_total += response.solve_seconds;
@@ -1363,6 +1962,10 @@ ServiceReport SolverService::Report() const {
   report.epoch = epoch();
   report.matcher_backend = MatcherBackendName(options_.wma.matcher);
   report.latency = SummarizeHistogram(latency_hist_.Snapshot());
+  report.latency_fast = SummarizeHistogram(latency_fast_hist_.Snapshot());
+  report.latency_full = SummarizeHistogram(latency_full_hist_.Snapshot());
+  report.latency_degraded =
+      SummarizeHistogram(latency_degraded_hist_.Snapshot());
   return report;
 }
 
@@ -1380,6 +1983,11 @@ ServiceSnapshot SolverService::DebugSnapshot() const {
     snap.cache_size = static_cast<int>(cache_.size());
   }
   snap.cache_capacity = options_.cache_capacity;
+  {
+    std::lock_guard<std::mutex> lock(refine_mutex_);
+    snap.refine_backlog = static_cast<int>(refine_queue_.size()) +
+                          (refine_active_ ? 1 : 0);
+  }
   // Relaxed mirror, not resolve_mutex_: a snapshot must never block
   // behind a long ResolveTracked (that is the moment operators need it).
   snap.tracked_customers = tracked_count_.load(std::memory_order_relaxed);
@@ -1391,6 +1999,8 @@ ServiceSnapshot SolverService::DebugSnapshot() const {
     snap.degraded = stats_.degraded_responses;
     snap.shed = stats_.requests_shed;
     snap.checkpoints = stats_.checkpoints_saved + stats_.checkpoints_restored;
+    snap.fast = stats_.fast_responses;
+    snap.upgrades = stats_.refine_upgrades;
   }
   snap.latency = SummarizeHistogram(latency_hist_.Snapshot());
   return snap;
@@ -1450,7 +2060,9 @@ std::string ServiceSnapshot::Json() const {
       << ", \"slo\": " << SloReportsJson(slos)
       << ", \"postmortems\": " << postmortems
       << ", \"degraded\": " << degraded << ", \"shed\": " << shed
-      << ", \"checkpoints\": " << checkpoints << "}";
+      << ", \"checkpoints\": " << checkpoints << ", \"fast\": " << fast
+      << ", \"upgrades\": " << upgrades
+      << ", \"refine_backlog\": " << refine_backlog << "}";
   return out.str();
 }
 

@@ -17,6 +17,7 @@
 #include "mcfs/common/status.h"
 #include "mcfs/core/instance.h"
 #include "mcfs/core/wma.h"
+#include "mcfs/graph/dijkstra.h"
 #include "mcfs/graph/graph.h"
 #include "mcfs/serve/service_report.h"
 
@@ -117,6 +118,19 @@ struct ServiceOptions {
   // estimator starts blind and shedding begins only after the first
   // completed request taught it a service time.
   double expected_solve_ms = 0.0;
+
+  // --- Tiered serving (DESIGN.md §4.14) ---
+  // CPU niceness applied to the service's background threads (the
+  // dispatcher running full batches and the refiner): > 0 lowers their
+  // scheduling priority so the inline instant responder — which runs
+  // on the submitting thread — preempts batch work instead of being
+  // descheduled behind it. This is what keeps the fast tier's tail
+  // latency honest on CPU-saturated hosts; on a single-core box a
+  // nice-0 batch burst otherwise adds a full scheduler round (~5-10ms)
+  // to p99 of a 0.5ms fast answer. Linux-only (no-op elsewhere);
+  // 0 = inherit the process priority. Shared ThreadPool workers are
+  // not re-niced — only threads the service owns.
+  int background_nice = 0;
 };
 
 // --- Delta-typed updates (DESIGN.md §4.10) ---
@@ -196,6 +210,24 @@ struct SolveRequest {
   // surfacing the failure. Degraded answers are always verifier-checked
   // and never cached. Off = the pre-existing fail-closed behavior.
   bool allow_degraded = false;
+  // --- Tiered serving (DESIGN.md §4.14) ---
+  // End-to-end latency SLA in ms; 0 = no SLA (the full-fidelity path).
+  // When set, admission estimates whether the queue wait plus a full
+  // solve fits the budget (the same EWMA the overload control reads; a
+  // blind estimator is treated as "will not fit"). If not, the request
+  // is answered inline by the instant responder — greedy selection +
+  // bounded-work matching over precomputed nearest-facility distances —
+  // as tier == "fast" with a quality bound, bypassing the queue
+  // entirely. Fast answers are always verifier-checked; a fast attempt
+  // that fails verification (or the instance) falls through to the
+  // normal queued full solve, trading the SLA for fidelity.
+  int64_t max_latency_ms = 0;
+  // When a fast answer was served for a cacheable request, run the full
+  // WMA in the background under the same trace id and upgrade the
+  // cached fast entry in place with the converged answer (same key,
+  // same epoch), so later hits see tier == "full". false = the fast
+  // answer is final and never cached (mirrors degraded answers).
+  bool refine = true;
 };
 
 struct SolveResponse {
@@ -225,19 +257,46 @@ struct SolveResponse {
   // flight-recorder events, and histogram exemplars.
   uint64_t trace_id = 0;
   // "full" for the normal path; "degraded" when the answer came off the
-  // degradation ladder (allow_degraded requests only; DESIGN.md §4.13).
+  // degradation ladder (allow_degraded requests only; DESIGN.md §4.13);
+  // "fast" when the instant responder answered under a max_latency_ms
+  // SLA (DESIGN.md §4.14). Cache hits carry the tier of the entry they
+  // hit — a refined entry serves "full" even to an SLA request.
   std::string tier = "full";
-  // Degraded responses only: upper bound on objective / optimum,
+  // Degraded and fast responses: upper bound on objective / optimum,
   // derived from the capacity- and budget-relaxed lower bound (every
   // customer at its nearest catalog facility, one multi-source
-  // Dijkstra). 0 when not degraded, or when the bound is degenerate
-  // (lower bound 0 with a positive objective).
+  // Dijkstra — precomputed per epoch for full-catalog requests). 0 when
+  // the response is full-tier (no bound computed);
+  // kDegenerateQualityBound when the lower bound is 0 with a positive
+  // objective (every customer co-located with a facility) — no finite
+  // ratio exists, which is not the same as "unbounded".
   double quality_bound = 0.0;
   // kUnavailable responses: suggested client backoff before retrying,
   // derived from the estimated queue drain time. 0 on non-kUnavailable
   // responses and on shutdown rejections (a retry cannot succeed).
   int64_t retry_after_ms = 0;
+  // True only on kUnavailable rejections from a stopped service: the
+  // one rejection a retry can never outwait. Clients must key "stop
+  // retrying" on this, not on retry_after_ms == 0 — a live-but-idle
+  // service also hints 0.
+  bool shutdown = false;
 };
+
+// SolveResponse::quality_bound sentinel: the nearest-facility lower
+// bound was exactly 0 (every customer sits on a facility node) while
+// the served objective was positive, so no finite approximation ratio
+// exists. Distinct from 0.0, which means "no bound computed" (full-tier
+// responses). Consumers comparing bounds against 1.0 must accept this
+// value as "served, bound degenerate", not as a quality failure.
+inline constexpr double kDegenerateQualityBound = -1.0;
+
+// Lock-free EWMA teach-in shared by the request-completion paths: the
+// first positive-state sample seeds the estimate, later samples decay
+// it 0.8/0.2. A compare-exchange loop, not load-then-store — concurrent
+// completions must not lose updates (admission-time shedding and the
+// fast-tier admission estimate both read this). Returns the value
+// installed.
+double UpdateEwma(std::atomic<double>& ewma, double sample);
 
 // Point-in-time live introspection of a running service (DESIGN.md
 // §4.11): what an operator needs to answer "is it stuck, backed up, or
@@ -262,8 +321,27 @@ struct ServiceSnapshot {
   int64_t degraded = 0;
   int64_t shed = 0;
   int64_t checkpoints = 0;
+  // Tiered serving (DESIGN.md §4.14): fast-tier responses served,
+  // cache entries upgraded in place, and the refinement backlog.
+  int64_t fast = 0;
+  int64_t upgrades = 0;
+  int refine_backlog = 0;
 
   std::string Json() const;
+};
+
+// What ProbeCache found for one request identity (DESIGN.md §4.14) —
+// the introspection the upgrade-in-place tests and the bench gate on:
+// after a refinement drains, the entry a fast answer planted must still
+// sit under the same key, same epoch, and same trace id, now holding
+// the converged tier.
+struct CacheProbe {
+  bool present = false;
+  std::string tier;          // "fast" or "full"
+  uint64_t epoch = 0;        // cache epoch the entry lives under
+  uint64_t trace_id = 0;     // request that planted (and refines) it
+  double quality_bound = 0.0;
+  bool verify_ok = false;
 };
 
 // Completion handle for one submitted request. Wait() blocks until the
@@ -369,8 +447,22 @@ class SolverService {
   // and leaves the service untouched (a clean cold start).
   Status RestoreFrom(const std::string& path);
 
-  // Stops admission, drains the queue, joins the dispatcher. Idempotent
-  // (also run by the destructor).
+  // Blocks until every queued background refinement has run to
+  // completion (queue empty, worker idle). Tests and the bench call
+  // this to observe the post-upgrade cache deterministically; serving
+  // continues around it.
+  void DrainRefinements();
+
+  // Cache introspection for one request identity (same key derivation
+  // as Execute, including the shape-resolved matcher backend): what
+  // tier the entry holds, under which epoch and trace id. Safe to call
+  // concurrently; the answer is a snapshot.
+  CacheProbe ProbeCache(const SolveRequest& request) const;
+
+  // Stops admission, drains the queue, joins the dispatcher, then
+  // drains and joins the background refiner (every fast answer's
+  // promised refinement still happens). Idempotent (also run by the
+  // destructor).
   void Shutdown();
 
   // Aggregated service statistics (counts, latency percentiles, phase
@@ -411,6 +503,11 @@ class SolverService {
     // Catalog capacities per component, sorted descending — the
     // Theorem-3 accounting input, precomputed for full-catalog requests.
     std::vector<std::vector<int>> component_caps_sorted;
+    // Nearest catalog facility per node (one multi-source Dijkstra per
+    // epoch; DESIGN.md §4.14): the instant responder's selection signal
+    // and the quality-bound denominator for full-catalog requests.
+    // Subset requests recompute against their own facility slice.
+    MultiSourceResult nearest_facility;
     double build_seconds = 0.0;
   };
 
@@ -438,6 +535,23 @@ class SolverService {
     WmaStats stats;
     bool verify_ran = false;
     bool verify_ok = false;
+    // Tiered serving (DESIGN.md §4.14): "full" entries are converged
+    // WMA answers; "fast" entries are instant-responder answers
+    // awaiting background refinement, carrying their quality bound and
+    // the trace id of the request that planted them (the refinement
+    // publishes the converged answer in place under the same id).
+    std::string tier = "full";
+    double quality_bound = 0.0;
+    uint64_t trace_id = 0;
+  };
+
+  // One queued background refinement (DESIGN.md §4.14): re-solve the
+  // fast-answered request with the full WMA and upgrade its cache entry
+  // in place — same key, same epoch, same trace id.
+  struct RefineTask {
+    CacheKey key;
+    uint64_t epoch = 0;
+    uint64_t trace_id = 0;
   };
 
   std::shared_ptr<const WarmState> BuildWarmState(
@@ -455,17 +569,38 @@ class SolverService {
   // anytime answer if the independent verifier blesses it, else
   // synthesize a baseline fallback — always re-verified, never cached,
   // postmortem recorded. `rejected` marks the candidate untrusted.
+  // `nearest` forwards the epoch's precomputed nearest-facility result
+  // for full-catalog requests (null = recompute for the subset).
   void DegradeResponse(const McfsInstance& instance,
                        MatcherBackendKind matcher, uint64_t epoch_at,
-                       bool rejected, SolveResponse* response);
+                       bool rejected, const MultiSourceResult* nearest,
+                       SolveResponse* response);
   // Feasible fallback answer against the instance: Hilbert sweep when
   // the graph has coordinates, greedy k-median otherwise.
   McfsSolution DegradedFallback(const McfsInstance& instance,
                                 MatcherBackendKind matcher) const;
-  // objective / (capacity- and budget-relaxed lower bound); 0 when the
-  // bound is degenerate. One MultiSourceDijkstra over the graph.
-  double DegradedQualityBound(const McfsInstance& instance,
-                              double objective) const;
+  // objective / (capacity- and budget-relaxed nearest-facility lower
+  // bound), shared by the degraded and fast tiers;
+  // kDegenerateQualityBound when the lower bound is 0 with a positive
+  // objective. `nearest` skips the MultiSourceDijkstra when the caller
+  // holds the epoch's precomputed full-catalog result (null = compute
+  // against instance.facility_nodes).
+  double NearestFacilityQualityBound(const McfsInstance& instance,
+                                     double objective,
+                                     const MultiSourceResult* nearest) const;
+  // The instant responder (DESIGN.md §4.14): serves `pending` inline on
+  // the submitting thread — cache lookup, greedy selection over the
+  // nearest-facility distances, bounded-work FastGreedyMatch,
+  // first-principles verification, quality bound — and completes the
+  // handle as tier == "fast". Returns false when the fast attempt could
+  // not produce a verified feasible answer (the caller enqueues the
+  // request for the normal full solve) and true when the handle was
+  // completed (fast answer, cache hit, or a definitive error).
+  bool FastServe(PendingRequest& pending);
+  // Background refinement worker: full WMA re-solves of fast-answered
+  // requests, upgrading their cache entries in place.
+  void RefinerLoop();
+  void RunRefinement(const RefineTask& task);
   // Suggested client backoff for a kUnavailable rejection: half the
   // estimated queue drain time at the current service-time estimate,
   // never less than 1 ms.
@@ -531,6 +666,16 @@ class SolverService {
   std::map<CacheKey, CacheEntry> cache_;
   std::deque<CacheKey> cache_order_;  // insertion order for eviction
 
+  // Background refinement (DESIGN.md §4.14). Tasks are deduplicated by
+  // (key, epoch) at enqueue — N identical fast answers need one
+  // refinement. refine_active_ covers the window between pop and
+  // completion so DrainRefinements has no gap to race through.
+  mutable std::mutex refine_mutex_;
+  std::condition_variable refine_cv_;
+  std::deque<RefineTask> refine_queue_;
+  bool refine_stop_ = false;
+  bool refine_active_ = false;
+
   // Per-tier SLO accounting (report_mutex_).
   struct SloState {
     SloPolicy policy;
@@ -550,8 +695,15 @@ class SolverService {
   // a hot path; one Observe per request). The report's quantiles and
   // exemplars come from here, not from sampled percentiles.
   obs::Histogram latency_hist_{"serve/latency_seconds"};
+  // Per-tier latency histograms (DESIGN.md §4.14), keyed by the tier
+  // the response was actually served at — the bench's fast-vs-converged
+  // p99 comparison reads these.
+  obs::Histogram latency_fast_hist_{"serve/latency_fast_seconds"};
+  obs::Histogram latency_full_hist_{"serve/latency_full_seconds"};
+  obs::Histogram latency_degraded_hist_{"serve/latency_degraded_seconds"};
 
   std::thread dispatcher_;
+  std::thread refiner_;
 };
 
 }  // namespace mcfs
